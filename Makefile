@@ -1,0 +1,48 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench vet fmt figures report clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+fuzz:
+	go test -fuzz=FuzzDecodePacket -fuzztime=30s ./internal/core/
+	go test -fuzz=FuzzQueueWrite -fuzztime=30s ./internal/core/
+	go test -fuzz=FuzzLoad -fuzztime=30s ./internal/trace/
+
+# Regenerate the checked-in artifacts under docs/.
+figures:
+	go run ./cmd/finepack-sim -svg docs/figures fig2
+	go run ./cmd/finepack-sim -svg docs/figures fig4
+	go run ./cmd/finepack-sim -svg docs/figures fig9
+	go run ./cmd/finepack-sim -svg docs/figures fig10
+	go run ./cmd/finepack-sim -svg docs/figures fig11
+	go run ./cmd/finepack-sim -svg docs/figures fig12
+	go run ./cmd/finepack-sim -svg docs/figures fig13
+	go run ./cmd/finepack-sim -svg docs/figures scaling
+
+report:
+	go run ./cmd/finepack-sim report > docs/report.md
+
+golden:
+	go test ./internal/experiments -run TestGolden -update
+
+clean:
+	rm -f test_output.txt bench_output.txt

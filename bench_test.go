@@ -1,0 +1,373 @@
+// Package finepack_test holds the benchmark harness: one benchmark per
+// table and figure of the paper's evaluation (each run regenerates that
+// artifact's rows from the simulator and reports its headline number as a
+// custom metric), plus micro-benchmarks of the FinePack datapath itself.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+package finepack_test
+
+import (
+	"testing"
+
+	"finepack/internal/core"
+	"finepack/internal/experiments"
+	"finepack/internal/gpusim"
+	"finepack/internal/sim"
+	"finepack/internal/workloads"
+)
+
+// benchParams keeps each figure benchmark iteration in the low seconds
+// while preserving every qualitative shape.
+func benchParams() workloads.Params {
+	return workloads.Params{Scale: 0.4, Iterations: 2, Seed: 1}
+}
+
+func newSuite() *experiments.Suite {
+	return experiments.New(sim.DefaultConfig(), benchParams(), 4)
+}
+
+func BenchmarkFig2Goodput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig2()
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig4StoreSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		rows, err := s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.Sub32
+		}
+		b.ReportMetric(sum/float64(len(rows))*100, "%sub32B")
+	}
+}
+
+func BenchmarkFig9Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		_, geo, err := s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(geo[sim.FinePack], "finepack-geomean-x")
+		b.ReportMetric(geo[sim.Infinite], "infinite-geomean-x")
+	}
+}
+
+func BenchmarkFig10WireBytes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		rows, err := s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var p2p, fp float64
+		for _, r := range rows {
+			p2p += r.Useful[sim.P2P] + r.Protocol[sim.P2P] + r.Wasted[sim.P2P]
+			fp += r.Useful[sim.FinePack] + r.Protocol[sim.FinePack] + r.Wasted[sim.FinePack]
+		}
+		b.ReportMetric(p2p/fp, "p2p-over-finepack-x")
+	}
+}
+
+func BenchmarkFig11Packing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		_, mean, err := s.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mean, "stores/packet")
+	}
+}
+
+func BenchmarkFig12Subheader(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		_, geo, err := s.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(geo[5], "5B-geomean-x")
+	}
+}
+
+func BenchmarkFig13Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		rows, err := s.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-2].Speedup[sim.FinePack], "pcie6-finepack-x")
+	}
+}
+
+func BenchmarkTab2SubheaderTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Tab2Table().NumRows() != 5 {
+			b.Fatal("Table II shape")
+		}
+	}
+}
+
+func BenchmarkAltDesignConfigPacket(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		rows, err := s.AltDesign()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.RunBytes == 48 && !r.Measured {
+				b.ReportMetric(r.InefficiencyPc, "%overhead-at-48B")
+			}
+		}
+	}
+}
+
+func BenchmarkWriteCombiningCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		_, overall, err := s.WCCompare()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(overall, "%wire-reduction")
+	}
+}
+
+func BenchmarkGPSCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		_, ratio, err := s.GPSCompare()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ratio, "fp-over-gps-x")
+	}
+}
+
+func BenchmarkScale16GPUs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		res, err := s.Scale16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FPOverP2P, "fp-over-p2p-x")
+		b.ReportMetric(res.FPOverDMA, "fp-over-dma-x")
+	}
+}
+
+func BenchmarkAblationQueueEntries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		rows, err := s.AblationQueueEntries()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-2].Geomean, "64-entry-geomean-x")
+	}
+}
+
+func BenchmarkAblationOpenWindows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		if _, err := s.AblationOpenWindows(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFlushTimeout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		rows, err := s.AblationFlushTimeout()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].StoresPerPacket, "no-timeout-stores/packet")
+	}
+}
+
+func BenchmarkUMBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		rows, err := s.UMCompare()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64 = 1e18
+		for _, r := range rows {
+			if r.UMSpeedup < worst {
+				worst = r.UMSpeedup
+			}
+		}
+		b.ReportMetric(worst, "worst-um-speedup-x")
+	}
+}
+
+func BenchmarkOverlapDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		if _, err := s.Overlap(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalingCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		rows, err := s.Scaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Speedup[sim.FinePack], "16gpu-finepack-x")
+	}
+}
+
+func BenchmarkEncodeDecodePacket(b *testing.B) {
+	cfg := core.DefaultConfig()
+	var last *core.Packet
+	q, err := core.NewQueue(cfg, func(p *core.Packet) { last = p })
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := q.Write(core.Store{Dst: 1, Addr: uint64(i) * 16, Size: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q.FlushAll(core.CauseDrain)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := core.EncodePacket(cfg, last)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.DecodePacket(cfg, wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNVLinkFinePack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.NVLinkFinePack()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		b.ReportMetric(rows[1].NVLinkGain, "8B-nvlink-gain-x")
+	}
+}
+
+// --------------------------------------------------- datapath micro-benches
+
+// BenchmarkQueueWriteDense measures the remote write queue on a dense
+// sequential 8B store stream (the best case for coalescing).
+func BenchmarkQueueWriteDense(b *testing.B) {
+	q, err := core.NewQueue(core.DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Write(core.Store{Dst: 1, Addr: uint64(i%4096) * 8, Size: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q.FlushAll(core.CauseDrain)
+}
+
+// BenchmarkQueueWriteScattered measures the queue under window-thrashing
+// scattered addresses (the CT-like worst case).
+func BenchmarkQueueWriteScattered(b *testing.B) {
+	q, err := core.NewQueue(core.DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := uint64(0x9E3779B97F4A7C15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407
+		if err := q.Write(core.Store{Dst: 1, Addr: addr % (8 << 30), Size: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q.FlushAll(core.CauseDrain)
+}
+
+// BenchmarkCoalesceWarp measures L1 warp coalescing of a scattered store.
+func BenchmarkCoalesceWarp(b *testing.B) {
+	ws := gpusim.WarpStore{Dst: 1, ElemSize: 8}
+	for i := 0; i < gpusim.WarpSize; i++ {
+		ws.Addrs = append(ws.Addrs, uint64(i)*4096)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gpusim.Coalesce(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDepacketize measures destination-side disaggregation.
+func BenchmarkDepacketize(b *testing.B) {
+	cfg := core.DefaultConfig()
+	var pkt *core.Packet
+	q, err := core.NewQueue(cfg, func(p *core.Packet) { pkt = p })
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := q.Write(core.Store{Dst: 1, Addr: uint64(i) * 16, Size: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q.FlushAll(core.CauseDrain)
+	if pkt == nil {
+		b.Fatal("no packet")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := core.Depacketize(pkt); len(got) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkEndToEndSSSP measures a full simulator run of the most
+// communication-intensive workload under FinePack.
+func BenchmarkEndToEndSSSP(b *testing.B) {
+	w := workloads.NewSSSP()
+	tr, err := w.Generate(4, benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(tr, sim.FinePack, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup(), "speedup-x")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"finepack/internal/experiments"
+)
+
+func TestRunDispatchCheapExperiments(t *testing.T) {
+	s := experiments.Quick()
+	for _, name := range []string{"fig2", "tab2", "nvlink-fp", "alt-design"} {
+		if err := run(s, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	svgDir = dir
+	defer func() { svgDir = "" }()
+	if err := run(experiments.Quick(), "fig2"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "fig2.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "<svg") || !strings.Contains(string(raw), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(experiments.Quick(), "fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFiguresQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed CLI paths skipped in -short mode")
+	}
+	s := experiments.Quick()
+	chart = true
+	defer func() { chart = false }()
+	for _, name := range []string{"fig4", "fig9", "fig10", "fig11", "wc", "gps", "diag"} {
+		if err := run(s, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Command finepack-trace generates, inspects and summarizes workload
+// traces — the offline counterpart of the NVBit collection step the paper
+// describes. Usage:
+//
+//	finepack-trace gen  -workload sssp -o sssp.trace [flags]
+//	finepack-trace info sssp.trace
+//	finepack-trace hist sssp.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"finepack/internal/sim"
+	"finepack/internal/stats"
+	"finepack/internal/trace"
+	"finepack/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = gen(os.Args[2:])
+	case "info":
+		err = withTrace(os.Args[2:], info)
+	case "hist":
+		err = withTrace(os.Args[2:], hist)
+	case "describe":
+		err = withTrace(os.Args[2:], describe)
+	case "replay":
+		err = replay(os.Args[2:])
+	case "json":
+		err = withTrace(os.Args[2:], func(tr *trace.Trace) error {
+			return tr.SaveJSON(os.Stdout)
+		})
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finepack-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: finepack-trace <command> [flags]
+
+commands:
+  gen   -workload <name> -o <file> [-gpus N] [-scale F] [-iters N] [-seed N]
+        generate a workload trace and write it to a file
+        workloads: %s
+  info      <file>  print trace summary (stores, copies, per-GPU breakdown)
+  hist      <file>  print the store-size histogram (Fig 4 view)
+  describe  <file>  print paradigm-determining characteristics (sizes,
+                    redundancy, intensity, pattern coverage)
+  replay    <file> [-paradigm name]  simulate the trace (default: all
+                    paradigms) and print timing/traffic results
+  json      <file>  export the trace as JSON
+`, strings.Join(workloads.Names(), " "))
+}
+
+func gen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		name  = fs.String("workload", "", "workload name")
+		out   = fs.String("o", "", "output file")
+		gpus  = fs.Int("gpus", 4, "number of GPUs")
+		scale = fs.Float64("scale", 1.0, "problem-size multiplier")
+		iters = fs.Int("iters", 3, "iterations")
+		seed  = fs.Int64("seed", 1, "generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *out == "" {
+		return fmt.Errorf("gen requires -workload and -o")
+	}
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		return err
+	}
+	tr, err := w.Generate(*gpus, workloads.Params{Scale: *scale, Iterations: *iters, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if err := tr.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d GPUs, %d iterations, %d warp stores\n",
+		*out, tr.NumGPUs, len(tr.Iterations), tr.NumWarpStores())
+	return nil
+}
+
+func withTrace(args []string, fn func(*trace.Trace) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected one trace file argument")
+	}
+	tr, err := trace.LoadFile(args[0])
+	if err != nil {
+		return err
+	}
+	return fn(tr)
+}
+
+func info(tr *trace.Trace) error {
+	fmt.Printf("workload:    %s\n", tr.Name)
+	fmt.Printf("gpus:        %d\n", tr.NumGPUs)
+	fmt.Printf("iterations:  %d\n", len(tr.Iterations))
+	fmt.Printf("warp stores: %d\n", tr.NumWarpStores())
+	total, useful := tr.CopyBytes()
+	fmt.Printf("copy bytes:  %s total, %s useful (%.0f%%)\n",
+		stats.HumanBytes(total), stats.HumanBytes(useful),
+		100*stats.Ratio(useful, total))
+
+	t := stats.NewTable("per-GPU breakdown (iteration 0)",
+		"gpu", "compute ops", "warp stores", "copies")
+	for g, w := range tr.Iterations[0].PerGPU {
+		t.AddRow(g, fmt.Sprintf("%.2e", w.ComputeOps), len(w.Stores), len(w.Copies))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	par := fs.String("paradigm", "", "paradigm to replay (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay expects one trace file")
+	}
+	tr, err := trace.LoadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	paradigms := []sim.Paradigm{
+		sim.P2P, sim.DMA, sim.FinePack, sim.WriteCombining,
+		sim.GPS, sim.UM, sim.RemoteRead, sim.Infinite,
+	}
+	if *par != "" {
+		p, err := sim.ParadigmFromString(*par)
+		if err != nil {
+			return err
+		}
+		paradigms = []sim.Paradigm{p}
+	}
+	cfg := sim.DefaultConfig()
+	t := stats.NewTable(fmt.Sprintf("replay of %s (%d GPUs)", tr.Name, tr.NumGPUs),
+		"paradigm", "time", "speedup", "wire bytes", "packets")
+	for _, p := range paradigms {
+		res, err := sim.Run(tr, p, cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(p.String(), res.Time.String(),
+			fmt.Sprintf("%.2fx", res.Speedup()), res.WireBytes, res.Packets)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func describe(tr *trace.Trace) error {
+	c, err := trace.Describe(tr)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(fmt.Sprintf("%s characteristics", tr.Name),
+		"property", "value")
+	t.AddRow("warp stores", c.WarpStores)
+	t.AddRow("L1-egress stores", c.Stores)
+	t.AddRow("atomic warps", c.Atomics)
+	t.AddRow("mean store size", fmt.Sprintf("%.0fB", c.MeanStoreBytes))
+	t.AddRow("≤32B fraction", fmt.Sprintf("%.0f%%", c.Sub32Fraction*100))
+	t.AddRow("pushed bytes", c.StoreBytes)
+	t.AddRow("unique bytes", c.UniqueBytes)
+	t.AddRow("redundancy", fmt.Sprintf("%.2fx", c.RedundancyX))
+	t.AddRow("memcpy bytes (useful)", fmt.Sprintf("%d (%d)", c.CopyBytes, c.CopyUseful))
+	t.AddRow("compute ops/unique byte", fmt.Sprintf("%.0f", c.ComputeOpsPerByte))
+	t.AddRow("communicating pairs", fmt.Sprintf("%d of %d", c.ActivePairs, c.MaxPairs))
+	t.Render(os.Stdout)
+	return nil
+}
+
+func hist(tr *trace.Trace) error {
+	h, err := tr.StoreSizeHistogram()
+	if err != nil {
+		return err
+	}
+	labels, fracs := h.Buckets()
+	t := stats.NewTable(
+		fmt.Sprintf("%s: %d L1-egress stores, mean %.0fB", tr.Name, h.Total(), h.MeanSize()),
+		"bucket", "fraction")
+	for i, l := range labels {
+		t.AddRow(l, fmt.Sprintf("%.1f%%", fracs[i]*100))
+	}
+	t.Render(os.Stdout)
+	return nil
+}

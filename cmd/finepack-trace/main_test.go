@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"finepack/internal/trace"
+)
+
+func TestGenInfoHistRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.trace")
+	err := gen([]string{
+		"-workload", "pagerank", "-o", path,
+		"-gpus", "4", "-scale", "0.1", "-iters", "1", "-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "pagerank" || tr.NumGPUs != 4 {
+		t.Fatalf("trace header %+v", tr)
+	}
+	if err := info(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := hist(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed replay skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "w.trace")
+	if err := gen([]string{"-workload", "jacobi", "-o", path, "-scale", "0.2", "-iters", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay([]string{"-paradigm", "finepack", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay([]string{"-paradigm", "nope", path}); err == nil {
+		t.Fatal("unknown paradigm accepted")
+	}
+	if err := replay([]string{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	if err := gen([]string{"-workload", "pagerank"}); err == nil {
+		t.Fatal("missing -o accepted")
+	}
+	if err := gen([]string{"-o", "/tmp/x"}); err == nil {
+		t.Fatal("missing -workload accepted")
+	}
+	if err := gen([]string{"-workload", "nope", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestWithTraceErrors(t *testing.T) {
+	if err := withTrace(nil, func(*trace.Trace) error { return nil }); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := withTrace([]string{"/does/not/exist"}, func(*trace.Trace) error { return nil }); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

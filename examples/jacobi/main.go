@@ -1,0 +1,45 @@
+// Jacobi example: run the paper's regular halo-exchange workload on a
+// simulated 4-GPU PCIe 4.0 system under every communication paradigm and
+// print the strong-scaling comparison — one row of Fig 9, end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"finepack/internal/sim"
+	"finepack/internal/stats"
+	"finepack/internal/workloads"
+)
+
+func main() {
+	w := workloads.NewJacobi()
+	tr, err := w.Generate(4, workloads.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %s\n", w.Name(), w.Description())
+	fmt.Printf("pattern:  %s, %d warp stores across %d iterations\n\n",
+		w.Pattern(), tr.NumWarpStores(), len(tr.Iterations))
+
+	cfg := sim.DefaultConfig()
+	t := stats.NewTable("4-GPU Jacobi under each paradigm",
+		"paradigm", "time", "speedup", "wire bytes", "goodput")
+	for _, par := range []sim.Paradigm{
+		sim.P2P, sim.DMA, sim.FinePack, sim.WriteCombining, sim.GPS, sim.Infinite,
+	} {
+		res, err := sim.Run(tr, par, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(par.String(), res.Time.String(),
+			fmt.Sprintf("%.2fx", res.Speedup()),
+			res.WireBytes, fmt.Sprintf("%.2f", res.Goodput()))
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("\nRegular 128B halo stores already use the link well, so plain")
+	fmt.Println("P2P stores scale; FinePack matches them while bulk DMA pays for")
+	fmt.Println("unoverlapped transfers (§VI-A).")
+}

@@ -1,0 +1,55 @@
+// PageRank example: the paper's motivating irregular case. Sub-cacheline
+// pushes from a partitioned sparse matrix make plain P2P stores a net
+// slowdown; FinePack transparently repacks them and restores scaling.
+// Also prints the Fig 10-style traffic breakdown for this workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"finepack/internal/sim"
+	"finepack/internal/stats"
+	"finepack/internal/workloads"
+)
+
+func main() {
+	w := workloads.NewPagerank()
+	tr, err := w.Generate(4, workloads.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := tr.StoreSizeHistogram()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %s\n", w.Name(), w.Description())
+	fmt.Printf("store mix out of L1: %s\n", h)
+	fmt.Printf("(%.0f%% of transfers are ≤32B — Fig 1's sub-cacheline problem)\n\n",
+		h.FractionAtMost(32)*100)
+
+	cfg := sim.DefaultConfig()
+	perf := stats.NewTable("4-GPU PageRank", "paradigm", "speedup")
+	traffic := stats.NewTable("traffic breakdown",
+		"paradigm", "useful KB", "protocol KB", "wasted KB", "stores/packet")
+	for _, par := range []sim.Paradigm{sim.P2P, sim.DMA, sim.FinePack, sim.Infinite} {
+		res, err := sim.Run(tr, par, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perf.AddRow(par.String(), fmt.Sprintf("%.2fx", res.Speedup()))
+		if par != sim.Infinite {
+			traffic.AddRow(par.String(),
+				res.UsefulBytes/1024, res.ProtocolBytes()/1024, res.WastedBytes()/1024,
+				fmt.Sprintf("%.1f", res.AvgStoresPerPacket))
+		}
+	}
+	perf.Render(os.Stdout)
+	fmt.Println()
+	traffic.Render(os.Stdout)
+
+	fmt.Println("\nP2P pays a header per 8B push and resends rewritten ranks;")
+	fmt.Println("FinePack shares one header across dozens of pushes and coalesces")
+	fmt.Println("the rewrites before they reach the wire (§III).")
+}

@@ -1,0 +1,47 @@
+// Sweep example: explore the FinePack design space — sub-header size
+// (Fig 12) crossed with interconnect generation (Fig 13) — for one
+// communication-bound workload, printing the full speedup grid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"finepack/internal/pcie"
+	"finepack/internal/sim"
+	"finepack/internal/stats"
+	"finepack/internal/workloads"
+)
+
+func main() {
+	w := workloads.NewHIT()
+	tr, err := w.Generate(4, workloads.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %s\n\n", w.Name(), w.Description())
+
+	t := stats.NewTable("FinePack speedup: sub-header bytes × PCIe generation",
+		"link", "2B", "3B", "4B", "5B", "6B")
+	for _, gen := range pcie.Generations() {
+		row := []any{gen.String()}
+		for shb := 2; shb <= 6; shb++ {
+			cfg := sim.DefaultConfig()
+			cfg.Gen = gen
+			cfg.FinePack.SubheaderBytes = shb
+			res, err := sim.Run(tr, sim.FinePack, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", res.Speedup()))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("\nSmall sub-headers cap the coalescing window (64B at 2B headers)")
+	fmt.Println("and thrash the queue; big ones pay more per packed store. 4-5B")
+	fmt.Println("is the sweet spot at every link speed (Fig 12), and more raw")
+	fmt.Println("bandwidth lifts every column without closing the gap (Fig 13).")
+}

@@ -1,0 +1,47 @@
+// Verify example: demonstrates the paper's memory-consistency claim end to
+// end. Every workload's store stream is replayed twice — once applied in
+// program order, once through the full FinePack pipeline (L1 coalescing →
+// remote write queue → packetizer → interconnect → de-packetizer) — and
+// the destination memories are compared byte for byte at every barrier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"finepack/internal/sim"
+	"finepack/internal/stats"
+	"finepack/internal/workloads"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.CheckData = true // byte-accurate verification at every barrier
+
+	params := workloads.Params{Scale: 0.3, Iterations: 2, Seed: 99}
+	t := stats.NewTable("weak-memory-model verification (byte-accurate)",
+		"workload", "stores", "packets", "verdict")
+	for _, w := range workloads.All() {
+		tr, err := w.Generate(4, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(tr, sim.FinePack, cfg)
+		verdict := "OK: identical at every barrier"
+		if err != nil {
+			verdict = "FAILED: " + err.Error()
+		}
+		t.AddRow(w.Name(), res.StoresSent, res.Packets, verdict)
+		if err != nil {
+			t.Render(os.Stdout)
+			os.Exit(1)
+		}
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("\nFinePack reorders and coalesces stores inside each coalescing")
+	fmt.Println("window, yet at every system-scoped release the destination")
+	fmt.Println("memories match program order exactly — the §IV-C compatibility")
+	fmt.Println("argument, checked on every byte of every workload.")
+}

@@ -1,0 +1,3 @@
+module finepack
+
+go 1.22

@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"finepack/internal/core"
+)
+
+// GPS models the MICRO'21 GPS comparator of §VI-B: proactive replication
+// with (a) a cacheline-granularity write-combining buffer and (b) dynamic
+// subscription tracking that elides transfers of lines the destination is
+// not currently reading. Relative to FinePack, GPS wins when subscription
+// savings outweigh full-cacheline over-transfer, and loses when sparse
+// stores make whole-line transfers wasteful.
+//
+// The subscription mechanism itself (page-table integration, profiling
+// phase, publish-subscribe APIs) is GPS's own paper; here it is abstracted
+// to a per-line subscription predicate driven by a consumed fraction,
+// deterministic in the line address so runs are reproducible.
+type GPS struct {
+	wc *WriteCombiner
+	// ConsumedFraction is the fraction of pushed lines the destination
+	// actually reads this phase; unsubscribed lines are elided.
+	ConsumedFraction float64
+	// ElidedPackets and ElidedBytes count suppressed transfers.
+	ElidedPackets, ElidedBytes uint64
+}
+
+// NewGPS builds the GPS model. Emit receives only subscribed-line packets.
+func NewGPS(cfg core.Config, consumedFraction float64, emit func(*core.Packet)) (*GPS, error) {
+	g := &GPS{ConsumedFraction: consumedFraction}
+	inner := func(p *core.Packet) {
+		if g.subscribed(p.BaseAddr) {
+			emit(p)
+			return
+		}
+		g.ElidedPackets++
+		g.ElidedBytes += uint64(p.WireBytes)
+	}
+	if emit == nil {
+		inner = func(*core.Packet) {}
+	}
+	wc, err := NewWriteCombiner(cfg, inner)
+	if err != nil {
+		return nil, err
+	}
+	wc.FullLine = true // GPS combines and transfers at cacheline granularity
+	g.wc = wc
+	return g, nil
+}
+
+// subscribed decides deterministically whether the line is currently
+// subscribed, by hashing the line address against the consumed fraction.
+func (g *GPS) subscribed(lineAddr uint64) bool {
+	if g.ConsumedFraction >= 1 {
+		return true
+	}
+	if g.ConsumedFraction <= 0 {
+		return false
+	}
+	h := lineAddr / core.CacheLineBytes
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return float64(h%1000) < g.ConsumedFraction*1000
+}
+
+// Write buffers one remote store.
+func (g *GPS) Write(s core.Store) error { return g.wc.Write(s) }
+
+// FlushAll drains the combining buffer, eliding unsubscribed lines.
+func (g *GPS) FlushAll() { g.wc.FlushAll() }
+
+// Stats exposes the underlying combiner counters. Note WireBytes includes
+// elided lines at emission time — use SentWireBytes for on-wire traffic.
+func (g *GPS) Stats() WCStats { return g.wc.Stats() }
+
+// SentWireBytes returns wire bytes actually sent (after elision).
+func (g *GPS) SentWireBytes() uint64 { return g.wc.Stats().WireBytes - g.ElidedBytes }

@@ -1,0 +1,92 @@
+package core
+
+import "math/bits"
+
+// ByteMask tracks which of a cache line's 128 bytes hold valid data: the
+// per-entry byte-enable bits of the remote write queue (Fig 8: "Each entry
+// holds an address tag, 128B of data, and a byte-enable bit for each
+// byte").
+type ByteMask [2]uint64
+
+// Set marks bytes [from, to) valid. Bounds are clamped to the line.
+func (m *ByteMask) Set(from, to int) {
+	if from < 0 {
+		from = 0
+	}
+	if to > CacheLineBytes {
+		to = CacheLineBytes
+	}
+	for i := from; i < to; i++ {
+		m[i>>6] |= 1 << uint(i&63)
+	}
+}
+
+// Get reports whether byte i is valid.
+func (m *ByteMask) Get(i int) bool {
+	return m[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Or merges other into m (the queue-hit path: "the byte mask of the
+// incoming store is ORed with the existing bytemask of the queue entry").
+func (m *ByteMask) Or(other ByteMask) {
+	m[0] |= other[0]
+	m[1] |= other[1]
+}
+
+// Count returns the number of valid bytes.
+func (m *ByteMask) Count() int {
+	return bits.OnesCount64(m[0]) + bits.OnesCount64(m[1])
+}
+
+// OverlapCount returns how many valid bytes m and other share: the bytes a
+// new store overwrites rather than adds (redundant-transfer savings).
+func (m *ByteMask) OverlapCount(other ByteMask) int {
+	return bits.OnesCount64(m[0]&other[0]) + bits.OnesCount64(m[1]&other[1])
+}
+
+// Run is a maximal contiguous range of valid bytes within a line.
+type Run struct {
+	Start, Len int
+}
+
+// Runs returns the maximal contiguous valid-byte runs in ascending order.
+// The packetizer emits one sub-packet per run ("Each individual remote
+// write queue entry may need to be split into multiple sub-packets if the
+// enabled bytes are not contiguous").
+func (m *ByteMask) Runs() []Run {
+	var runs []Run
+	i := 0
+	for i < CacheLineBytes {
+		if !m.Get(i) {
+			i++
+			continue
+		}
+		start := i
+		for i < CacheLineBytes && m.Get(i) {
+			i++
+		}
+		runs = append(runs, Run{Start: start, Len: i - start})
+	}
+	return runs
+}
+
+// NumRuns returns the number of contiguous valid runs without allocating.
+func (m *ByteMask) NumRuns() int {
+	n := 0
+	prev := false
+	for i := 0; i < CacheLineBytes; i++ {
+		cur := m.Get(i)
+		if cur && !prev {
+			n++
+		}
+		prev = cur
+	}
+	return n
+}
+
+// MaskForRange builds a mask with bytes [from, to) set.
+func MaskForRange(from, to int) ByteMask {
+	var m ByteMask
+	m.Set(from, to)
+	return m
+}

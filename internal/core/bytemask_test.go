@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteMaskSetGetCount(t *testing.T) {
+	var m ByteMask
+	m.Set(10, 20)
+	if m.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", m.Count())
+	}
+	if !m.Get(10) || !m.Get(19) {
+		t.Fatal("set range endpoints not set")
+	}
+	if m.Get(9) || m.Get(20) {
+		t.Fatal("bytes outside range set")
+	}
+}
+
+func TestByteMaskClamping(t *testing.T) {
+	var m ByteMask
+	m.Set(-5, 500)
+	if m.Count() != CacheLineBytes {
+		t.Fatalf("clamped full-line set: Count = %d, want %d", m.Count(), CacheLineBytes)
+	}
+}
+
+func TestByteMaskCrossesWordBoundary(t *testing.T) {
+	var m ByteMask
+	m.Set(60, 70) // spans the uint64 boundary at bit 64
+	if m.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", m.Count())
+	}
+	runs := m.Runs()
+	if len(runs) != 1 || runs[0].Start != 60 || runs[0].Len != 10 {
+		t.Fatalf("runs = %+v, want one run [60,70)", runs)
+	}
+}
+
+func TestByteMaskOrAndOverlap(t *testing.T) {
+	a := MaskForRange(0, 8)
+	b := MaskForRange(4, 12)
+	if got := a.OverlapCount(b); got != 4 {
+		t.Fatalf("overlap = %d, want 4", got)
+	}
+	a.Or(b)
+	if a.Count() != 12 {
+		t.Fatalf("Count after Or = %d, want 12", a.Count())
+	}
+	if a.NumRuns() != 1 {
+		t.Fatalf("NumRuns = %d, want 1 (merged)", a.NumRuns())
+	}
+}
+
+func TestRunsDisjoint(t *testing.T) {
+	var m ByteMask
+	m.Set(0, 4)
+	m.Set(8, 12)
+	m.Set(127, 128)
+	runs := m.Runs()
+	want := []Run{{0, 4}, {8, 4}, {127, 1}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %+v, want %+v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs[%d] = %+v, want %+v", i, runs[i], want[i])
+		}
+	}
+	if m.NumRuns() != 3 {
+		t.Fatalf("NumRuns = %d, want 3", m.NumRuns())
+	}
+}
+
+func TestEmptyMask(t *testing.T) {
+	var m ByteMask
+	if m.Count() != 0 || m.NumRuns() != 0 || len(m.Runs()) != 0 {
+		t.Fatal("empty mask should have no bytes or runs")
+	}
+}
+
+// Property: Runs() exactly reconstructs the mask, runs are maximal
+// (separated by gaps) and ordered.
+func TestRunsReconstructMask(t *testing.T) {
+	f := func(seed int64, nRanges uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m ByteMask
+		for i := 0; i < int(nRanges%16); i++ {
+			from := rng.Intn(CacheLineBytes)
+			to := from + 1 + rng.Intn(CacheLineBytes-from)
+			m.Set(from, to)
+		}
+		var rebuilt ByteMask
+		prevEnd := -2
+		for _, r := range m.Runs() {
+			if r.Len <= 0 || r.Start <= prevEnd {
+				return false // not maximal or out of order
+			}
+			rebuilt.Set(r.Start, r.Start+r.Len)
+			prevEnd = r.Start + r.Len // gap required before next run
+		}
+		return rebuilt == m && m.NumRuns() == len(m.Runs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Or is a union — counts obey inclusion–exclusion.
+func TestOrInclusionExclusion(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint8) bool {
+		a := MaskForRange(int(a1)%128, int(a1)%128+int(a2)%32)
+		b := MaskForRange(int(b1)%128, int(b1)%128+int(b2)%32)
+		overlap := a.OverlapCount(b)
+		ca, cb := a.Count(), b.Count()
+		u := a
+		u.Or(b)
+		return u.Count() == ca+cb-overlap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSegments(t *testing.T) {
+	// Fully within one line.
+	segs := storeSegments(Store{Addr: 256, Size: 64})
+	if len(segs) != 1 || segs[0].line != 256 || segs[0].from != 0 || segs[0].to != 64 {
+		t.Fatalf("segs = %+v", segs)
+	}
+	// Straddles a line boundary.
+	segs = storeSegments(Store{Addr: 120, Size: 16})
+	if len(segs) != 2 {
+		t.Fatalf("straddling store: %d segments, want 2", len(segs))
+	}
+	if segs[0].line != 0 || segs[0].from != 120 || segs[0].to != 128 || segs[0].dataOff != 0 {
+		t.Fatalf("seg0 = %+v", segs[0])
+	}
+	if segs[1].line != 128 || segs[1].from != 0 || segs[1].to != 8 || segs[1].dataOff != 8 {
+		t.Fatalf("seg1 = %+v", segs[1])
+	}
+	// A full aligned line.
+	segs = storeSegments(Store{Addr: 128, Size: 128})
+	if len(segs) != 1 || segs[0].to-segs[0].from != 128 {
+		t.Fatalf("full line segs = %+v", segs)
+	}
+}
+
+func TestStoreSegmentsCoverExactly(t *testing.T) {
+	f := func(addr uint32, size uint8) bool {
+		s := Store{Addr: uint64(addr), Size: int(size%128) + 1}
+		segs := storeSegments(s)
+		total := 0
+		next := s.Addr
+		for _, seg := range segs {
+			if seg.line+uint64(seg.from) != next {
+				return false // gap or overlap
+			}
+			total += seg.to - seg.from
+			next = seg.line + uint64(seg.to)
+		}
+		return total == s.Size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreValidate(t *testing.T) {
+	if err := (Store{Size: 0}).Validate(); err == nil {
+		t.Error("zero-size store should be invalid")
+	}
+	if err := (Store{Size: 4, Data: []byte{1}}).Validate(); err == nil {
+		t.Error("mismatched data length should be invalid")
+	}
+	if err := (Store{Size: 4}).Validate(); err != nil {
+		t.Errorf("nil-data store should be valid: %v", err)
+	}
+	if err := (Store{Size: 2, Data: []byte{1, 2}}).Validate(); err != nil {
+		t.Errorf("well-formed store rejected: %v", err)
+	}
+}
+
+func TestStoreByteAndEnd(t *testing.T) {
+	s := Store{Addr: 100, Size: 3, Data: []byte{9, 8, 7}}
+	if s.Byte(1) != 8 {
+		t.Fatalf("Byte(1) = %d", s.Byte(1))
+	}
+	if s.End() != 103 {
+		t.Fatalf("End = %d", s.End())
+	}
+	// Nil data synthesizes the address-derived pattern.
+	n := Store{Addr: 100, Size: 3}
+	if n.Byte(2) != FillByte(102) {
+		t.Fatal("nil-data store should synthesize FillByte")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(127) != 0 || LineAddr(128) != 128 || LineAddr(300) != 256 {
+		t.Fatal("LineAddr misaligned")
+	}
+}

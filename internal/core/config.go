@@ -1,0 +1,157 @@
+// Package core implements the paper's contribution: the FinePack remote
+// write queue, packetizer and de-packetizer (Section IV). Outgoing
+// peer-to-peer stores are buffered per destination GPU, same-address writes
+// are coalesced under the GPU's weak memory model, and the surviving bytes
+// are repacketized into a single outer interconnect transaction whose
+// payload is a sequence of (compressed address offset, length, data)
+// sub-packets sharing one transaction-layer header.
+package core
+
+import (
+	"fmt"
+
+	"finepack/internal/pcie"
+)
+
+// Architectural constants fixed by the evaluated GPU (Table III).
+const (
+	// CacheLineBytes is the GPU cache block size; remote write queue
+	// entries hold one line each.
+	CacheLineBytes = 128
+
+	// LengthFieldBits is the sub-transaction length field width. The paper
+	// reserves ten bits in all swept configurations ("In all cases, ten
+	// bits are reserved for the length field (similar to the PCIe
+	// protocol)").
+	LengthFieldBits = 10
+)
+
+// Config holds the FinePack design parameters (Tables II and III).
+type Config struct {
+	// SubheaderBytes is the per-sub-packet header size, 2–6 bytes
+	// (Table II). Ten bits hold the length; the rest address offset.
+	SubheaderBytes int
+
+	// MaxPayload is the maximum outer-transaction payload in bytes
+	// (Table III: PCIe maximum packet size, 4096).
+	MaxPayload int
+
+	// QueueEntries is the number of 128B entries per remote write queue
+	// partition. Table III sizes the 4-GPU queue at 192 entries total,
+	// i.e. 64 per destination partition.
+	QueueEntries int
+
+	// TLP configures the outer PCIe transaction wire costs.
+	TLP pcie.TLPConfig
+
+	// MaxOpenWindows is the number of outer transactions a partition may
+	// hold open concurrently. The paper's evaluated design uses one;
+	// §IV-C discusses multiple open transactions as an alternative that
+	// avoids thrashing when a data structure straddles an alignment
+	// boundary. Zero means one.
+	MaxOpenWindows int
+
+	// LoadFlushEntryOnly selects the §IV-B alternative for same-address
+	// load-store ordering: flush only the conflicting queue entries
+	// (as individual writes) instead of the whole partition.
+	LoadFlushEntryOnly bool
+
+	// CoalesceAtomics admits remote atomics into the queue like normal
+	// stores (the future direction §IV-C points at via reconfigurable
+	// atomic buffering [9]). Off by default: atomics flush their line
+	// and egress uncoalesced.
+	CoalesceAtomics bool
+}
+
+// maxOpenWindows returns the effective open-transaction limit.
+func (c Config) maxOpenWindows() int {
+	if c.MaxOpenWindows <= 0 {
+		return 1
+	}
+	return c.MaxOpenWindows
+}
+
+// DefaultConfig returns the paper's evaluated configuration (Table III):
+// 5-byte sub-headers (30-bit offsets), 4KB max payload, 64 entries per
+// partition.
+func DefaultConfig() Config {
+	return Config{
+		SubheaderBytes: 5,
+		MaxPayload:     pcie.MaxPayload,
+		QueueEntries:   64,
+		TLP:            pcie.DefaultTLPConfig(),
+	}
+}
+
+// Validate reports whether the configuration is realizable.
+func (c Config) Validate() error {
+	if c.SubheaderBytes < 2 || c.SubheaderBytes > 6 {
+		return fmt.Errorf("core: subheader bytes %d outside Table II range [2,6]", c.SubheaderBytes)
+	}
+	if c.MaxPayload <= 0 {
+		return fmt.Errorf("core: max payload %d must be positive", c.MaxPayload)
+	}
+	if c.MaxPayload < CacheLineBytes+c.SubheaderBytes {
+		return fmt.Errorf("core: max payload %d cannot hold one full line", c.MaxPayload)
+	}
+	if c.QueueEntries <= 0 {
+		return fmt.Errorf("core: queue entries %d must be positive", c.QueueEntries)
+	}
+	if c.MaxOpenWindows < 0 {
+		return fmt.Errorf("core: max open windows %d must be non-negative", c.MaxOpenWindows)
+	}
+	return nil
+}
+
+// OffsetBits returns the number of address-offset bits in the sub-header:
+// total bits minus the ten-bit length field (Table II row 2).
+func (c Config) OffsetBits() int {
+	return c.SubheaderBytes*8 - LengthFieldBits
+}
+
+// AddressableRange returns the window size in bytes that one outer
+// transaction can span: 2^OffsetBits (Table II row 3: 64B for 2-byte
+// sub-headers up to 256GB for 6-byte).
+func (c Config) AddressableRange() uint64 {
+	return 1 << uint(c.OffsetBits())
+}
+
+// WindowBase returns the base-address register value for a store address:
+// the address with the low OffsetBits masked off (§IV-C "the simplest
+// approach is to set the base address using the upper bits of the address
+// of the first store arriving at a partition").
+func (c Config) WindowBase(addr uint64) uint64 {
+	return addr &^ (c.AddressableRange() - 1)
+}
+
+// InWindow reports whether addr falls inside the outer-transaction window
+// that begins at base (§IV-B condition 1).
+func (c Config) InWindow(base, addr uint64) bool {
+	return addr >= base && addr-base < c.AddressableRange()
+}
+
+// MaxStoreCost returns the worst-case payload consumption of one store of
+// n bytes: its data plus one sub-header (§IV-B condition 2 checks this
+// conservatively before merging).
+func (c Config) MaxStoreCost(n int) int {
+	return n + c.SubheaderBytes
+}
+
+// PartitionSRAMBytes returns the data storage of one partition (entries ×
+// line size), used for the Table III / §VI-B area arithmetic.
+func (c Config) PartitionSRAMBytes() int {
+	return c.QueueEntries * CacheLineBytes
+}
+
+// QueueSRAMBytes returns total remote-write-queue data storage for one GPU
+// in a system of numGPUs (one partition per peer GPU). At 4 GPUs this is
+// 3 × 64 × 128B = 24KB of data (192 entries, matching Table III's entry
+// count); at 16 GPUs it is 15 × 8KB = 120KB, matching §VI-B's "120kB per
+// GPU". (The paper's in-text "48kB total storage on a 4-GPU system" does
+// not decompose onto Table III's numbers exactly; we follow the table.)
+func (c Config) QueueSRAMBytes(numGPUs int) int {
+	if numGPUs < 2 {
+		return 0
+	}
+	return (numGPUs - 1) * c.PartitionSRAMBytes()
+}

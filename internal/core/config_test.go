@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"finepack/internal/stats"
+)
+
+// TestTableII verifies the sub-header tradeoff table exactly as published:
+// bytes → (length bits, address bits, addressable range).
+func TestTableII(t *testing.T) {
+	cases := []struct {
+		subheaderBytes int
+		addrBits       int
+		rangeStr       string
+	}{
+		{2, 6, "64B"},
+		{3, 14, "16KB"},
+		{4, 22, "4MB"},
+		{5, 30, "1GB"},
+		{6, 38, "256GB"},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		cfg.SubheaderBytes = c.subheaderBytes
+		if got := cfg.OffsetBits(); got != c.addrBits {
+			t.Errorf("subheader %dB: offset bits = %d, want %d",
+				c.subheaderBytes, got, c.addrBits)
+		}
+		if got := stats.HumanBytes(cfg.AddressableRange()); got != c.rangeStr {
+			t.Errorf("subheader %dB: range = %s, want %s",
+				c.subheaderBytes, got, c.rangeStr)
+		}
+	}
+}
+
+// TestTableIIIDefaults pins the evaluated configuration to Table III.
+func TestTableIIIDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SubheaderBytes != 5 {
+		t.Errorf("subheader = %d, want 5 (Table III)", cfg.SubheaderBytes)
+	}
+	if cfg.OffsetBits() != 30 {
+		t.Errorf("offset bits = %d, want 30 (Table III)", cfg.OffsetBits())
+	}
+	if cfg.MaxPayload != 4096 {
+		t.Errorf("max payload = %d, want 4096 (Table III)", cfg.MaxPayload)
+	}
+	if cfg.QueueEntries != 64 {
+		t.Errorf("queue entries = %d, want 64 per partition", cfg.QueueEntries)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SubheaderBytes: 1, MaxPayload: 4096, QueueEntries: 64},
+		{SubheaderBytes: 7, MaxPayload: 4096, QueueEntries: 64},
+		{SubheaderBytes: 5, MaxPayload: 0, QueueEntries: 64},
+		{SubheaderBytes: 5, MaxPayload: 64, QueueEntries: 64},
+		{SubheaderBytes: 5, MaxPayload: 4096, QueueEntries: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config passed validation: %+v", i, cfg)
+		}
+	}
+}
+
+func TestWindowBaseAndMembership(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SubheaderBytes = 4 // 22-bit offsets: 4MB windows
+	base := cfg.WindowBase(0x12_3456_789A)
+	if base%cfg.AddressableRange() != 0 {
+		t.Fatalf("window base %x not aligned to range %x", base, cfg.AddressableRange())
+	}
+	if !cfg.InWindow(base, base) || !cfg.InWindow(base, base+cfg.AddressableRange()-1) {
+		t.Fatal("window endpoints misclassified")
+	}
+	if cfg.InWindow(base, base+cfg.AddressableRange()) {
+		t.Fatal("one past window end should be outside")
+	}
+	if cfg.InWindow(base, base-1) {
+		t.Fatal("below base should be outside")
+	}
+}
+
+func TestMaxStoreCost(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.MaxStoreCost(8); got != 13 {
+		t.Fatalf("MaxStoreCost(8) = %d, want 13 (8 data + 5 subheader)", got)
+	}
+}
+
+// TestQueueSRAMScaling checks the §VI-B area arithmetic: 120KB per GPU on a
+// 16-GPU system, and the paper's claim that this is dwarfed by a 40MB L2
+// (under 0.3%).
+func TestQueueSRAMScaling(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.PartitionSRAMBytes(); got != 8192 {
+		t.Fatalf("partition SRAM = %d, want 8192 (64 × 128B)", got)
+	}
+	got16 := cfg.QueueSRAMBytes(16)
+	if got16 != 120<<10 {
+		t.Fatalf("16-GPU queue SRAM = %d, want 120KB (§VI-B)", got16)
+	}
+	l2 := 40 << 20 // GA100-class L2
+	if frac := float64(got16) / float64(l2); frac > 0.003 {
+		t.Fatalf("queue/L2 = %.4f, paper says dwarfed (<0.3%%)", frac)
+	}
+	if cfg.QueueSRAMBytes(1) != 0 {
+		t.Fatal("single GPU needs no remote write queue")
+	}
+	// 4-GPU: 192 entries total (Table III) = 24KB data.
+	if got := cfg.QueueSRAMBytes(4); got != 3*8192 {
+		t.Fatalf("4-GPU queue SRAM = %d, want %d", got, 3*8192)
+	}
+}
+
+func TestFlushCauseString(t *testing.T) {
+	if CauseRelease.String() != "release" {
+		t.Fatalf("CauseRelease = %q", CauseRelease.String())
+	}
+	if FlushCause(99).String() != "cause(99)" {
+		t.Fatalf("out of range cause = %q", FlushCause(99).String())
+	}
+}

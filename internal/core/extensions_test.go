@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestMultiWindowAvoidsThrashing reproduces §IV-C's motivation for
+// multiple open outer transactions: a store stream alternating between two
+// aligned regions thrashes a single-window partition (one flush per
+// address switch) but coexists peacefully with two windows.
+func TestMultiWindowAvoidsThrashing(t *testing.T) {
+	run := func(openWindows int) QueueStats {
+		cfg := DefaultConfig()
+		cfg.SubheaderBytes = 3 // 16KB windows: two regions far apart
+		cfg.MaxOpenWindows = openWindows
+		q, err := NewQueue(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regionA, regionB := uint64(0), uint64(1<<20)
+		for i := 0; i < 200; i++ {
+			base := regionA
+			if i%2 == 1 {
+				base = regionB
+			}
+			if err := q.Write(Store{Dst: 1, Addr: base + uint64(i/2)*8, Size: 8}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q.FlushAll(CauseRelease)
+		return q.Stats()
+	}
+	one := run(1)
+	two := run(2)
+	if one.Flushes[CauseWindowMiss] < 150 {
+		t.Fatalf("single window should thrash: %d window-miss flushes",
+			one.Flushes[CauseWindowMiss])
+	}
+	if two.Flushes[CauseWindowMiss] != 0 {
+		t.Fatalf("two windows should absorb both regions: %d misses",
+			two.Flushes[CauseWindowMiss])
+	}
+	if two.WireBytes >= one.WireBytes {
+		t.Fatalf("multi-window wire %d should beat thrashing %d",
+			two.WireBytes, one.WireBytes)
+	}
+	if two.AvgStoresPerPacket() <= one.AvgStoresPerPacket() {
+		t.Fatal("multi-window should pack more stores per packet")
+	}
+}
+
+func TestMultiWindowSharesEntryBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SubheaderBytes = 3
+	cfg.MaxOpenWindows = 2
+	cfg.QueueEntries = 4
+	q, pkts := collect(t, cfg)
+	// Two windows, two lines each: budget full.
+	for i := 0; i < 2; i++ {
+		mustWrite(t, q, Store{Dst: 1, Addr: uint64(i) * 128, Size: 4})
+		mustWrite(t, q, Store{Dst: 1, Addr: 1<<20 + uint64(i)*128, Size: 4})
+	}
+	if q.OpenWindows(1) != 2 {
+		t.Fatalf("open windows = %d", q.OpenWindows(1))
+	}
+	if len(*pkts) != 0 {
+		t.Fatal("nothing should have flushed yet")
+	}
+	// A fifth line, inside an already-open window, exceeds the shared
+	// budget → oldest window evicted.
+	mustWrite(t, q, Store{Dst: 1, Addr: 2 * 128, Size: 4})
+	if len(*pkts) == 0 {
+		t.Fatal("entry exhaustion should flush the oldest window")
+	}
+	if (*pkts)[0].Cause != CauseEntriesFull {
+		t.Fatalf("cause = %v", (*pkts)[0].Cause)
+	}
+}
+
+func TestMultiWindowCorrectness(t *testing.T) {
+	// The memory-model equivalence must hold regardless of window count.
+	f := func(seed int64, windows uint8) bool {
+		cfg := DefaultConfig()
+		cfg.SubheaderBytes = 2 // tiny 64B windows force constant churn
+		cfg.MaxOpenWindows = int(windows)%4 + 1
+		cfg.QueueEntries = 6
+		reference := make(map[uint64]byte)
+		finePacked := make(map[uint64]byte)
+		q, err := NewQueue(cfg, func(p *Packet) {
+			for _, s := range Depacketize(p) {
+				applyStore(finePacked, s)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 800; i++ {
+			size := 1 + rng.Intn(16)
+			data := make([]byte, size)
+			rng.Read(data)
+			s := Store{Dst: rng.Intn(2), Addr: uint64(rng.Intn(1024)), Size: size, Data: data}
+			applyStore(reference, s)
+			if err := q.Write(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q.FlushAll(CauseRelease)
+		if len(reference) != len(finePacked) {
+			return false
+		}
+		for a, v := range reference {
+			if finePacked[a] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFlushEntryOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LoadFlushEntryOnly = true
+	q, pkts := collect(t, cfg)
+	mustWrite(t, q, Store{Dst: 1, Addr: 0x5000, Size: 8})
+	mustWrite(t, q, Store{Dst: 1, Addr: 0x6000, Size: 8})
+	if !q.LoadConflict(1, 0x5000, 4) {
+		t.Fatal("overlapping load must flush")
+	}
+	// Only the conflicting entry egressed, as a plain write.
+	if len(*pkts) != 1 || !(*pkts)[0].Plain {
+		t.Fatalf("pkts = %+v", *pkts)
+	}
+	if (*pkts)[0].BaseAddr != 0x5000 {
+		t.Fatalf("flushed wrong entry: %#x", (*pkts)[0].BaseAddr)
+	}
+	// The unrelated store remains buffered.
+	if q.PendingBytes(1) != 8 {
+		t.Fatalf("pending bytes = %d, want 8", q.PendingBytes(1))
+	}
+	st := q.Stats()
+	if st.Flushes[CauseLoadConflict] != 1 || st.PlainPackets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoadFlushEntryOnlySparseRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LoadFlushEntryOnly = true
+	q, pkts := collect(t, cfg)
+	// Two disjoint runs in one line: an entry flush emits both runs.
+	mustWrite(t, q, Store{Dst: 1, Addr: 0x5000, Size: 4})
+	mustWrite(t, q, Store{Dst: 1, Addr: 0x5040, Size: 4})
+	if !q.LoadConflict(1, 0x5000, 4) {
+		t.Fatal("load must conflict")
+	}
+	if len(*pkts) != 2 {
+		t.Fatalf("entry flush should emit both runs: %d packets", len(*pkts))
+	}
+	if q.PendingStores(1) != 0 {
+		t.Fatal("emptied window should close")
+	}
+	if q.OpenWindows(1) != 0 {
+		t.Fatal("window should be removed when empty")
+	}
+}
+
+func TestCoalesceAtomics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoalesceAtomics = true
+	q, pkts := collect(t, cfg)
+	mustWrite(t, q, Store{Dst: 1, Addr: 0x7000, Size: 8})
+	if err := q.Atomic(Store{Dst: 1, Addr: 0x7000, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing egresses yet: the atomic merged into the queue.
+	if len(*pkts) != 0 {
+		t.Fatalf("coalesced atomic should stay buffered: %d packets", len(*pkts))
+	}
+	q.FlushAll(CauseRelease)
+	if len(*pkts) != 1 || (*pkts)[0].Plain {
+		t.Fatalf("pkts = %+v", *pkts)
+	}
+	if (*pkts)[0].StoresMerged != 2 {
+		t.Fatalf("StoresMerged = %d, want 2", (*pkts)[0].StoresMerged)
+	}
+}
+
+func TestAtomicInvalid(t *testing.T) {
+	q, _ := collect(t, DefaultConfig())
+	if err := q.Atomic(Store{Dst: 1, Addr: 0, Size: 0}); err == nil {
+		t.Fatal("invalid atomic accepted")
+	}
+}
+
+func TestPendingDsts(t *testing.T) {
+	q, _ := collect(t, DefaultConfig())
+	mustWrite(t, q, Store{Dst: 3, Addr: 0, Size: 4})
+	mustWrite(t, q, Store{Dst: 1, Addr: 0, Size: 4})
+	got := q.PendingDsts()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("PendingDsts = %v", got)
+	}
+	q.FlushAll(CauseRelease)
+	if len(q.PendingDsts()) != 0 {
+		t.Fatal("flushed queue should have no pending destinations")
+	}
+}
+
+func TestConfigMaxOpenWindowsValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxOpenWindows = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative window count accepted")
+	}
+	cfg.MaxOpenWindows = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero (= default 1) should be valid: %v", err)
+	}
+	if cfg.maxOpenWindows() != 1 {
+		t.Fatal("zero should default to one window")
+	}
+}
+
+func TestDumpState(t *testing.T) {
+	q, _ := collect(t, DefaultConfig())
+	mustWrite(t, q, Store{Dst: 2, Addr: 0x1000, Size: 8})
+	mustWrite(t, q, Store{Dst: 2, Addr: 0x1040, Size: 4})
+	mustWrite(t, q, Store{Dst: 0, Addr: 0x9000, Size: 16})
+	var sb strings.Builder
+	q.DumpState(&sb)
+	out := sb.String()
+	for _, want := range []string{"dst 0", "dst 2", "window 0", "line 0x1000", "2 runs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	q.FlushAll(CauseRelease)
+	sb.Reset()
+	q.DumpState(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("flushed queue should dump nothing: %q", sb.String())
+	}
+}
+
+func TestCauseTimeoutString(t *testing.T) {
+	if CauseTimeout.String() != "timeout" {
+		t.Fatalf("CauseTimeout = %q", CauseTimeout.String())
+	}
+}

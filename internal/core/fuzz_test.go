@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePacket drives the wire decoder with arbitrary bytes: it must
+// reject or produce a packet that validates and re-encodes, never panic.
+func FuzzDecodePacket(f *testing.F) {
+	cfg := DefaultConfig()
+	// Seed with valid encodings of both packet kinds.
+	plain, err := EncodePacket(cfg, NewPlainPacket(cfg, 1, 0x1003, []byte{1, 2, 3, 4, 5}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain)
+	fp := &Packet{Dst: 2, BaseAddr: 0, Subs: []SubPacket{
+		{Offset: 0, Data: []byte{9}},
+		{Offset: 500, Data: bytes.Repeat([]byte{7}, 64)},
+	}}
+	fp.finalize(cfg)
+	wire, err := EncodePacket(cfg, fp)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := DecodePacket(cfg, raw)
+		if err != nil {
+			return
+		}
+		if err := ValidatePacket(cfg, p); err != nil {
+			t.Fatalf("decoded invalid packet: %v", err)
+		}
+		// A decoded packet must survive a re-encode/re-decode cycle
+		// with identical content.
+		rewire, err := EncodePacket(cfg, p)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		q, err := DecodePacket(cfg, rewire)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q.BaseAddr != p.BaseAddr || q.Plain != p.Plain || len(q.Subs) != len(p.Subs) {
+			t.Fatalf("re-decode drifted: %+v vs %+v", q, p)
+		}
+		for i := range p.Subs {
+			if q.Subs[i].Offset != p.Subs[i].Offset ||
+				!bytes.Equal(q.Subs[i].Data, p.Subs[i].Data) {
+				t.Fatalf("sub %d drifted", i)
+			}
+		}
+	})
+}
+
+// FuzzQueueWrite feeds arbitrary store parameters through the queue and
+// checks the byte-accuracy invariant against a reference memory.
+func FuzzQueueWrite(f *testing.F) {
+	f.Add(int64(1), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(int64(-9), bytes.Repeat([]byte{0xA5}, 200))
+
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		cfg := DefaultConfig()
+		cfg.SubheaderBytes = 2 + int(uint64(seed)%5)
+		cfg.QueueEntries = 4
+		cfg.MaxPayload = 512
+		if cfg.Validate() != nil {
+			return
+		}
+		reference := make(map[uint64]byte)
+		actual := make(map[uint64]byte)
+		q, err := NewQueue(cfg, func(p *Packet) {
+			if err := ValidatePacket(cfg, p); err != nil {
+				t.Fatalf("invalid packet: %v", err)
+			}
+			for _, s := range Depacketize(p) {
+				applyStore(actual, s)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interpret the fuzz input as a store script: 4 bytes per store
+		// (addr lo/hi, size, dst).
+		for i := 0; i+4 <= len(script); i += 4 {
+			addr := uint64(script[i]) | uint64(script[i+1])<<8
+			size := int(script[i+2])%CacheLineBytes + 1
+			s := Store{Dst: int(script[i+3]) % 3, Addr: addr, Size: size}
+			applyStore(reference, s)
+			if err := q.Write(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q.FlushAll(CauseRelease)
+		if len(reference) != len(actual) {
+			t.Fatalf("byte sets differ: %d vs %d", len(reference), len(actual))
+		}
+		for a, v := range reference {
+			if actual[a] != v {
+				t.Fatalf("byte %#x = %d, want %d", a, actual[a], v)
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// applyStore writes a store's bytes into a sparse byte memory. Each
+// destination GPU owns a distinct physical memory, so bytes are keyed by
+// (destination, address).
+func applyStore(mem map[uint64]byte, s Store) {
+	key := uint64(s.Dst) << 56
+	for i := 0; i < s.Size; i++ {
+		mem[key|(s.Addr+uint64(i))] = s.Byte(i)
+	}
+}
+
+// TestWeakMemoryModelEquivalence is the paper's central correctness claim
+// (§IV-C "Compatibility with Memory Ordering Rules"): although FinePack
+// reorders and coalesces stores, at every synchronization point the
+// destination memory is byte-for-byte identical to applying the stores in
+// program order, because (a) per-byte last-writer-wins is preserved inside
+// the queue and (b) PCIe keeps TLPs ordered so flushed values never pass
+// later flushed values.
+func TestWeakMemoryModelEquivalence(t *testing.T) {
+	f := func(seed int64, nStores uint16, shbRaw uint8) bool {
+		shb := 2 + int(shbRaw)%5 // 2..6
+		cfg := DefaultConfig()
+		cfg.SubheaderBytes = shb
+		cfg.QueueEntries = 8  // small, to force mid-epoch flushes
+		cfg.MaxPayload = 1024 // likewise
+
+		reference := make(map[uint64]byte)
+		finePacked := make(map[uint64]byte)
+
+		q, err := NewQueue(cfg, func(p *Packet) {
+			for _, s := range Depacketize(p) {
+				applyStore(finePacked, s)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nStores)%2000 + 1
+		for i := 0; i < n; i++ {
+			// Cluster addresses so same-address rewrites and window
+			// hits/misses all occur.
+			base := uint64(rng.Intn(4)) * (1 << 20)
+			addr := base + uint64(rng.Intn(2048))
+			size := 1 + rng.Intn(32)
+			data := make([]byte, size)
+			rng.Read(data)
+			s := Store{Dst: rng.Intn(3), Addr: addr, Size: size, Data: data}
+			applyStore(reference, s)
+			if err := q.Write(s); err != nil {
+				t.Fatal(err)
+			}
+			// Occasional mid-stream synchronization.
+			if rng.Intn(200) == 0 {
+				q.FlushAll(CauseRelease)
+			}
+		}
+		q.FlushAll(CauseRelease)
+
+		if len(reference) != len(finePacked) {
+			return false
+		}
+		for a, v := range reference {
+			if finePacked[a] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDepacketizeRoundTrip: packetizer → de-packetizer reconstructs every
+// byte the queue held, with correct absolute addresses.
+func TestDepacketizeRoundTrip(t *testing.T) {
+	q, pkts := collect(t, DefaultConfig())
+	want := map[uint64]byte{}
+	stores := []Store{
+		{Dst: 1, Addr: 0x1000, Size: 8, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Dst: 1, Addr: 0x1040, Size: 4, Data: []byte{9, 9, 9, 9}},
+		{Dst: 1, Addr: 0x1004, Size: 4, Data: []byte{7, 7, 7, 7}}, // overwrite
+	}
+	for _, s := range stores {
+		applyStore(want, s)
+		mustWrite(t, q, s)
+	}
+	q.FlushAll(CauseRelease)
+	got := map[uint64]byte{}
+	for _, p := range *pkts {
+		for _, s := range Depacketize(p) {
+			applyStore(got, s)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("byte count: got %d want %d", len(got), len(want))
+	}
+	for a, v := range want {
+		if got[a] != v {
+			t.Fatalf("byte %#x = %d, want %d", a, got[a], v)
+		}
+	}
+}
+
+// TestWireNeverExceedsPlainP2P: FinePack's whole point — for any store
+// stream, total FinePack wire bytes are at most the plain per-store TLP
+// wire bytes (§VI: 2.7× less data than peer-to-peer stores).
+func TestWireNeverExceedsPlainP2P(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultConfig()
+		rng := rand.New(rand.NewSource(seed))
+		q, err := NewQueue(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plainWire uint64
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.Intn(1 << 21))
+			size := 1 + rng.Intn(16)
+			if err := q.Write(Store{Dst: 0, Addr: addr, Size: size}); err != nil {
+				t.Fatal(err)
+			}
+			plainWire += uint64(cfg.TLP.WireBytes(size))
+		}
+		q.FlushAll(CauseRelease)
+		return q.Stats().WireBytes <= plainWire
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackingEfficiencyDenseStream: a dense small-store stream should pack
+// dozens of stores per packet (Fig 11 reports an average of 42).
+func TestPackingEfficiencyDenseStream(t *testing.T) {
+	cfg := DefaultConfig()
+	q, _ := collect(t, cfg)
+	// 512 sequential 8B stores: windows are 1GB so only payload limits.
+	for i := 0; i < 512; i++ {
+		mustWrite(t, q, Store{Dst: 1, Addr: uint64(i * 8), Size: 8})
+	}
+	q.FlushAll(CauseRelease)
+	st := q.Stats()
+	if avg := st.AvgStoresPerPacket(); avg < 40 {
+		t.Fatalf("avg stores/packet = %.1f, want ≥ 40 for dense stream", avg)
+	}
+	// Goodput should beat per-store plain TLPs by ~3× (paper's headline).
+	plainWire := 512 * uint64(cfg.TLP.WireBytes(8))
+	if st.WireBytes*2 > plainWire {
+		t.Fatalf("FinePack wire %d vs plain %d: want ≥2× reduction",
+			st.WireBytes, plainWire)
+	}
+}
+
+// TestScatteredStreamStillValid: widely scattered stores degrade packing
+// (the CT outlier in Fig 11) but never correctness.
+func TestScatteredStreamStillValid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SubheaderBytes = 4 // 4MB windows
+	var pkts []*Packet
+	q, err := NewQueue(cfg, func(p *Packet) { pkts = append(pkts, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		addr := uint64(rng.Intn(1 << 30)) // addresses all over 1GB
+		mustWrite(t, q, Store{Dst: 1, Addr: addr, Size: 8})
+	}
+	q.FlushAll(CauseDrain)
+	st := q.Stats()
+	if st.AvgStoresPerPacket() > 4 {
+		t.Fatalf("scattered stream packed %.1f stores/packet; expected poor packing",
+			st.AvgStoresPerPacket())
+	}
+	for _, p := range pkts {
+		if err := ValidatePacket(cfg, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

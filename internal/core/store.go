@@ -1,0 +1,58 @@
+package core
+
+import "fmt"
+
+// Store is one remote store transaction as it egresses the GPU's L1 cache:
+// a destination GPU, a starting byte address in the shared physical address
+// space, and the payload. Stores are 1–128 bytes (a warp's fully coalesced
+// store is one 128B cache line; an uncoalesced scalar store is 1–8B).
+type Store struct {
+	// Dst is the destination GPU index.
+	Dst int
+	// Addr is the starting physical byte address.
+	Addr uint64
+	// Size is the payload length in bytes (1..128 after L1 coalescing;
+	// larger stores are split by the L1 before reaching the egress port).
+	Size int
+	// Data holds the payload bytes. A nil Data runs the pipeline in
+	// accounting-only mode: byte masks and wire bytes are still exact,
+	// and the de-packetizer reconstructs deterministic filler bytes.
+	Data []byte
+}
+
+// Validate reports whether the store is well formed.
+func (s Store) Validate() error {
+	if s.Size <= 0 {
+		return fmt.Errorf("core: store size %d must be positive", s.Size)
+	}
+	if s.Data != nil && len(s.Data) != s.Size {
+		return fmt.Errorf("core: store data length %d != size %d", len(s.Data), s.Size)
+	}
+	return nil
+}
+
+// End returns one past the last byte address the store touches.
+func (s Store) End() uint64 { return s.Addr + uint64(s.Size) }
+
+// Byte returns the payload byte at index i, synthesizing a deterministic
+// address-derived pattern when Data is nil so that accounting-only runs
+// are still end-to-end checkable.
+func (s Store) Byte(i int) byte {
+	if s.Data != nil {
+		return s.Data[i]
+	}
+	return FillByte(s.Addr + uint64(i))
+}
+
+// FillByte is the deterministic filler pattern for accounting-only stores:
+// a cheap mix of the byte address so adjacent bytes differ.
+func FillByte(addr uint64) byte {
+	x := addr * 0x9E3779B97F4A7C15
+	return byte(x >> 56)
+}
+
+// LineAddr returns the 128B-aligned cache-line address containing addr;
+// remote write queue entries are indexed at this granularity (§IV-B:
+// "the SRAM is organized as a fully-associative structure indexed by
+// memory address at 128B granularity").
+func LineAddr(addr uint64) uint64 { return addr &^ (CacheLineBytes - 1) }

@@ -1,0 +1,341 @@
+package datasets
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBandedStructure(t *testing.T) {
+	g := Banded(100, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Interior rows have 2×halfBand neighbors.
+	if d := g.OutDegree(50); d != 4 {
+		t.Fatalf("interior degree = %d, want 4", d)
+	}
+	// Corner rows are truncated.
+	if d := g.OutDegree(0); d != 2 {
+		t.Fatalf("corner degree = %d, want 2", d)
+	}
+	// Band property: |i-j| ≤ halfBand.
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Out(v) {
+			diff := v - int(w)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 2 {
+				t.Fatalf("edge %d->%d outside band", v, w)
+			}
+		}
+	}
+}
+
+func TestBandedDegenerate(t *testing.T) {
+	g := Banded(0, 2)
+	if g.N != 0 || g.Edges() != 0 {
+		t.Fatal("empty banded graph expected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	g := RMAT(1<<12, 8, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() < g.N*4 {
+		t.Fatalf("edges = %d, want ≥ %d (dedup shrinkage bound)", g.Edges(), g.N*4)
+	}
+	// Power law: the top 1% of vertices should hold a disproportionate
+	// share of edges (>5% for R-MAT at these parameters).
+	degs := make([]int, g.N)
+	for v := range degs {
+		degs[v] = g.OutDegree(v)
+	}
+	// Partial selection: count edges of the 1% highest-degree vertices.
+	k := g.N / 100
+	topSum := 0
+	// Simple threshold pass (avoid full sort): find kth largest via
+	// histogram of degrees.
+	maxd := 0
+	for _, d := range degs {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	hist := make([]int, maxd+1)
+	for _, d := range degs {
+		hist[d]++
+	}
+	remaining := k
+	for d := maxd; d >= 0 && remaining > 0; d-- {
+		take := hist[d]
+		if take > remaining {
+			take = remaining
+		}
+		topSum += take * d
+		remaining -= take
+	}
+	frac := float64(topSum) / float64(g.Edges())
+	if frac < 0.05 {
+		t.Fatalf("top-1%% vertices hold %.1f%% of edges; want a heavy tail", frac*100)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(1<<10, 4, 7)
+	b := RMAT(1<<10, 4, 7)
+	if a.Edges() != b.Edges() {
+		t.Fatal("same seed must reproduce the same graph")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("same seed must reproduce the same edges")
+		}
+	}
+	c := RMAT(1<<10, 4, 8)
+	same := a.Edges() == c.Edges()
+	if same {
+		same = false
+		for i := range a.Col {
+			if a.Col[i] != c.Col[i] {
+				break
+			}
+			if i == len(a.Col)-1 {
+				same = true
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestWebLikeLocality(t *testing.T) {
+	g := WebLike(1<<14, 8, 0.2, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Most edges stay within the 256-vertex cluster.
+	local := 0
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Out(v) {
+			if v/256 == int(w)/256 {
+				local++
+			}
+		}
+	}
+	frac := float64(local) / float64(g.Edges())
+	if frac < 0.6 {
+		t.Fatalf("local edge fraction = %.2f, want clustered structure", frac)
+	}
+}
+
+func TestRGG2DGeometricLocality(t *testing.T) {
+	g := RGG2D(1<<12, 8, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() == 0 {
+		t.Fatal("no edges")
+	}
+	// Geometric edges connect nearby indices (grid order): the index
+	// distance is bounded by a few grid rows.
+	side := 1
+	for side*side < g.N {
+		side++
+	}
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Out(v) {
+			diff := v - int(w)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 3*side {
+				t.Fatalf("edge %d->%d spans %d indices; not geometric", v, w, diff)
+			}
+		}
+	}
+}
+
+func TestGraphsHaveNoSelfLoopsOrDuplicates(t *testing.T) {
+	graphs := map[string]*Graph{
+		"banded":  Banded(500, 3),
+		"rmat":    RMAT(1<<10, 6, 1),
+		"weblike": WebLike(1<<10, 6, 0.3, 1),
+		"rgg":     RGG2D(1<<10, 6, 1),
+	}
+	for name, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v := 0; v < g.N; v++ {
+			row := g.Out(v)
+			for i, w := range row {
+				if int(w) == v {
+					t.Fatalf("%s: self-loop at %d", name, v)
+				}
+				if i > 0 && row[i-1] == w {
+					t.Fatalf("%s: duplicate edge %d->%d", name, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestPartition1D(t *testing.T) {
+	rs := Partition1D(10, 4)
+	if len(rs) != 4 {
+		t.Fatalf("parts = %d", len(rs))
+	}
+	// Cover [0,10) exactly, in order.
+	covered := 0
+	for i, r := range rs {
+		if r.Lo != covered {
+			t.Fatalf("range %d starts at %d, want %d", i, r.Lo, covered)
+		}
+		covered = r.Hi
+	}
+	if covered != 10 {
+		t.Fatalf("coverage ends at %d", covered)
+	}
+	// Near-equal sizes.
+	for _, r := range rs {
+		if r.Len() < 2 || r.Len() > 3 {
+			t.Fatalf("unbalanced range %+v", r)
+		}
+	}
+}
+
+func TestPartition1DProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw) + 1
+		p := int(pRaw)%8 + 1
+		rs := Partition1D(n, p)
+		for v := 0; v < n; v++ {
+			if Owner(rs, v) < 0 {
+				return false
+			}
+		}
+		return Owner(rs, n) == -1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossSets(t *testing.T) {
+	// A 4-vertex cycle split in two: 0,1 | 2,3. Edges 0→1→2→3→0.
+	g := fromEdgeList(4,
+		[]int32{0, 1, 2, 3},
+		[]int32{1, 2, 3, 0})
+	rs := Partition1D(4, 2)
+	sets, err := CrossSets(g, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 1 (owned by 0) feeds vertex 2 (owned by 1).
+	if len(sets[0][1]) != 1 || sets[0][1][0] != 1 {
+		t.Fatalf("sets[0][1] = %v", sets[0][1])
+	}
+	// Vertex 3 (owned by 1) feeds vertex 0 (owned by 0).
+	if len(sets[1][0]) != 1 || sets[1][0][0] != 3 {
+		t.Fatalf("sets[1][0] = %v", sets[1][0])
+	}
+	if len(sets[0][0]) != 0 || len(sets[1][1]) != 0 {
+		t.Fatal("diagonal must be empty")
+	}
+}
+
+func TestCrossSetsDedup(t *testing.T) {
+	// Vertex 0 has two edges into partition 1: appears once.
+	g := fromEdgeList(4, []int32{0, 0}, []int32{2, 3})
+	rs := Partition1D(4, 2)
+	sets, err := CrossSets(g, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets[0][1]) != 1 {
+		t.Fatalf("sets[0][1] = %v, want deduplicated", sets[0][1])
+	}
+}
+
+func TestCrossEdgeFraction(t *testing.T) {
+	g := fromEdgeList(4, []int32{0, 1, 2, 3}, []int32{1, 2, 3, 0})
+	rs := Partition1D(4, 2)
+	if got := CrossEdgeFraction(g, rs); got != 0.5 {
+		t.Fatalf("cross fraction = %v, want 0.5", got)
+	}
+	empty := &Graph{N: 1, RowPtr: []int32{0, 0}}
+	if CrossEdgeFraction(empty, Partition1D(1, 1)) != 0 {
+		t.Fatal("empty graph should have zero cross fraction")
+	}
+}
+
+func TestPatternClassification(t *testing.T) {
+	parts := 4
+	// Banded with a narrow band: only neighbor partitions talk → peer.
+	banded := Banded(4096, 4)
+	if p := PatternOf(banded, Partition1D(4096, parts)); p != "peer" {
+		t.Fatalf("banded pattern = %q, want peer", p)
+	}
+	// RMAT: hubs talk to everyone → all-to-all or many-to-many.
+	rmat := RMAT(1<<12, 8, 42)
+	if p := PatternOf(rmat, Partition1D(1<<12, parts)); p == "peer" || p == "none" {
+		t.Fatalf("rmat pattern = %q, want non-peer", p)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := fromEdgeList(4, []int32{0, 0, 1, 3}, []int32{1, 2, 2, 0})
+	tr := g.Transpose()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Edges() != g.Edges() {
+		t.Fatalf("edges = %d, want %d", tr.Edges(), g.Edges())
+	}
+	// Edge u→v in g appears as v→u in the transpose.
+	has := func(gr *Graph, u, v int32) bool {
+		for _, w := range gr.Out(int(u)) {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Out(v) {
+			if !has(tr, w, int32(v)) {
+				t.Fatalf("edge %d->%d missing from transpose", w, v)
+			}
+		}
+	}
+	// Double transpose is the original.
+	back := tr.Transpose()
+	if back.Edges() != g.Edges() {
+		t.Fatal("double transpose changed edge count")
+	}
+	for v := 0; v < g.N; v++ {
+		a, b := g.Out(v), back.Out(v)
+		if len(a) != len(b) {
+			t.Fatalf("row %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row %d changed", v)
+			}
+		}
+	}
+}
+
+func TestFromEdgeListDropsSelfLoops(t *testing.T) {
+	g := fromEdgeList(3, []int32{0, 1, 1}, []int32{0, 2, 2})
+	if g.Edges() != 1 {
+		t.Fatalf("edges = %d, want 1 (self-loop dropped, dup deduped)", g.Edges())
+	}
+}

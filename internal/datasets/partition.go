@@ -1,0 +1,131 @@
+package datasets
+
+import "fmt"
+
+// Range is a half-open vertex interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the interval size.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Contains reports membership.
+func (r Range) Contains(v int) bool { return v >= r.Lo && v < r.Hi }
+
+// Partition1D splits [0,n) into parts contiguous ranges of near-equal
+// size: the standard multi-GPU row partitioning (§II-A: data structures
+// "allocated on a per-GPU basis and managed explicitly").
+func Partition1D(n, parts int) []Range {
+	out := make([]Range, parts)
+	for p := 0; p < parts; p++ {
+		out[p] = Range{Lo: n * p / parts, Hi: n * (p + 1) / parts}
+	}
+	return out
+}
+
+// Owner returns the partition owning vertex v under a Partition1D split.
+func Owner(ranges []Range, v int) int {
+	for p, r := range ranges {
+		if r.Contains(v) {
+			return p
+		}
+	}
+	return -1
+}
+
+// CrossSets computes, for every ordered partition pair (src,dst), the
+// sorted set of vertices owned by src whose value some vertex owned by dst
+// consumes (i.e. src vertices with an out-edge into dst's range). Under
+// the replicated-data P2P paradigm, src pushes exactly these vertices'
+// updates to dst each iteration.
+func CrossSets(g *Graph, ranges []Range) ([][][]int32, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	parts := len(ranges)
+	if parts == 0 {
+		return nil, fmt.Errorf("datasets: no partitions")
+	}
+	out := make([][][]int32, parts)
+	for p := range out {
+		out[p] = make([][]int32, parts)
+	}
+	for src := 0; src < parts; src++ {
+		r := ranges[src]
+		seen := make([]int, parts) // last vertex added per dst, for dedup
+		for i := range seen {
+			seen[i] = -1
+		}
+		for v := r.Lo; v < r.Hi; v++ {
+			for _, w := range g.Out(v) {
+				dst := Owner(ranges, int(w))
+				if dst < 0 || dst == src || seen[dst] == v {
+					continue
+				}
+				seen[dst] = v
+				out[src][dst] = append(out[src][dst], int32(v))
+			}
+		}
+	}
+	return out, nil
+}
+
+// CrossEdgeFraction returns the fraction of edges crossing partition
+// boundaries: the first-order predictor of communication volume.
+func CrossEdgeFraction(g *Graph, ranges []Range) float64 {
+	if g.Edges() == 0 {
+		return 0
+	}
+	cross := 0
+	for v := 0; v < g.N; v++ {
+		src := Owner(ranges, v)
+		for _, w := range g.Out(v) {
+			if Owner(ranges, int(w)) != src {
+				cross++
+			}
+		}
+	}
+	return float64(cross) / float64(g.Edges())
+}
+
+// PatternOf classifies the communication pattern induced by a partitioned
+// graph, mirroring §V's workload descriptions: "peer" when traffic is
+// dominated by neighboring partitions, "all-to-all" when every pair
+// communicates comparably, "many-to-many" in between.
+func PatternOf(g *Graph, ranges []Range) string {
+	sets, err := CrossSets(g, ranges)
+	if err != nil {
+		return "unknown"
+	}
+	parts := len(ranges)
+	var neighbor, far, pairs, activePairs int
+	for s := 0; s < parts; s++ {
+		for d := 0; d < parts; d++ {
+			if s == d {
+				continue
+			}
+			pairs++
+			n := len(sets[s][d])
+			if n > 0 {
+				activePairs++
+			}
+			if d == s-1 || d == s+1 {
+				neighbor += n
+			} else {
+				far += n
+			}
+		}
+	}
+	total := neighbor + far
+	switch {
+	case total == 0:
+		return "none"
+	case float64(neighbor)/float64(total) > 0.9:
+		return "peer"
+	case activePairs == pairs && float64(far)/float64(total) > 0.5:
+		return "all-to-all"
+	default:
+		return "many-to-many"
+	}
+}

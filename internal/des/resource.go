@@ -1,0 +1,127 @@
+package des
+
+// Server models a unit-capacity resource with FIFO service, the building
+// block for link and port models: requests queue, each occupies the server
+// for a caller-provided service time, and a completion callback fires when
+// service finishes.
+type Server struct {
+	sched *Scheduler
+	busy  bool
+	queue []serverReq
+
+	// Busy accumulates total occupied time, for utilization reporting.
+	Busy Time
+	// Served counts completed requests.
+	Served uint64
+}
+
+type serverReq struct {
+	service Time
+	done    func()
+}
+
+// NewServer returns an idle server bound to sched.
+func NewServer(sched *Scheduler) *Server {
+	return &Server{sched: sched}
+}
+
+// Request enqueues a job needing the given service time; done (may be nil)
+// fires at completion. Jobs are served in arrival order.
+func (s *Server) Request(service Time, done func()) {
+	s.queue = append(s.queue, serverReq{service: service, done: done})
+	if !s.busy {
+		s.startNext()
+	}
+}
+
+// QueueLen returns the number of jobs waiting or in service.
+func (s *Server) QueueLen() int {
+	n := len(s.queue)
+	if s.busy {
+		n++
+	}
+	return n
+}
+
+// Utilization returns the fraction of time the server was busy up to now.
+func (s *Server) Utilization() float64 {
+	now := s.sched.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(now)
+}
+
+func (s *Server) startNext() {
+	if len(s.queue) == 0 {
+		return
+	}
+	req := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	s.Busy += req.service
+	s.sched.After(req.service, func() {
+		s.busy = false
+		s.Served++
+		if req.done != nil {
+			req.done()
+		}
+		s.startNext()
+	})
+}
+
+// TokenPool is a counting-semaphore resource used for credit-based flow
+// control: acquirers wait (FIFO) until credits are available.
+type TokenPool struct {
+	sched   *Scheduler
+	credits int
+	waiters []tokenWait
+
+	// MaxWaiters records the high-water mark of the wait queue.
+	MaxWaiters int
+}
+
+type tokenWait struct {
+	n    int
+	cont func()
+}
+
+// NewTokenPool returns a pool holding n credits.
+func NewTokenPool(sched *Scheduler, n int) *TokenPool {
+	return &TokenPool{sched: sched, credits: n}
+}
+
+// Available returns the current credit count.
+func (p *TokenPool) Available() int { return p.credits }
+
+// Acquire takes n credits, calling cont once they are held. If credits are
+// available the continuation runs via a zero-delay event (never inline, so
+// callers cannot observe re-entrant state).
+func (p *TokenPool) Acquire(n int, cont func()) {
+	if n <= 0 {
+		p.sched.After(0, cont)
+		return
+	}
+	p.waiters = append(p.waiters, tokenWait{n: n, cont: cont})
+	if len(p.waiters) > p.MaxWaiters {
+		p.MaxWaiters = len(p.waiters)
+	}
+	p.dispatch()
+}
+
+// Release returns n credits to the pool and wakes eligible waiters.
+func (p *TokenPool) Release(n int) {
+	p.credits += n
+	p.dispatch()
+}
+
+// dispatch grants credits to waiters strictly in FIFO order; a large
+// request at the head blocks later small ones (no starvation).
+func (p *TokenPool) dispatch() {
+	for len(p.waiters) > 0 && p.waiters[0].n <= p.credits {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.credits -= w.n
+		p.sched.After(0, w.cont)
+	}
+}

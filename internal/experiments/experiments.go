@@ -1,0 +1,132 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI): each Fig*/Tab* function regenerates the corresponding
+// artifact's rows or series from the simulator, and the companion *Table
+// helpers render them in the layout of the published chart. cmd/finepack-sim
+// and bench_test.go are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+
+	"finepack/internal/des"
+	"finepack/internal/pcie"
+	"finepack/internal/sim"
+	"finepack/internal/trace"
+	"finepack/internal/workloads"
+)
+
+// Suite carries the shared configuration and caches traces and simulation
+// results across experiments (Figs 9–12 reuse the same runs).
+type Suite struct {
+	// Cfg is the system configuration (Table III defaults).
+	Cfg sim.Config
+	// Params controls workload trace generation.
+	Params workloads.Params
+	// NumGPUs is the evaluated system size (4 in §V).
+	NumGPUs int
+
+	traces  map[traceKey]*trace.Trace
+	results map[resultKey]*sim.Result
+}
+
+type traceKey struct {
+	name string
+	gpus int
+}
+
+type resultKey struct {
+	name      string
+	gpus      int
+	paradigm  sim.Paradigm
+	bandwidth float64
+	subheader int
+	entries   int
+	windows   int
+	timeout   des.Time
+}
+
+// Default returns the paper's evaluation setup: 4 GPUs, PCIe 4.0,
+// Table III FinePack parameters, full-scale workloads.
+func Default() *Suite {
+	return New(sim.DefaultConfig(), workloads.DefaultParams(), 4)
+}
+
+// Quick returns a reduced-scale suite for tests and smoke runs.
+func Quick() *Suite {
+	return New(sim.DefaultConfig(), workloads.Params{Scale: 0.25, Iterations: 2, Seed: 1}, 4)
+}
+
+// New builds a suite.
+func New(cfg sim.Config, params workloads.Params, numGPUs int) *Suite {
+	return &Suite{
+		Cfg:     cfg,
+		Params:  params,
+		NumGPUs: numGPUs,
+		traces:  make(map[traceKey]*trace.Trace),
+		results: make(map[resultKey]*sim.Result),
+	}
+}
+
+// Trace returns (generating and caching) the trace for a workload.
+func (s *Suite) Trace(name string, gpus int) (*trace.Trace, error) {
+	k := traceKey{name, gpus}
+	if t, ok := s.traces[k]; ok {
+		return t, nil
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	t, err := w.Generate(gpus, s.Params)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", name, err)
+	}
+	s.traces[k] = t
+	return t, nil
+}
+
+// Run returns (running and caching) one simulation result under the
+// suite's configuration.
+func (s *Suite) Run(name string, par sim.Paradigm) (*sim.Result, error) {
+	return s.runWith(name, s.NumGPUs, par, s.Cfg)
+}
+
+func (s *Suite) runWith(name string, gpus int, par sim.Paradigm, cfg sim.Config) (*sim.Result, error) {
+	k := resultKey{
+		name:      name,
+		gpus:      gpus,
+		paradigm:  par,
+		bandwidth: cfg.Bandwidth,
+		subheader: cfg.FinePack.SubheaderBytes,
+		entries:   cfg.FinePack.QueueEntries,
+		windows:   cfg.FinePack.MaxOpenWindows,
+		timeout:   cfg.FlushTimeout,
+	}
+	if cfg.Bandwidth == 0 {
+		k.bandwidth = cfg.Gen.Bandwidth()
+	}
+	if r, ok := s.results[k]; ok {
+		return r, nil
+	}
+	tr, err := s.Trace(name, gpus)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.Run(tr, par, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", name, par, err)
+	}
+	s.results[k] = r
+	return r, nil
+}
+
+// withGen returns the suite config retargeted at a PCIe generation.
+func (s *Suite) withGen(g pcie.Generation) sim.Config {
+	cfg := s.Cfg
+	cfg.Gen = g
+	cfg.Bandwidth = 0
+	return cfg
+}
+
+// Workloads lists the evaluated workload names.
+func (s *Suite) Workloads() []string { return workloads.Names() }

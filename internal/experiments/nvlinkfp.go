@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"finepack/internal/core"
+	"finepack/internal/nvlink"
+	"finepack/internal/stats"
+)
+
+// NVLinkFPRow compares FinePack's efficiency gain on PCIe and on a
+// flit-based NVLink-class protocol for one store size: §IV-C's claim that
+// "the general approach of compressing multiple small stores into a single
+// larger payload within an outer transaction should achieve similar
+// benefits" beyond PCIe.
+type NVLinkFPRow struct {
+	StoreBytes int
+	// Per-store (uncompressed) goodput on each protocol.
+	PCIePlain, NVLinkPlain float64
+	// FinePack-group goodput on each protocol (42-store groups).
+	PCIeFinePack, NVLinkFinePack float64
+	// Gain factors (FinePack / plain).
+	PCIeGain, NVLinkGain float64
+}
+
+// NVLinkFinePack computes the cross-protocol comparison for the Fig 4
+// store-size range, at the paper's typical 42-store aggregation and 5-byte
+// sub-headers.
+func NVLinkFinePack() []NVLinkFPRow {
+	cfg := core.DefaultConfig()
+	const groupStores = AltDesignGroupStores
+	var rows []NVLinkFPRow
+	for _, size := range []int{4, 8, 16, 32, 64, 128} {
+		payload := groupStores * (cfg.SubheaderBytes + size)
+		pciFP := float64(groupStores*size) / float64(cfg.TLP.WireBytes(payload))
+		r := NVLinkFPRow{
+			StoreBytes:     size,
+			PCIePlain:      cfg.TLP.Goodput(size),
+			NVLinkPlain:    nvlink.GoodputMisaligned(size),
+			PCIeFinePack:   pciFP,
+			NVLinkFinePack: nvlink.FinePackGoodput(groupStores, size, cfg.SubheaderBytes),
+		}
+		r.PCIeGain = r.PCIeFinePack / r.PCIePlain
+		r.NVLinkGain = r.NVLinkFinePack / r.NVLinkPlain
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// NVLinkFinePackTable renders the comparison.
+func NVLinkFinePackTable(rows []NVLinkFPRow) *stats.Table {
+	t := stats.NewTable(
+		"§IV-C: FinePack beyond PCIe — goodput on a flit-based (NVLink-class) link",
+		"store", "pcie plain", "pcie finepack", "gain",
+		"nvlink plain", "nvlink finepack", "gain")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%dB", r.StoreBytes),
+			fmt.Sprintf("%.3f", r.PCIePlain), fmt.Sprintf("%.3f", r.PCIeFinePack),
+			fmt.Sprintf("%.1fx", r.PCIeGain),
+			fmt.Sprintf("%.3f", r.NVLinkPlain), fmt.Sprintf("%.3f", r.NVLinkFinePack),
+			fmt.Sprintf("%.1fx", r.NVLinkGain))
+	}
+	return t
+}

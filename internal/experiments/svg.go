@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"finepack/internal/sim"
+	"finepack/internal/svgchart"
+)
+
+// SVG builders: map each figure's rows onto a chart and render it. These
+// let the CLI write the paper's figures as image files.
+
+// Fig2SVG renders the goodput curves.
+func Fig2SVG(points []Fig2Point, w io.Writer) error {
+	l := &svgchart.Lines{
+		Chart: svgchart.Chart{
+			Title:  "Fig 2: goodput vs transfer size",
+			YLabel: "goodput (useful/total bytes)",
+		},
+		Series: []string{"pcie", "nvlink (aligned)", "nvlink (misaligned)"},
+	}
+	for _, p := range points {
+		l.XLabels = append(l.XLabels, fmt.Sprintf("%dB", p.SizeBytes))
+	}
+	vals := make([][]float64, 3)
+	for _, p := range points {
+		vals[0] = append(vals[0], p.PCIeGoodput)
+		vals[1] = append(vals[1], p.NVLinkAligned)
+		vals[2] = append(vals[2], p.NVLinkMisaligned)
+	}
+	l.Values = vals
+	return l.Render(w)
+}
+
+// Fig4SVG renders the store-size mix as stacked fraction bars.
+func Fig4SVG(rows []Fig4Row, w io.Writer) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("experiments: no Fig 4 rows")
+	}
+	s := &svgchart.StackedBars{
+		Chart: svgchart.Chart{
+			Title:  "Fig 4: remote store sizes egressing L1",
+			YLabel: "fraction of transfers",
+		},
+		Layers: rows[0].Labels,
+	}
+	vals := make([][]float64, len(rows[0].Labels))
+	for _, r := range rows {
+		s.Categories = append(s.Categories, r.Workload)
+		for i, f := range r.Fractions {
+			vals[i] = append(vals[i], f)
+		}
+	}
+	s.Values = vals
+	return s.Render(w)
+}
+
+// Fig9SVG renders the speedup bars.
+func Fig9SVG(rows []Fig9Row, w io.Writer) error {
+	g := &svgchart.GroupedBars{
+		Chart: svgchart.Chart{
+			Title:  "Fig 9: 4-GPU speedup over 1 GPU",
+			YLabel: "speedup (x)",
+		},
+		Series: []string{"p2p", "dma", "finepack", "infinite-bw"},
+	}
+	order := sim.Fig9Paradigms()
+	vals := make([][]float64, len(order))
+	for _, r := range rows {
+		g.Categories = append(g.Categories, r.Workload)
+		for i, par := range order {
+			vals[i] = append(vals[i], r.Speedup[par])
+		}
+	}
+	g.Values = vals
+	return g.Render(w)
+}
+
+// Fig10SVG renders the stacked traffic breakdown (one stack per
+// workload/paradigm pair).
+func Fig10SVG(rows []Fig10Row, w io.Writer) error {
+	s := &svgchart.StackedBars{
+		Chart: svgchart.Chart{
+			Title:  "Fig 10: bytes on wire, normalized to DMA",
+			YLabel: "normalized bytes",
+			Width:  1100,
+		},
+		Layers: []string{"useful", "protocol", "wasted"},
+	}
+	vals := make([][]float64, 3)
+	for _, r := range rows {
+		for _, par := range Fig10Paradigms() {
+			s.Categories = append(s.Categories,
+				fmt.Sprintf("%s/%s", r.Workload, par))
+			vals[0] = append(vals[0], r.Useful[par])
+			vals[1] = append(vals[1], r.Protocol[par])
+			vals[2] = append(vals[2], r.Wasted[par])
+		}
+	}
+	s.Values = vals
+	return s.Render(w)
+}
+
+// Fig11SVG renders the packing bars.
+func Fig11SVG(rows []Fig11Row, w io.Writer) error {
+	g := &svgchart.GroupedBars{
+		Chart: svgchart.Chart{
+			Title:  "Fig 11: stores aggregated per FinePack packet",
+			YLabel: "stores/packet",
+		},
+		Series: []string{"finepack"},
+	}
+	vals := make([][]float64, 1)
+	for _, r := range rows {
+		g.Categories = append(g.Categories, r.Workload)
+		vals[0] = append(vals[0], r.StoresPerPacket)
+	}
+	g.Values = vals
+	return g.Render(w)
+}
+
+// Fig12SVG renders the sub-header sensitivity bars.
+func Fig12SVG(rows []Fig12Row, w io.Writer) error {
+	g := &svgchart.GroupedBars{
+		Chart: svgchart.Chart{
+			Title:  "Fig 12: sensitivity to sub-header bytes",
+			YLabel: "speedup (x)",
+		},
+		Series: []string{"2B", "3B", "4B", "5B", "6B"},
+	}
+	vals := make([][]float64, 5)
+	for _, r := range rows {
+		g.Categories = append(g.Categories, r.Workload)
+		for shb := 2; shb <= 6; shb++ {
+			vals[shb-2] = append(vals[shb-2], r.SpeedupByBytes[shb])
+		}
+	}
+	g.Values = vals
+	return g.Render(w)
+}
+
+// Fig13SVG renders the bandwidth sensitivity lines.
+func Fig13SVG(rows []Fig13Row, w io.Writer) error {
+	l := &svgchart.Lines{
+		Chart: svgchart.Chart{
+			Title:  "Fig 13: geomean speedup vs interconnect bandwidth",
+			YLabel: "geomean speedup (x)",
+		},
+		Series: []string{"p2p", "dma", "finepack"},
+	}
+	vals := make([][]float64, 3)
+	for _, r := range rows {
+		l.XLabels = append(l.XLabels, r.Label)
+		vals[0] = append(vals[0], r.Speedup[sim.P2P])
+		vals[1] = append(vals[1], r.Speedup[sim.DMA])
+		vals[2] = append(vals[2], r.Speedup[sim.FinePack])
+	}
+	l.Values = vals
+	return l.Render(w)
+}
+
+// ScalingSVG renders the strong-scaling curve.
+func ScalingSVG(rows []ScalingRow, w io.Writer) error {
+	l := &svgchart.Lines{
+		Chart: svgchart.Chart{
+			Title:  "Strong scaling: geomean speedup vs GPU count",
+			YLabel: "geomean speedup (x)",
+		},
+		Series: []string{"p2p", "dma", "finepack", "infinite-bw"},
+	}
+	order := sim.Fig9Paradigms()
+	vals := make([][]float64, len(order))
+	for _, r := range rows {
+		l.XLabels = append(l.XLabels, fmt.Sprintf("%d", r.GPUs))
+		for i, par := range order {
+			vals[i] = append(vals[i], r.Speedup[par])
+		}
+	}
+	l.Values = vals
+	return l.Render(w)
+}

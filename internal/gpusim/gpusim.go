@@ -1,0 +1,148 @@
+// Package gpusim models the GPU-side substrate FinePack plugs into: the
+// warp execution model, the L1 cache's store coalescing (the only
+// aggregation remote stores receive today — §III: "remote stores do not
+// undergo coalescing beyond L1"), and the SM compute-throughput timing
+// used by the system simulator.
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"finepack/internal/core"
+	"finepack/internal/des"
+)
+
+// WarpSize is the number of threads that execute a store instruction in
+// lockstep (Table III).
+const WarpSize = 32
+
+// WarpStore is one warp-wide store instruction to remote memory: up to 32
+// lanes, each writing ElemSize bytes at its own address. Inactive lanes are
+// simply absent from Addrs.
+type WarpStore struct {
+	// Dst is the destination GPU.
+	Dst int
+	// ElemSize is the per-thread store width in bytes (1–8: scalar
+	// loads/stores; 16 for vectorized float4).
+	ElemSize int
+	// Addrs holds one address per active lane (≤ WarpSize entries).
+	Addrs []uint64
+	// Atomic marks a warp-wide remote atomic (e.g. atomicMin on a
+	// distance). Atomics are not coalesced by the L1 — each lane issues
+	// its own transaction (§IV-C) — use Expand rather than Coalesce.
+	Atomic bool
+}
+
+// Expand converts an atomic warp operation into its per-lane transactions
+// without coalescing.
+func Expand(w WarpStore) ([]core.Store, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]core.Store, 0, len(w.Addrs))
+	for _, addr := range w.Addrs {
+		out = append(out, core.Store{Dst: w.Dst, Addr: addr, Size: w.ElemSize})
+	}
+	return out, nil
+}
+
+// Validate reports whether the warp store is well formed.
+func (w WarpStore) Validate() error {
+	if w.ElemSize <= 0 || w.ElemSize > 16 {
+		return fmt.Errorf("gpusim: element size %d outside [1,16]", w.ElemSize)
+	}
+	if len(w.Addrs) == 0 || len(w.Addrs) > WarpSize {
+		return fmt.Errorf("gpusim: %d active lanes outside [1,%d]", len(w.Addrs), WarpSize)
+	}
+	return nil
+}
+
+// Coalesce performs L1-style write coalescing on a warp store: lane writes
+// falling in the same 128B cache line are merged into byte-enabled line
+// transactions, and each maximal contiguous byte run egresses as one store
+// (Fig 1: the L1 coalesces across a warp into accesses of up to 128B; with
+// no spatial locality, 32 scattered scalar stores produce 32 small
+// transactions).
+//
+// The returned stores are ordered by line address and run offset, carry no
+// data (accounting mode), and are each at most 128B.
+func Coalesce(w WarpStore) ([]core.Store, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	// Group enabled bytes by cache line. Warp footprints are tiny
+	// (≤ 32 lanes × 16B = 512B = at most 33 lines), so a small
+	// insertion-ordered slice beats a map.
+	type lineAcc struct {
+		line uint64
+		mask core.ByteMask
+	}
+	var lines []lineAcc
+	touch := func(line uint64) *lineAcc {
+		for i := range lines {
+			if lines[i].line == line {
+				return &lines[i]
+			}
+		}
+		lines = append(lines, lineAcc{line: line})
+		return &lines[len(lines)-1]
+	}
+	for _, addr := range w.Addrs {
+		remaining := w.ElemSize
+		a := addr
+		for remaining > 0 {
+			line := core.LineAddr(a)
+			from := int(a - line)
+			n := core.CacheLineBytes - from
+			if n > remaining {
+				n = remaining
+			}
+			touch(line).mask.Set(from, from+n)
+			a += uint64(n)
+			remaining -= n
+		}
+	}
+	// Sort lines by address for deterministic egress order. Insertion
+	// sort: the slice is tiny.
+	for i := 1; i < len(lines); i++ {
+		for j := i; j > 0 && lines[j].line < lines[j-1].line; j-- {
+			lines[j], lines[j-1] = lines[j-1], lines[j]
+		}
+	}
+	var out []core.Store
+	for i := range lines {
+		for _, run := range lines[i].mask.Runs() {
+			out = append(out, core.Store{
+				Dst:  w.Dst,
+				Addr: lines[i].line + uint64(run.Start),
+				Size: run.Len,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ComputeModel converts kernel work into simulated compute time. The rate
+// abstracts the 80-SM GV100 of Table III; absolute values only set the
+// compute/communication ratio, which each workload calibrates explicitly.
+type ComputeModel struct {
+	// OpsPerSecond is the GPU's sustained execution throughput for the
+	// workload's dominant operation mix.
+	OpsPerSecond float64
+}
+
+// GV100 returns the Table III machine: 80 SMs × 64 CUDA cores at ~1.4GHz,
+// sustained ≈ 7e12 ops/s for the regular arithmetic these workloads run.
+func GV100() ComputeModel {
+	return ComputeModel{OpsPerSecond: 7e12}
+}
+
+// Duration returns the simulated time to execute ops operations.
+func (m ComputeModel) Duration(ops float64) des.Time {
+	if m.OpsPerSecond <= 0 || ops <= 0 {
+		return 0
+	}
+	ps := ops / m.OpsPerSecond * float64(des.Second)
+	return des.Time(math.Ceil(ps))
+}

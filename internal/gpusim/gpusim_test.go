@@ -1,0 +1,239 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"finepack/internal/core"
+	"finepack/internal/des"
+)
+
+func TestCoalesceFullyContiguousWarp(t *testing.T) {
+	// 32 lanes × 4B contiguous: the classic perfectly coalesced store →
+	// exactly one 128B transaction (Fig 1 left path).
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = 0x1000 + uint64(4*i)
+	}
+	out, err := Coalesce(WarpStore{Dst: 1, ElemSize: 4, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(out))
+	}
+	if out[0].Addr != 0x1000 || out[0].Size != 128 {
+		t.Fatalf("tx = %+v, want 128B at 0x1000", out[0])
+	}
+}
+
+func TestCoalesceFullyScatteredWarp(t *testing.T) {
+	// 32 lanes × 4B, each to a different cache line: no coalescing is
+	// possible, 32 small stores egress (Fig 1 right path).
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 4096
+	}
+	out, err := Coalesce(WarpStore{Dst: 0, ElemSize: 4, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 32 {
+		t.Fatalf("transactions = %d, want 32", len(out))
+	}
+	for _, s := range out {
+		if s.Size != 4 {
+			t.Fatalf("scattered store size = %d, want 4", s.Size)
+		}
+	}
+}
+
+func TestCoalesceStridedWarp(t *testing.T) {
+	// Stride-2 4B stores: 16 lanes land in one line with gaps →
+	// 16 separate 4B runs within the line.
+	addrs := make([]uint64, 16)
+	for i := range addrs {
+		addrs[i] = uint64(8 * i)
+	}
+	out, err := Coalesce(WarpStore{Dst: 0, ElemSize: 4, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 16 {
+		t.Fatalf("transactions = %d, want 16 gapped runs", len(out))
+	}
+}
+
+func TestCoalesceDuplicateLaneAddresses(t *testing.T) {
+	// All lanes store to the same address: one 4B transaction.
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = 0x2000
+	}
+	out, err := Coalesce(WarpStore{Dst: 0, ElemSize: 4, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Size != 4 {
+		t.Fatalf("out = %+v, want one 4B store", out)
+	}
+}
+
+func TestCoalesceLineStraddlingElement(t *testing.T) {
+	// One lane writes 8B straddling a line boundary → two runs in two
+	// lines, contiguous bytes preserved.
+	out, err := Coalesce(WarpStore{Dst: 0, ElemSize: 8, Addrs: []uint64{124}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("transactions = %d, want 2", len(out))
+	}
+	if out[0].Addr != 124 || out[0].Size != 4 || out[1].Addr != 128 || out[1].Size != 4 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestCoalesceDeterministicOrder(t *testing.T) {
+	addrs := []uint64{4096, 0, 8192, 128}
+	out, err := Coalesce(WarpStore{Dst: 0, ElemSize: 4, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Addr <= out[i-1].Addr {
+			t.Fatalf("egress not address ordered: %+v", out)
+		}
+	}
+}
+
+func TestCoalesceValidation(t *testing.T) {
+	if _, err := Coalesce(WarpStore{ElemSize: 0, Addrs: []uint64{0}}); err == nil {
+		t.Error("zero element size should fail")
+	}
+	if _, err := Coalesce(WarpStore{ElemSize: 4}); err == nil {
+		t.Error("no active lanes should fail")
+	}
+	if _, err := Coalesce(WarpStore{ElemSize: 4, Addrs: make([]uint64, 33)}); err == nil {
+		t.Error("more than 32 lanes should fail")
+	}
+	if _, err := Coalesce(WarpStore{ElemSize: 32, Addrs: []uint64{0}}); err == nil {
+		t.Error("element size beyond 16 should fail")
+	}
+}
+
+// Property: coalescing conserves the byte footprint — the union of output
+// store ranges equals the union of input lane ranges, with no overlaps.
+func TestCoalesceConservesBytes(t *testing.T) {
+	f := func(seed int64, nLanes uint8, elemPow uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lanes := int(nLanes)%WarpSize + 1
+		elem := 1 << (elemPow % 4) // 1,2,4,8
+		ws := WarpStore{Dst: 0, ElemSize: elem}
+		want := map[uint64]bool{}
+		for i := 0; i < lanes; i++ {
+			a := uint64(rng.Intn(4096))
+			ws.Addrs = append(ws.Addrs, a)
+			for b := 0; b < elem; b++ {
+				want[a+uint64(b)] = true
+			}
+		}
+		out, err := Coalesce(ws)
+		if err != nil {
+			return false
+		}
+		got := map[uint64]bool{}
+		for _, s := range out {
+			if s.Size <= 0 || s.Size > core.CacheLineBytes {
+				return false
+			}
+			for b := uint64(0); b < uint64(s.Size); b++ {
+				if got[s.Addr+b] {
+					return false // overlapping outputs
+				}
+				got[s.Addr+b] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for a := range want {
+			if !got[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no output store crosses a 128B line boundary (the L1 egress
+// granularity FinePack's queue entries rely on).
+func TestCoalesceRespectsLineBoundaries(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := WarpStore{Dst: 0, ElemSize: 8}
+		for i := 0; i < 16; i++ {
+			ws.Addrs = append(ws.Addrs, uint64(rng.Intn(2048)))
+		}
+		out, err := Coalesce(ws)
+		if err != nil {
+			return false
+		}
+		for _, s := range out {
+			if core.LineAddr(s.Addr) != core.LineAddr(s.Addr+uint64(s.Size)-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandAtomics(t *testing.T) {
+	w := WarpStore{Dst: 2, ElemSize: 8, Atomic: true,
+		Addrs: []uint64{0x100, 0x108, 0x100}}
+	out, err := Expand(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No coalescing, no deduplication: one transaction per lane, in
+	// lane order.
+	if len(out) != 3 {
+		t.Fatalf("transactions = %d, want 3", len(out))
+	}
+	for i, s := range out {
+		if s.Addr != w.Addrs[i] || s.Size != 8 || s.Dst != 2 {
+			t.Fatalf("tx %d = %+v", i, s)
+		}
+	}
+	if _, err := Expand(WarpStore{ElemSize: 0, Addrs: []uint64{0}}); err == nil {
+		t.Fatal("invalid warp accepted")
+	}
+}
+
+func TestComputeModelDuration(t *testing.T) {
+	m := ComputeModel{OpsPerSecond: 1e12}
+	// 1e9 ops at 1e12 ops/s = 1ms.
+	if got := m.Duration(1e9); got != des.Millisecond {
+		t.Fatalf("Duration = %v, want 1ms", got)
+	}
+	if m.Duration(0) != 0 {
+		t.Fatal("zero ops should take zero time")
+	}
+	if (ComputeModel{}).Duration(100) != 0 {
+		t.Fatal("zero throughput is treated as instantaneous")
+	}
+}
+
+func TestGV100Throughput(t *testing.T) {
+	m := GV100()
+	if m.OpsPerSecond < 1e12 || m.OpsPerSecond > 2e13 {
+		t.Fatalf("GV100 throughput %v outside plausible TFLOP range", m.OpsPerSecond)
+	}
+}

@@ -1,0 +1,194 @@
+// Package interconnect models the switched inter-GPU fabric: GPUs hang off
+// PCIe switches, every port serializes traffic at link bandwidth, hops add
+// latency, and a credit loop bounds the bytes in flight toward any
+// destination (PCIe's receiver-buffer flow control). The evaluated systems
+// are 4 GPUs under one switch (§V) and 16 GPUs under four switches joined
+// by trunk links (§VI-B's scaling study).
+package interconnect
+
+import (
+	"fmt"
+
+	"finepack/internal/des"
+)
+
+// Config describes the fabric.
+type Config struct {
+	// NumGPUs is the endpoint count.
+	NumGPUs int
+	// Bandwidth is the per-direction link bandwidth in bytes/second.
+	// Zero or negative means an infinite-bandwidth fabric (transfers
+	// serialize in zero time), used for the paper's opportunity bound.
+	Bandwidth float64
+	// GPUsPerSwitch sets the leaf switch radix (default 4).
+	GPUsPerSwitch int
+	// SwitchLatency is added per switch traversal.
+	SwitchLatency des.Time
+	// PropagationLatency is added per link traversal.
+	PropagationLatency des.Time
+	// CreditBytes bounds bytes in flight toward one destination port
+	// (receiver buffer size). Zero selects a default of 64KB.
+	CreditBytes int
+}
+
+// DefaultConfig returns a 4-GPU PCIe-4.0-class fabric: 32GB/s links,
+// ~150ns switch latency, one leaf switch.
+func DefaultConfig(numGPUs int, bandwidth float64) Config {
+	return Config{
+		NumGPUs:            numGPUs,
+		Bandwidth:          bandwidth,
+		GPUsPerSwitch:      4,
+		SwitchLatency:      150 * des.Nanosecond,
+		PropagationLatency: 10 * des.Nanosecond,
+		// Credits must cover the bandwidth-delay product of the two-stage
+		// (egress + ingress) path for max-size bulk chunks, or the credit
+		// loop halves effective throughput.
+		CreditBytes: 256 << 10,
+	}
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if c.NumGPUs < 2 {
+		return fmt.Errorf("interconnect: need ≥2 GPUs, got %d", c.NumGPUs)
+	}
+	if c.GPUsPerSwitch <= 0 {
+		return fmt.Errorf("interconnect: GPUs per switch must be positive")
+	}
+	return nil
+}
+
+// creditUnit is the granularity of flow-control credits, mirroring PCIe's
+// credit units (headers + payload chunks).
+const creditUnit = 64
+
+// Network is the instantiated fabric.
+type Network struct {
+	cfg     Config
+	sched   *des.Scheduler
+	egress  []*des.Server // per-GPU upstream port
+	ingress []*des.Server // per-GPU downstream port
+	credits []*des.TokenPool
+	trunks  map[[2]int]*des.Server // (lo,hi) switch pair → trunk link
+
+	// Stats
+	PacketsSent uint64
+	BytesSent   uint64
+	perLink     map[string]uint64
+}
+
+// New builds the network on the given scheduler.
+func New(sched *des.Scheduler, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CreditBytes <= 0 {
+		cfg.CreditBytes = 64 << 10
+	}
+	n := &Network{
+		cfg:     cfg,
+		sched:   sched,
+		trunks:  make(map[[2]int]*des.Server),
+		perLink: make(map[string]uint64),
+	}
+	for i := 0; i < cfg.NumGPUs; i++ {
+		n.egress = append(n.egress, des.NewServer(sched))
+		n.ingress = append(n.ingress, des.NewServer(sched))
+		n.credits = append(n.credits, des.NewTokenPool(sched, cfg.CreditBytes/creditUnit))
+	}
+	return n, nil
+}
+
+// switchOf returns the leaf switch index for a GPU.
+func (n *Network) switchOf(gpu int) int { return gpu / n.cfg.GPUsPerSwitch }
+
+// NumSwitches returns the leaf switch count.
+func (n *Network) NumSwitches() int {
+	return (n.cfg.NumGPUs + n.cfg.GPUsPerSwitch - 1) / n.cfg.GPUsPerSwitch
+}
+
+// trunk returns (creating on demand) the trunk link between two switches.
+// The 16-GPU system joins leaf switches pairwise through one upper link
+// each way; trunk links run at the same generation bandwidth.
+func (n *Network) trunk(a, b int) *des.Server {
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	s, ok := n.trunks[key]
+	if !ok {
+		s = des.NewServer(n.sched)
+		n.trunks[key] = s
+	}
+	return s
+}
+
+// Hops returns the number of switch traversals between two GPUs.
+func (n *Network) Hops(src, dst int) int {
+	if n.switchOf(src) == n.switchOf(dst) {
+		return 1
+	}
+	return 2
+}
+
+// Send transmits wireBytes from src to dst; done (may be nil) fires when
+// the last byte arrives at the destination port. The path serializes at
+// the source egress port, any trunk link, and the destination ingress
+// port, with switch and propagation latency per hop, under the
+// destination's credit loop.
+func (n *Network) Send(src, dst int, wireBytes int, done func()) {
+	if src == dst {
+		panic(fmt.Sprintf("interconnect: self-send on GPU %d", src))
+	}
+	if wireBytes <= 0 {
+		wireBytes = 1
+	}
+	n.PacketsSent++
+	n.BytesSent += uint64(wireBytes)
+	n.perLink[linkName(src, dst)] += uint64(wireBytes)
+
+	serialize := des.DurationForBytes(uint64(wireBytes), n.cfg.Bandwidth)
+	hopDelay := n.cfg.SwitchLatency + n.cfg.PropagationLatency
+	credits := (wireBytes + creditUnit - 1) / creditUnit
+	// A message larger than the whole receiver buffer streams through it
+	// chunk by chunk; it can never hold more credits than exist.
+	if maxCredits := n.cfg.CreditBytes / creditUnit; credits > maxCredits {
+		credits = maxCredits
+	}
+
+	n.credits[dst].Acquire(credits, func() {
+		n.egress[src].Request(serialize, func() {
+			afterTrunk := func() {
+				n.sched.After(hopDelay, func() {
+					n.ingress[dst].Request(serialize, func() {
+						n.credits[dst].Release(credits)
+						if done != nil {
+							done()
+						}
+					})
+				})
+			}
+			if n.switchOf(src) != n.switchOf(dst) {
+				n.sched.After(hopDelay, func() {
+					n.trunk(n.switchOf(src), n.switchOf(dst)).Request(serialize, afterTrunk)
+				})
+			} else {
+				afterTrunk()
+			}
+		})
+	})
+}
+
+// LinkBytes returns bytes sent on the src→dst endpoint pair.
+func (n *Network) LinkBytes(src, dst int) uint64 {
+	return n.perLink[linkName(src, dst)]
+}
+
+// EgressUtilization returns the egress-port utilization for a GPU.
+func (n *Network) EgressUtilization(gpu int) float64 {
+	return n.egress[gpu].Utilization()
+}
+
+func linkName(src, dst int) string {
+	return fmt.Sprintf("%d->%d", src, dst)
+}

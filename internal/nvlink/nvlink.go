@@ -1,0 +1,108 @@
+// Package nvlink models the NVLink wire format at the granularity Fig 2
+// needs: a flit-based protocol where every packet pays one header flit,
+// data rides in 16B flits, and a byte-enable flit is charged when the
+// payload's size or alignment prevents whole-flit addressing (the paper's
+// footnote 1: "NVLink may or may not send a byte enable flit based on data
+// size and alignment resulting in spikes in its measured goodput").
+package nvlink
+
+// Flit geometry of the modeled link.
+const (
+	// FlitBytes is the flow-control unit: 16 bytes per flit.
+	FlitBytes = 16
+	// HeaderFlits is the per-packet command/address header cost.
+	HeaderFlits = 1
+	// MaxPayload is the largest single write payload (one cache line);
+	// peer-to-peer stores never exceed 128B (§I, Fig 2 caption).
+	MaxPayload = 128
+)
+
+// Bandwidth is the modeled per-direction NVLink bandwidth in bytes/second,
+// comparable to the "highest performance NVLink interconnects" the paper
+// equates with PCIe 6 (Fig 13 caption).
+const Bandwidth = 128e9
+
+// Write describes one NVLink store packet.
+type Write struct {
+	// Addr is the destination byte address.
+	Addr uint64
+	// Size is the payload size in bytes.
+	Size int
+}
+
+// needsByteEnableFlit reports whether the write requires an explicit
+// byte-enable flit: any write that does not cover whole flits (size or
+// starting address not flit-aligned) must describe its valid bytes.
+func (w Write) needsByteEnableFlit() bool {
+	return w.Size%FlitBytes != 0 || w.Addr%FlitBytes != 0
+}
+
+// DataFlits returns the number of data flits the payload occupies,
+// accounting for misalignment spilling into one extra flit.
+func (w Write) DataFlits() int {
+	if w.Size <= 0 {
+		return 0
+	}
+	start := w.Addr % FlitBytes
+	return (int(start) + w.Size + FlitBytes - 1) / FlitBytes
+}
+
+// WireBytes returns the total link bytes for the packet: header flit,
+// data flits, and the conditional byte-enable flit.
+func (w Write) WireBytes() int {
+	if w.Size <= 0 {
+		return 0
+	}
+	flits := HeaderFlits + w.DataFlits()
+	if w.needsByteEnableFlit() {
+		flits++
+	}
+	return flits * FlitBytes
+}
+
+// Goodput returns payload bytes divided by wire bytes for the packet.
+func (w Write) Goodput() float64 {
+	wire := w.WireBytes()
+	if wire == 0 {
+		return 0
+	}
+	return float64(w.Size) / float64(wire)
+}
+
+// GoodputAligned returns the goodput of a flit-aligned write of the given
+// size: the upper envelope of Fig 2's NVLink curve (the "spikes").
+func GoodputAligned(size int) float64 {
+	return Write{Addr: 0, Size: size}.Goodput()
+}
+
+// GoodputMisaligned returns the goodput of a deliberately misaligned write
+// of the given size: the lower envelope of Fig 2's NVLink curve.
+func GoodputMisaligned(size int) float64 {
+	return Write{Addr: 1, Size: size}.Goodput()
+}
+
+// FinePackWireBytes returns the link bytes of a FinePack outer transaction
+// carried over the flit-based protocol: one header flit, the aggregated
+// payload (sub-headers + data) rounded up to whole flits, and one
+// byte-enable/layout flit describing the packed encoding — the "slightly
+// different encodings of the FinePack payload within the outer
+// transaction" §IV-C anticipates for NVLink. Sharing the header flit
+// across many packed stores yields the same efficiency win as on PCIe.
+func FinePackWireBytes(payloadBytes int) int {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	flits := HeaderFlits + 1 + (payloadBytes+FlitBytes-1)/FlitBytes
+	return flits * FlitBytes
+}
+
+// FinePackGoodput returns data goodput for a FinePack group of n packed
+// stores of storeBytes each under subheaderBytes-wide sub-headers.
+func FinePackGoodput(n, storeBytes, subheaderBytes int) float64 {
+	if n <= 0 || storeBytes <= 0 {
+		return 0
+	}
+	payload := n * (subheaderBytes + storeBytes)
+	wire := FinePackWireBytes(payload)
+	return float64(n*storeBytes) / float64(wire)
+}

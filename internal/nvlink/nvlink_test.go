@@ -1,0 +1,149 @@
+package nvlink
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDataFlits(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		size int
+		want int
+	}{
+		{0, 16, 1},
+		{0, 128, 8},
+		{0, 17, 2},
+		{8, 16, 2},  // straddles a flit boundary
+		{15, 2, 2},  // tiny write straddling boundary
+		{0, 0, 0},   // nothing to send
+		{0, -4, 0},  // defensive
+		{16, 16, 1}, // aligned to second flit
+	}
+	for _, c := range cases {
+		w := Write{Addr: c.addr, Size: c.size}
+		if got := w.DataFlits(); got != c.want {
+			t.Errorf("DataFlits(addr=%d,size=%d) = %d, want %d",
+				c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestWireBytesAligned(t *testing.T) {
+	// Fully aligned 128B write: header + 8 data flits, no BE flit.
+	w := Write{Addr: 0, Size: 128}
+	if got := w.WireBytes(); got != 9*FlitBytes {
+		t.Fatalf("aligned 128B = %d wire bytes, want %d", got, 9*FlitBytes)
+	}
+}
+
+func TestWireBytesMisaligned(t *testing.T) {
+	// 4B write: 1 header + 1 data + 1 BE flit = 48B.
+	w := Write{Addr: 0, Size: 4}
+	if got := w.WireBytes(); got != 48 {
+		t.Fatalf("4B store = %d wire bytes, want 48", got)
+	}
+}
+
+func TestByteEnableSpikes(t *testing.T) {
+	// The paper's footnote: aligned whole-flit sizes skip the BE flit and
+	// produce goodput spikes relative to neighbors.
+	spike := GoodputAligned(32)         // 32B aligned: no BE flit
+	neighbor := GoodputAligned(24)      // 24B: needs BE flit
+	misaligned := GoodputMisaligned(32) // 32B at odd address: BE flit
+	if spike <= neighbor {
+		t.Fatalf("aligned 32B (%.3f) should beat 24B (%.3f)", spike, neighbor)
+	}
+	if spike <= misaligned {
+		t.Fatalf("aligned 32B (%.3f) should beat misaligned 32B (%.3f)",
+			spike, misaligned)
+	}
+}
+
+func TestGoodputPaperAnchor(t *testing.T) {
+	// Small NVLink stores are comparably inefficient to PCIe (§IV-C:
+	// "the small packet efficiency of PCIe and NVLink is similar").
+	if g := GoodputMisaligned(8); g > 0.25 {
+		t.Fatalf("8B misaligned goodput = %.3f, want < 0.25", g)
+	}
+	// Full cache line aligned: 128/144 ≈ 0.89.
+	if g := GoodputAligned(128); g < 0.85 || g > 0.92 {
+		t.Fatalf("128B aligned goodput = %.3f, want ~0.89", g)
+	}
+}
+
+func TestGoodputBounded(t *testing.T) {
+	f := func(addr uint16, size uint8) bool {
+		w := Write{Addr: uint64(addr), Size: int(size)}
+		g := w.Goodput()
+		return g >= 0 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireBytesFlitGranular(t *testing.T) {
+	f := func(addr uint16, size uint8) bool {
+		w := Write{Addr: uint64(addr), Size: int(size)}
+		return w.WireBytes()%FlitBytes == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinePackWireBytes(t *testing.T) {
+	if FinePackWireBytes(0) != 0 || FinePackWireBytes(-5) != 0 {
+		t.Fatal("empty payload should cost nothing")
+	}
+	// 1 header flit + 1 layout flit + ceil(payload/16) data flits.
+	if got := FinePackWireBytes(1); got != 3*FlitBytes {
+		t.Fatalf("FinePackWireBytes(1) = %d, want %d", got, 3*FlitBytes)
+	}
+	if got := FinePackWireBytes(32); got != 4*FlitBytes {
+		t.Fatalf("FinePackWireBytes(32) = %d, want %d", got, 4*FlitBytes)
+	}
+	// Flit granular always.
+	for p := 1; p < 300; p++ {
+		if FinePackWireBytes(p)%FlitBytes != 0 {
+			t.Fatalf("payload %d: not flit granular", p)
+		}
+	}
+}
+
+func TestFinePackGoodputBeatsPlainSmallStores(t *testing.T) {
+	// Packing 42 8B stores with 5B sub-headers must beat per-store
+	// packets by a wide margin on the flit protocol.
+	packed := FinePackGoodput(42, 8, 5)
+	plain := GoodputMisaligned(8)
+	if packed < 3*plain {
+		t.Fatalf("packed %.3f < 3× plain %.3f", packed, plain)
+	}
+	if packed <= 0 || packed >= 1 {
+		t.Fatalf("goodput out of range: %v", packed)
+	}
+	if FinePackGoodput(0, 8, 5) != 0 || FinePackGoodput(4, 0, 5) != 0 {
+		t.Fatal("degenerate groups should have zero goodput")
+	}
+}
+
+func TestFinePackGoodputMonotoneInGroupSize(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		g := FinePackGoodput(n, 8, 5)
+		if g < prev {
+			t.Fatalf("goodput fell at group size %d", n)
+		}
+		prev = g
+	}
+}
+
+func TestAlignedNeverWorseThanMisaligned(t *testing.T) {
+	for size := 1; size <= MaxPayload; size++ {
+		a, m := GoodputAligned(size), GoodputMisaligned(size)
+		if a < m {
+			t.Fatalf("size %d: aligned %.3f < misaligned %.3f", size, a, m)
+		}
+	}
+}

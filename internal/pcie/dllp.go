@@ -1,0 +1,57 @@
+package pcie
+
+// Data-link-layer packet (DLLP) accounting. Beyond each TLP's own framing,
+// the link carries periodic DLLPs in both directions: Ack/Nak acknowledging
+// received TLP sequence ranges, and UpdateFC returning flow-control
+// credits. They consume a small, load-dependent slice of raw bandwidth;
+// the paper folds this into its measured link rates, and the simulator's
+// default bandwidths do the same, but the model below makes the cost
+// explicit for analyses that want it separated.
+
+// DLLPBytes is the wire size of one DLLP: 2B framing + 4B payload + 2B
+// CRC on Gen3+ links.
+const DLLPBytes = 8
+
+// DLLPPolicy describes how often the link emits DLLPs relative to TLP
+// traffic.
+type DLLPPolicy struct {
+	// TLPsPerAck is the number of received TLPs acknowledged by one
+	// Ack DLLP (ack coalescing; typical hardware acks every few TLPs).
+	TLPsPerAck int
+	// TLPsPerUpdateFC is the number of consumed TLPs per UpdateFC DLLP.
+	TLPsPerUpdateFC int
+}
+
+// DefaultDLLPPolicy matches common ack-coalescing behavior.
+func DefaultDLLPPolicy() DLLPPolicy {
+	return DLLPPolicy{TLPsPerAck: 4, TLPsPerUpdateFC: 4}
+}
+
+// OverheadBytes returns the DLLP bytes the *return* path carries for n
+// received TLPs. (Acks flow opposite to data, so on a full-duplex link
+// they consume reverse-direction bandwidth; for symmetric peer-to-peer
+// traffic both directions pay it.)
+func (p DLLPPolicy) OverheadBytes(nTLPs int) uint64 {
+	if nTLPs <= 0 {
+		return 0
+	}
+	var n uint64
+	if p.TLPsPerAck > 0 {
+		n += uint64((nTLPs + p.TLPsPerAck - 1) / p.TLPsPerAck)
+	}
+	if p.TLPsPerUpdateFC > 0 {
+		n += uint64((nTLPs + p.TLPsPerUpdateFC - 1) / p.TLPsPerUpdateFC)
+	}
+	return n * DLLPBytes
+}
+
+// EffectiveBandwidthFraction returns the fraction of raw link bandwidth
+// available to TLPs when the same direction also carries DLLP responses
+// for symmetric traffic of the given average TLP wire size.
+func (p DLLPPolicy) EffectiveBandwidthFraction(avgTLPWireBytes int) float64 {
+	if avgTLPWireBytes <= 0 {
+		return 1
+	}
+	perTLP := float64(p.OverheadBytes(1000)) / 1000
+	return float64(avgTLPWireBytes) / (float64(avgTLPWireBytes) + perTLP)
+}

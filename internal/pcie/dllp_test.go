@@ -1,0 +1,76 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDLLPOverheadBytes(t *testing.T) {
+	p := DefaultDLLPPolicy()
+	if got := p.OverheadBytes(0); got != 0 {
+		t.Fatalf("zero TLPs = %d", got)
+	}
+	// 4 TLPs: one ack + one update = 16B.
+	if got := p.OverheadBytes(4); got != 16 {
+		t.Fatalf("OverheadBytes(4) = %d, want 16", got)
+	}
+	// 5 TLPs: two of each = 32B (ceil).
+	if got := p.OverheadBytes(5); got != 32 {
+		t.Fatalf("OverheadBytes(5) = %d, want 32", got)
+	}
+}
+
+func TestDLLPDisabledComponents(t *testing.T) {
+	p := DLLPPolicy{TLPsPerAck: 0, TLPsPerUpdateFC: 2}
+	if got := p.OverheadBytes(4); got != 2*DLLPBytes {
+		t.Fatalf("update-only overhead = %d", got)
+	}
+	none := DLLPPolicy{}
+	if none.OverheadBytes(100) != 0 {
+		t.Fatal("no policy should cost nothing")
+	}
+}
+
+func TestEffectiveBandwidthFraction(t *testing.T) {
+	p := DefaultDLLPPolicy()
+	// Small TLPs suffer relatively more from DLLP competition.
+	small := p.EffectiveBandwidthFraction(34)
+	large := p.EffectiveBandwidthFraction(4122)
+	if small >= large {
+		t.Fatalf("small-TLP fraction %.3f should be below large-TLP %.3f", small, large)
+	}
+	if large < 0.99 {
+		t.Fatalf("4KB TLPs should lose <1%% to DLLPs: %.3f", large)
+	}
+	if small < 0.85 || small > 0.95 {
+		t.Fatalf("34B TLPs should lose ~10%%: %.3f", small)
+	}
+	if p.EffectiveBandwidthFraction(0) != 1 {
+		t.Fatal("degenerate size should be full bandwidth")
+	}
+}
+
+func TestDLLPOverheadMonotonic(t *testing.T) {
+	p := DefaultDLLPPolicy()
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.OverheadBytes(x) <= p.OverheadBytes(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveBandwidthBounded(t *testing.T) {
+	p := DefaultDLLPPolicy()
+	f := func(sz uint16) bool {
+		fr := p.EffectiveBandwidthFraction(int(sz))
+		return fr > 0 && fr <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package pcie_test
+
+import (
+	"fmt"
+
+	"finepack/internal/pcie"
+)
+
+// ExampleTLPConfig_Goodput reproduces Fig 2's key points: small stores
+// waste most of the wire; bulk transfers approach unit goodput.
+func ExampleTLPConfig_Goodput() {
+	tlp := pcie.DefaultTLPConfig()
+	for _, size := range []int{8, 32, 128, 4096} {
+		fmt.Printf("%4dB store: %.2f goodput\n", size, tlp.Goodput(size))
+	}
+	// Output:
+	//    8B store: 0.24 goodput
+	//   32B store: 0.55 goodput
+	//  128B store: 0.83 goodput
+	// 4096B store: 0.99 goodput
+}
+
+// ExampleGeneration_Bandwidth lists the evaluated link speeds (§V).
+func ExampleGeneration_Bandwidth() {
+	for _, g := range pcie.Generations() {
+		fmt.Printf("%s: %.0f GB/s\n", g, g.Bandwidth()/1e9)
+	}
+	// Output:
+	// PCIe3: 16 GB/s
+	// PCIe4: 32 GB/s
+	// PCIe5: 64 GB/s
+	// PCIe6: 128 GB/s
+}

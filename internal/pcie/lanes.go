@@ -1,0 +1,45 @@
+package pcie
+
+// Per-lane physical-layer arithmetic. The paper uses round per-direction
+// numbers (32 GB/s for PCIe 4.0 x16); this file derives them from first
+// principles — transfer rate × lane count × encoding efficiency — so other
+// lane widths and generations can be modeled, and documents where the
+// round numbers come from.
+
+// LaneRateGTps returns the per-lane signaling rate in gigatransfers/s.
+func (g Generation) LaneRateGTps() float64 {
+	switch g {
+	case Gen3:
+		return 8
+	case Gen4:
+		return 16
+	case Gen5:
+		return 32
+	case Gen6:
+		return 64 // 32 GT/s × PAM4 (2 bits/transfer)
+	default:
+		return 0
+	}
+}
+
+// EncodingEfficiency returns the physical-layer coding efficiency:
+// 128b/130b for Gen3–5, and FLIT-mode FEC/CRC overhead (~98%) for Gen6.
+func (g Generation) EncodingEfficiency() float64 {
+	switch g {
+	case Gen3, Gen4, Gen5:
+		return 128.0 / 130.0
+	case Gen6:
+		return 0.98
+	default:
+		return 0
+	}
+}
+
+// RawBandwidth returns the per-direction data bandwidth in bytes/second
+// for the given lane count, after encoding overhead.
+func (g Generation) RawBandwidth(lanes int) float64 {
+	if lanes <= 0 {
+		return 0
+	}
+	return g.LaneRateGTps() * 1e9 / 8 * float64(lanes) * g.EncodingEfficiency()
+}

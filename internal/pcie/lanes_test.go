@@ -1,0 +1,54 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRawBandwidthMatchesPaperRoundNumbers(t *testing.T) {
+	// The paper's "32GB/s for PCIe 4.0 ... 128GB/s for PCIe 6.0" are the
+	// nominal x16 rates; the physically derived numbers land within 3%.
+	for _, g := range Generations() {
+		raw := g.RawBandwidth(16)
+		nominal := g.Bandwidth()
+		diff := math.Abs(raw-nominal) / nominal
+		if diff > 0.03 {
+			t.Errorf("%v: derived %.2f GB/s vs nominal %.2f GB/s (%.1f%%)",
+				g, raw/1e9, nominal/1e9, diff*100)
+		}
+	}
+}
+
+func TestRawBandwidthLaneScaling(t *testing.T) {
+	x8 := Gen4.RawBandwidth(8)
+	x16 := Gen4.RawBandwidth(16)
+	if math.Abs(x16-2*x8) > 1 {
+		t.Fatalf("lane scaling broken: x8=%v x16=%v", x8, x16)
+	}
+	if Gen4.RawBandwidth(0) != 0 || Gen4.RawBandwidth(-4) != 0 {
+		t.Fatal("degenerate lane counts should be zero")
+	}
+	if Generation(99).RawBandwidth(16) != 0 {
+		t.Fatal("unknown generation should be zero")
+	}
+}
+
+func TestEncodingEfficiency(t *testing.T) {
+	for _, g := range []Generation{Gen3, Gen4, Gen5} {
+		if e := g.EncodingEfficiency(); math.Abs(e-128.0/130.0) > 1e-12 {
+			t.Fatalf("%v encoding = %v", g, e)
+		}
+	}
+	if e := Gen6.EncodingEfficiency(); e <= 0.95 || e >= 1 {
+		t.Fatalf("Gen6 FLIT efficiency = %v", e)
+	}
+}
+
+func TestLaneRateDoubling(t *testing.T) {
+	gens := Generations()
+	for i := 1; i < len(gens); i++ {
+		if gens[i].LaneRateGTps() != 2*gens[i-1].LaneRateGTps() {
+			t.Fatalf("lane rate should double per generation")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package pcie models the PCI Express wire format at the level the paper
+// reasons about: transaction-layer packet (TLP) headers, data-link and
+// physical framing overheads, payload alignment, and per-generation link
+// bandwidth. Everything here is analytic arithmetic over the public PCIe
+// specifications; it produces Fig 2's goodput curve and the protocol-byte
+// accounting behind Figs 10–13.
+package pcie
+
+import "fmt"
+
+// Generation identifies a PCIe generation. The paper evaluates existing and
+// projected generations from 4.0 (32 GB/s) through 6.0 (128 GB/s) on x16
+// links (Section V, Fig 13).
+type Generation int
+
+const (
+	Gen3 Generation = 3
+	Gen4 Generation = 4
+	Gen5 Generation = 5
+	Gen6 Generation = 6
+)
+
+// Bandwidth returns the unidirectional data bandwidth of an x16 link in
+// bytes per second, using the paper's round numbers (§V: "bandwidths
+// ranging from 32GB/s for PCIe 4.0 to 128GB/s for PCIe 6.0").
+func (g Generation) Bandwidth() float64 {
+	switch g {
+	case Gen3:
+		return 16e9
+	case Gen4:
+		return 32e9
+	case Gen5:
+		return 64e9
+	case Gen6:
+		return 128e9
+	default:
+		return 0
+	}
+}
+
+func (g Generation) String() string {
+	switch g {
+	case Gen3, Gen4, Gen5, Gen6:
+		return fmt.Sprintf("PCIe%d", int(g))
+	default:
+		return fmt.Sprintf("PCIe(unknown %d)", int(g))
+	}
+}
+
+// Generations lists the generations the sensitivity study sweeps (Fig 13).
+func Generations() []Generation {
+	return []Generation{Gen3, Gen4, Gen5, Gen6}
+}
+
+// Wire-format constants for a memory-write TLP on a Gen3+ link
+// (128b/130b encoding with framing tokens).
+const (
+	// DWBytes is the PCIe doubleword: header and payload are DW-granular.
+	DWBytes = 4
+
+	// HeaderBytes64 is a 4-DW memory request header carrying a 64-bit
+	// address (format/type, length, requester ID, tag, BE fields, address).
+	HeaderBytes64 = 16
+	// HeaderBytes32 is the 3-DW variant for 32-bit addresses.
+	HeaderBytes32 = 12
+
+	// FramingBytes is the physical-layer STP/END token cost per TLP.
+	FramingBytes = 4
+	// SeqBytes is the data-link-layer sequence number prepended per TLP.
+	SeqBytes = 2
+	// LCRCBytes is the data-link-layer CRC appended per TLP.
+	LCRCBytes = 4
+	// ECRCBytes is the optional end-to-end CRC (TLP digest).
+	ECRCBytes = 4
+
+	// MaxPayload is the maximum TLP payload the paper configures
+	// (Table III: "PCIe maximum packet size 4096 bytes").
+	MaxPayload = 4096
+)
+
+// TLPConfig selects the per-TLP wire options.
+type TLPConfig struct {
+	// Addr64 selects a 4-DW header (64-bit addressing). Multi-GPU physical
+	// address spaces are 48–64 bits (§III), so this defaults to true.
+	Addr64 bool
+	// ECRC appends the optional TLP digest.
+	ECRC bool
+}
+
+// DefaultTLPConfig matches the simulator's system: 64-bit addressing,
+// no ECRC (links within a single chassis rely on LCRC alone).
+func DefaultTLPConfig() TLPConfig {
+	return TLPConfig{Addr64: true, ECRC: false}
+}
+
+// headerBytes returns the TLP header size for the config.
+func (c TLPConfig) headerBytes() int {
+	if c.Addr64 {
+		return HeaderBytes64
+	}
+	return HeaderBytes32
+}
+
+// OverheadBytes returns the fixed per-TLP wire overhead (everything that is
+// not payload): framing + sequence number + header + LCRC (+ ECRC).
+func (c TLPConfig) OverheadBytes() int {
+	n := FramingBytes + SeqBytes + c.headerBytes() + LCRCBytes
+	if c.ECRC {
+		n += ECRCBytes
+	}
+	return n
+}
+
+// PadToDW rounds a byte count up to the next doubleword boundary: TLP
+// payloads are DW-aligned on the wire, with byte enables marking the valid
+// bytes of the first and last DW.
+func PadToDW(n int) int {
+	return (n + DWBytes - 1) / DWBytes * DWBytes
+}
+
+// WireBytes returns the total bytes a memory-write TLP with the given
+// payload occupies on the link. Payload is DW-padded. A zero-byte write
+// still costs a full header (it cannot happen in practice, but the
+// accounting stays well defined).
+func (c TLPConfig) WireBytes(payload int) int {
+	if payload < 0 {
+		panic(fmt.Sprintf("pcie: negative payload %d", payload))
+	}
+	return c.OverheadBytes() + PadToDW(payload)
+}
+
+// Goodput returns payload / wire bytes for a single memory-write TLP:
+// the curve of Fig 2. Zero payload yields zero.
+func (c TLPConfig) Goodput(payload int) float64 {
+	if payload <= 0 {
+		return 0
+	}
+	return float64(payload) / float64(c.WireBytes(payload))
+}
+
+// MRdWireBytes returns the wire cost of a memory-read request TLP: a
+// header-only packet (no payload) plus framing.
+func (c TLPConfig) MRdWireBytes() int {
+	return c.OverheadBytes()
+}
+
+// CplDWireBytes returns the wire cost of a completion-with-data TLP
+// carrying payload bytes back to the requester. Completion headers are
+// 3 DW (no address, but completer/requester IDs and byte counts).
+func (c TLPConfig) CplDWireBytes(payload int) int {
+	if payload < 0 {
+		panic(fmt.Sprintf("pcie: negative completion payload %d", payload))
+	}
+	n := FramingBytes + SeqBytes + HeaderBytes32 + LCRCBytes
+	if c.ECRC {
+		n += ECRCBytes
+	}
+	return n + PadToDW(payload)
+}
+
+// ReadWireBytes returns the total wire bytes a remote read of n bytes
+// costs across both directions: the request toward the home node plus the
+// completion carrying the data back.
+func (c TLPConfig) ReadWireBytes(n int) (request, completion int) {
+	return c.MRdWireBytes(), c.CplDWireBytes(n)
+}
+
+// TLPsForTransfer returns the number of TLPs and total wire bytes needed to
+// move n contiguous bytes, splitting at the max-payload boundary. This is
+// the cost model for bulk DMA transfers.
+func (c TLPConfig) TLPsForTransfer(n int, maxPayload int) (tlps int, wire uint64) {
+	if maxPayload <= 0 {
+		maxPayload = MaxPayload
+	}
+	for n > 0 {
+		p := n
+		if p > maxPayload {
+			p = maxPayload
+		}
+		wire += uint64(c.WireBytes(p))
+		tlps++
+		n -= p
+	}
+	return tlps, wire
+}

@@ -1,0 +1,219 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerationBandwidth(t *testing.T) {
+	// Paper §V: 32GB/s for PCIe 4.0 through 128GB/s for PCIe 6.0.
+	cases := []struct {
+		g    Generation
+		want float64
+	}{
+		{Gen3, 16e9}, {Gen4, 32e9}, {Gen5, 64e9}, {Gen6, 128e9},
+	}
+	for _, c := range cases {
+		if got := c.g.Bandwidth(); got != c.want {
+			t.Errorf("%v bandwidth = %v, want %v", c.g, got, c.want)
+		}
+	}
+	if Generation(99).Bandwidth() != 0 {
+		t.Error("unknown generation should have zero bandwidth")
+	}
+}
+
+func TestGenerationString(t *testing.T) {
+	if Gen4.String() != "PCIe4" {
+		t.Fatalf("String = %q", Gen4.String())
+	}
+}
+
+func TestGenerationsDoubling(t *testing.T) {
+	gens := Generations()
+	for i := 1; i < len(gens); i++ {
+		if gens[i].Bandwidth() != 2*gens[i-1].Bandwidth() {
+			t.Fatalf("bandwidth should double per generation: %v -> %v",
+				gens[i-1], gens[i])
+		}
+	}
+}
+
+func TestOverheadBytes(t *testing.T) {
+	c := DefaultTLPConfig()
+	// framing 4 + seq 2 + 4DW header 16 + LCRC 4 = 26.
+	if got := c.OverheadBytes(); got != 26 {
+		t.Fatalf("overhead = %d, want 26", got)
+	}
+	c.ECRC = true
+	if got := c.OverheadBytes(); got != 30 {
+		t.Fatalf("overhead with ECRC = %d, want 30", got)
+	}
+	c32 := TLPConfig{Addr64: false}
+	if got := c32.OverheadBytes(); got != 22 {
+		t.Fatalf("32-bit header overhead = %d, want 22", got)
+	}
+}
+
+func TestPadToDW(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {1, 4}, {4, 4}, {5, 8}, {127, 128}, {128, 128},
+	}
+	for _, c := range cases {
+		if got := PadToDW(c.in); got != c.want {
+			t.Errorf("PadToDW(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	c := DefaultTLPConfig()
+	if got := c.WireBytes(128); got != 154 {
+		t.Fatalf("WireBytes(128) = %d, want 154", got)
+	}
+	// Sub-DW payload pads up.
+	if got := c.WireBytes(1); got != 30 {
+		t.Fatalf("WireBytes(1) = %d, want 30", got)
+	}
+}
+
+func TestWireBytesNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative payload should panic")
+		}
+	}()
+	DefaultTLPConfig().WireBytes(-1)
+}
+
+func TestGoodputCurveShape(t *testing.T) {
+	c := DefaultTLPConfig()
+	// Fig 2: goodput grows monotonically with DW-aligned transfer size.
+	prev := 0.0
+	for _, size := range []int{4, 8, 16, 32, 64, 128, 256, 1024, 4096} {
+		g := c.Goodput(size)
+		if g <= prev {
+			t.Fatalf("goodput not increasing at %dB: %v <= %v", size, g, prev)
+		}
+		prev = g
+	}
+	if c.Goodput(0) != 0 {
+		t.Fatal("goodput of zero payload must be 0")
+	}
+}
+
+func TestGoodputPaperAnchors(t *testing.T) {
+	c := DefaultTLPConfig()
+	// §I / Fig 2: "32B transfers are roughly half as efficient as
+	// transfers of 128B or larger" — against multi-KB transfers.
+	g32 := c.Goodput(32)
+	g4k := c.Goodput(4096)
+	ratio := g32 / g4k
+	if ratio < 0.45 || ratio > 0.65 {
+		t.Fatalf("32B/4KB goodput ratio = %.3f, paper says roughly half", ratio)
+	}
+	// 128B should already be fairly efficient (>80%).
+	if g := c.Goodput(128); g < 0.80 || g > 0.90 {
+		t.Fatalf("Goodput(128) = %.3f, want ~0.83", g)
+	}
+	// Small stores are dismal: 8B under 25%.
+	if g := c.Goodput(8); g > 0.25 {
+		t.Fatalf("Goodput(8) = %.3f, want < 0.25", g)
+	}
+}
+
+func TestGoodputBounded(t *testing.T) {
+	c := DefaultTLPConfig()
+	f := func(n uint16) bool {
+		g := c.Goodput(int(n))
+		return g >= 0 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLPsForTransfer(t *testing.T) {
+	c := DefaultTLPConfig()
+	tlps, wire := c.TLPsForTransfer(4096, MaxPayload)
+	if tlps != 1 {
+		t.Fatalf("4KB in one max-payload TLP, got %d", tlps)
+	}
+	if wire != uint64(c.WireBytes(4096)) {
+		t.Fatalf("wire = %d", wire)
+	}
+	tlps, _ = c.TLPsForTransfer(4097, MaxPayload)
+	if tlps != 2 {
+		t.Fatalf("4KB+1 needs 2 TLPs, got %d", tlps)
+	}
+	tlps, wire = c.TLPsForTransfer(0, MaxPayload)
+	if tlps != 0 || wire != 0 {
+		t.Fatalf("zero transfer should cost nothing: %d TLPs %d bytes", tlps, wire)
+	}
+	// Default max payload when zero is passed.
+	tlps, _ = c.TLPsForTransfer(2*MaxPayload, 0)
+	if tlps != 2 {
+		t.Fatalf("default max payload: got %d TLPs", tlps)
+	}
+}
+
+func TestTLPsForTransferConservation(t *testing.T) {
+	c := DefaultTLPConfig()
+	f := func(n uint16, mp uint8) bool {
+		maxP := (int(mp) + 1) * 64 // 64..16384
+		tlps, wire := c.TLPsForTransfer(int(n), maxP)
+		if int(n) == 0 {
+			return tlps == 0 && wire == 0
+		}
+		// Wire bytes must cover payload plus per-TLP overhead exactly.
+		minWire := uint64(int(n) + tlps*c.OverheadBytes())
+		maxWire := minWire + uint64(tlps*(DWBytes-1))
+		return wire >= minWire && wire <= maxWire
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTLPCosts(t *testing.T) {
+	c := DefaultTLPConfig()
+	// A read request is header-only.
+	if got := c.MRdWireBytes(); got != c.OverheadBytes() {
+		t.Fatalf("MRd = %d, want header-only %d", got, c.OverheadBytes())
+	}
+	// Completion: 3-DW header variant + payload.
+	if got := c.CplDWireBytes(128); got != 2+4+12+4+128 {
+		t.Fatalf("CplD(128) = %d", got)
+	}
+	req, cpl := c.ReadWireBytes(128)
+	if req != c.MRdWireBytes() || cpl != c.CplDWireBytes(128) {
+		t.Fatal("ReadWireBytes components")
+	}
+	// Reading a line costs more total wire than writing it (two packets).
+	if req+cpl <= c.WireBytes(128) {
+		t.Fatal("a read should cost more than a posted write")
+	}
+	// ECRC applies to completions too.
+	e := TLPConfig{Addr64: true, ECRC: true}
+	if e.CplDWireBytes(0) != c.CplDWireBytes(0)+ECRCBytes {
+		t.Fatal("ECRC missing from completion")
+	}
+}
+
+func TestCplDNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative completion payload should panic")
+		}
+	}()
+	DefaultTLPConfig().CplDWireBytes(-1)
+}
+
+func TestLargeTransfersApproachUnitGoodput(t *testing.T) {
+	c := DefaultTLPConfig()
+	_, wire := c.TLPsForTransfer(1<<20, MaxPayload)
+	g := float64(1<<20) / float64(wire)
+	if g < 0.99 {
+		t.Fatalf("1MB DMA goodput = %.4f, want > 0.99 (Fig 2 projection)", g)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"finepack/internal/des"
+	"finepack/internal/workloads"
+)
+
+// TestAnalyticCrossCheckJacobi validates the discrete-event simulator
+// against an independent closed-form model on the workload simple enough
+// to solve by hand. Jacobi's per-iteration time under each paradigm:
+//
+//	P2P:  max(Tc, wire/BW) + ε    (stores overlap compute; the egress
+//	                               port is the bottleneck)
+//	DMA:  Tc + nCopies·api + wire/BW + ε   (strictly serialized)
+//
+// where Tc is the per-GPU kernel time, wire the per-GPU egress bytes, and
+// ε covers latency/barrier tails. The DES must agree within 15%.
+func TestAnalyticCrossCheckJacobi(t *testing.T) {
+	w := workloads.NewJacobi()
+	p := workloads.Params{Scale: 1, Iterations: 3, Seed: 1}
+	tr, err := w.Generate(4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	bw := cfg.Gen.Bandwidth()
+	iters := float64(len(tr.Iterations))
+
+	// Closed-form ingredients from the trace itself.
+	tc := cfg.Compute.Duration(tr.Iterations[0].PerGPU[0].ComputeOps)
+
+	p2p, err := Run(tr, P2P, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An interior GPU pushes HaloDepth rows to each of 2 neighbors; each
+	// 128B store costs one plain TLP.
+	rowBytes := float64(w.GridN) * 8
+	storesPerGPU := 2 * float64(w.HaloDepth) * rowBytes / 128
+	wirePerGPU := storesPerGPU * float64(cfg.FinePack.TLP.WireBytes(128))
+	wireTime := des.DurationForBytes(uint64(wirePerGPU), bw)
+	analyticP2P := des.Time(iters) * (maxT(tc, wireTime) + cfg.BarrierLatency)
+	within(t, "p2p", p2p.Time, analyticP2P, 0.15)
+
+	dma, err := Run(tr, DMA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haloBytes := 2 * float64(w.HaloDepth) * rowBytes
+	_, dmaWire := cfg.FinePack.TLP.TLPsForTransfer(int(haloBytes)/2, cfg.FinePack.MaxPayload)
+	dmaTime := des.DurationForBytes(2*dmaWire, bw)
+	analyticDMA := des.Time(iters) * (tc + 2*cfg.DMAAPIOverhead + dmaTime + cfg.BarrierLatency)
+	within(t, "dma", dma.Time, analyticDMA, 0.15)
+
+	// Infinite bandwidth: pure compute plus barriers, to within 5%.
+	inf, err := Run(tr, Infinite, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyticInf := des.Time(iters) * (tc + cfg.BarrierLatency)
+	within(t, "infinite", inf.Time, analyticInf, 0.05)
+}
+
+func maxT(a, b des.Time) des.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func within(t *testing.T, name string, got, want des.Time, tol float64) {
+	t.Helper()
+	lo := float64(want) * (1 - tol)
+	hi := float64(want) * (1 + tol)
+	if float64(got) < lo || float64(got) > hi {
+		t.Errorf("%s: simulated %v vs analytic %v (tolerance %.0f%%)",
+			name, got, want, tol*100)
+	}
+}

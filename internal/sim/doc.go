@@ -1,0 +1,56 @@
+// Package sim assembles the full multi-GPU system and replays workload
+// traces under each communication paradigm the paper evaluates (§V):
+// per-store peer-to-peer writes, kernel-boundary bulk DMA, FinePack,
+// write-combining alone, the GPS-like comparator, Unified-Memory page
+// migration, on-demand remote reads, and the infinite-bandwidth
+// opportunity bound. It produces the timing and wire-byte accounting
+// behind Figs 9–13.
+//
+// # Timing model
+//
+// A run replays a trace's iterations sequentially. Each iteration is one
+// bulk-synchronous step: every GPU executes its kernel, communication
+// happens per the paradigm, and a system-scoped barrier closes the step.
+//
+// Compute: a kernel's duration is its abstract operation count over the
+// GPU's sustained throughput (gpusim.ComputeModel). The store stream is
+// emitted in Config.EmissionBatches batches spread across the kernel —
+// proactive stores leave the SM throughout execution, which is what lets
+// the transport drain them under compute.
+//
+// Store paradigms (P2P, FinePack, write-combining, GPS, UM): each
+// coalesced L1 transaction enters the paradigm's egress engine. Packets
+// traverse the switched fabric — serializing at the source egress port,
+// any inter-switch trunk, and the destination ingress port, with per-hop
+// latency under the destination's credit loop — then pass through the
+// de-packetizer's 64-entry ingress buffer draining at local-memory
+// bandwidth. The iteration's barrier closes at
+//
+//	max(last kernel end + BarrierLatency, last byte drained)
+//
+// so the queue-flush tail overlaps the synchronization itself (§VI-B: the
+// flush cost "will be dwarfed by the cost of the synchronization
+// barrier").
+//
+// Memcpy paradigms (DMA, Infinite): the kernel completes, then copies
+// issue serially through the software stack (Config.DMAAPIOverhead per
+// call) and pipeline across the fabric in 64KB chunks; the barrier waits
+// for the last delivery. Infinite elides transfer time and API overhead
+// entirely — the paper's opportunity bound.
+//
+// RemoteRead: consumers read producers' lines on demand; each batch of
+// Config.ReadMLP outstanding reads exposes one Config.ReadRTT of stall on
+// the kernel's critical path, and completion data occupies the fabric.
+//
+// Determinism: the discrete-event kernel fires same-timestamp events in
+// scheduling order and nothing reads wall-clock or map iteration order on
+// a results path, so identical inputs produce bit-identical results (the
+// golden regression test pins this).
+//
+// Scaled units: problem sizes are scaled down so the suite simulates in
+// about a minute; every fixed software latency (API overhead, barriers,
+// faults, timeouts) is scaled proportionally, keeping overhead-to-work
+// ratios — and therefore every ratio the paper reports — representative.
+// TestAnalyticCrossCheckJacobi validates the whole pipeline against
+// closed-form expectations.
+package sim

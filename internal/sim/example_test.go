@@ -1,0 +1,44 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"finepack/internal/sim"
+	"finepack/internal/workloads"
+)
+
+// Example shows a complete simulation: generate a workload trace, run it
+// under two paradigms, and compare.
+func Example() {
+	w, _ := workloads.ByName("jacobi")
+	tr, _ := w.Generate(4, workloads.Params{Scale: 0.5, Iterations: 2, Seed: 1})
+
+	cfg := sim.DefaultConfig()
+	p2p, _ := sim.Run(tr, sim.P2P, cfg)
+	fp, _ := sim.Run(tr, sim.FinePack, cfg)
+
+	fmt.Printf("p2p wire > finepack wire: %v\n", p2p.WireBytes > fp.WireBytes)
+	fmt.Printf("both scale past 2x: %v\n", p2p.Speedup() > 2 && fp.Speedup() > 2)
+	// Output:
+	// p2p wire > finepack wire: true
+	// both scale past 2x: true
+}
+
+// ExampleRun_paradigms compares every paradigm on one irregular workload.
+func ExampleRun_paradigms() {
+	w, _ := workloads.ByName("pagerank")
+	tr, _ := w.Generate(4, workloads.Params{Scale: 0.5, Iterations: 2, Seed: 1})
+	cfg := sim.DefaultConfig()
+
+	var fastest sim.Paradigm
+	var best float64
+	for _, par := range []sim.Paradigm{sim.P2P, sim.DMA, sim.FinePack} {
+		res, _ := sim.Run(tr, par, cfg)
+		if s := res.Speedup(); s > best {
+			best, fastest = s, par
+		}
+	}
+	fmt.Println("fastest paradigm:", fastest)
+	// Output:
+	// fastest paradigm: finepack
+}

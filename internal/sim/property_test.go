@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"finepack/internal/workloads"
+)
+
+// TestParadigmInvariantsAcrossSyntheticSpace sweeps randomized synthetic
+// workload configurations and asserts the invariants that must hold for
+// ANY store stream:
+//
+//  1. FinePack never puts more bytes on the wire than per-store P2P.
+//  2. Useful bytes agree across the store paradigms (property of the
+//     program, not the transport).
+//  3. Byte-accurate delivery for P2P and FinePack (CheckData).
+//  4. Nothing beats the infinite-bandwidth bound.
+func TestParadigmInvariantsAcrossSyntheticSpace(t *testing.T) {
+	f := func(seed int64, localityRaw, redundancyRaw, sizeMixRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sw := workloads.NewSynthetic()
+		sw.StoresPerGPU = 2000 + rng.Intn(4000)
+		sw.Locality = float64(localityRaw) / 255
+		sw.Redundancy = int(redundancyRaw)%3 + 1
+		switch sizeMixRaw % 3 {
+		case 0:
+			sw.ElemSizes = []int{4, 8}
+		case 1:
+			sw.ElemSizes = []int{8, 16}
+		case 2:
+			sw.ElemSizes = []int{1, 2, 4, 8, 16}
+		}
+		sw.AddrRange = 1 << (18 + rng.Intn(8)) // 256KB .. 32MB
+
+		tr, err := sw.Generate(4, workloads.Params{Scale: 1, Iterations: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.CheckData = true
+
+		p2p, err := Run(tr, P2P, cfg)
+		if err != nil {
+			t.Fatalf("p2p: %v", err)
+		}
+		fp, err := Run(tr, FinePack, cfg)
+		if err != nil {
+			t.Fatalf("finepack: %v", err)
+		}
+		inf, err := Run(tr, Infinite, cfg)
+		if err != nil {
+			t.Fatalf("infinite: %v", err)
+		}
+		if fp.WireBytes > p2p.WireBytes {
+			t.Logf("seed %d: fp wire %d > p2p wire %d", seed, fp.WireBytes, p2p.WireBytes)
+			return false
+		}
+		if fp.UsefulBytes != p2p.UsefulBytes {
+			t.Logf("seed %d: useful bytes diverge", seed)
+			return false
+		}
+		if inf.Time > fp.Time || inf.Time > p2p.Time {
+			t.Logf("seed %d: infinite not fastest", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyntheticLocalityDrivesPacking: FinePack's packing factor must rise
+// monotonically-ish with spatial locality.
+func TestSyntheticLocalityDrivesPacking(t *testing.T) {
+	packAt := func(locality float64) float64 {
+		sw := workloads.NewSynthetic()
+		sw.Locality = locality
+		sw.AtomicFraction = 0
+		tr, err := sw.Generate(4, workloads.Params{Scale: 0.5, Iterations: 1, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(tr, FinePack, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgStoresPerPacket
+	}
+	low, high := packAt(0.05), packAt(0.95)
+	if high <= low {
+		t.Fatalf("locality 0.95 packs %.1f ≤ locality 0.05's %.1f", high, low)
+	}
+}
+
+// TestSyntheticRedundancyDrivesCoalescing: higher redundancy widens the
+// P2P-vs-FinePack wire gap (rewrites coalesce away).
+func TestSyntheticRedundancyDrivesCoalescing(t *testing.T) {
+	gapAt := func(redundancy int) float64 {
+		sw := workloads.NewSynthetic()
+		sw.Redundancy = redundancy
+		sw.AtomicFraction = 0
+		tr, err := sw.Generate(4, workloads.Params{Scale: 0.5, Iterations: 1, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2p, err := Run(tr, P2P, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := Run(tr, FinePack, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(p2p.WireBytes) / float64(fp.WireBytes)
+	}
+	if g1, g3 := gapAt(1), gapAt(3); g3 <= g1 {
+		t.Fatalf("redundancy 3 gap %.2f ≤ redundancy 1 gap %.2f", g3, g1)
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	sw := workloads.NewSynthetic()
+	sw.ElemSizes = nil
+	if _, err := sw.Generate(4, workloads.DefaultParams()); err == nil {
+		t.Fatal("empty size mix accepted")
+	}
+	sw2 := workloads.NewSynthetic()
+	sw2.AddrRange = 16
+	if _, err := sw2.Generate(4, workloads.DefaultParams()); err == nil {
+		t.Fatal("tiny address range accepted")
+	}
+}
+
+// TestSyntheticExcludedFromSuite: the paper's suite stays exactly the
+// paper's eight applications.
+func TestSyntheticExcludedFromSuite(t *testing.T) {
+	for _, w := range workloads.All() {
+		if w.Name() == "synthetic" {
+			t.Fatal("synthetic must not join the evaluated suite")
+		}
+	}
+	if _, err := workloads.ByName("synthetic"); err == nil {
+		t.Fatal("ByName must not resolve the synthetic workload")
+	}
+}

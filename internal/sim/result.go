@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+
+	"finepack/internal/core"
+	"finepack/internal/des"
+)
+
+// Result is the outcome of replaying one trace under one paradigm.
+type Result struct {
+	// Workload and Paradigm identify the run.
+	Workload string
+	Paradigm Paradigm
+	// NumGPUs is the system size.
+	NumGPUs int
+
+	// Time is the simulated end-to-end execution time.
+	Time des.Time
+	// SingleGPUTime is the analytic single-GPU baseline for the same
+	// problem, for speedup computation.
+	SingleGPUTime des.Time
+	// ComputeTime is the critical-path compute: Σ over iterations of the
+	// slowest GPU's kernel time.
+	ComputeTime des.Time
+	// BarrierTime is the total synchronization latency.
+	BarrierTime des.Time
+
+	// WireBytes is everything sent on the interconnect.
+	WireBytes uint64
+	// DataBytes is the payload portion (stores or copy regions).
+	DataBytes uint64
+	// UsefulBytes is the subset of DataBytes the destination needed:
+	// unique bytes per synchronization epoch for store paradigms, the
+	// consumed region subset for DMA (Fig 10's "Useful bytes").
+	UsefulBytes uint64
+	// Packets counts interconnect transactions.
+	Packets uint64
+	// StoresSent counts L1 store transactions entering the transport.
+	StoresSent uint64
+
+	// UMPagesMigrated counts page migrations (UM paradigm only).
+	UMPagesMigrated uint64
+
+	// FinePack-specific detail (zero for other paradigms).
+	AvgStoresPerPacket float64
+	SubheaderBytes     uint64
+	Flushes            [core.NumFlushCauses]uint64
+
+	// cross-GPU sums used to derive AvgStoresPerPacket.
+	fpPacketSum       uint64
+	fpStoresPackedSum uint64
+}
+
+// Speedup returns SingleGPUTime / Time (Fig 9's y-axis).
+func (r *Result) Speedup() float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return float64(r.SingleGPUTime) / float64(r.Time)
+}
+
+// ProtocolBytes returns wire bytes that are not payload: TLP headers,
+// framing, CRCs and FinePack sub-headers (Fig 10's "Protocol overhead").
+func (r *Result) ProtocolBytes() uint64 {
+	if r.WireBytes < r.DataBytes {
+		return 0
+	}
+	return r.WireBytes - r.DataBytes
+}
+
+// WastedBytes returns payload the destination never needed: redundant
+// same-address rewrites and over-transfer (Fig 10's "Wasted bytes").
+func (r *Result) WastedBytes() uint64 {
+	if r.DataBytes < r.UsefulBytes {
+		return 0
+	}
+	return r.DataBytes - r.UsefulBytes
+}
+
+// ExposedCommTime returns the execution time not covered by compute or
+// barriers: communication on the critical path. The store paradigms'
+// selling point is keeping this near zero (§II-A "a natural ability to
+// overlap compute and communication").
+func (r *Result) ExposedCommTime() des.Time {
+	covered := r.ComputeTime + r.BarrierTime
+	if r.Time <= covered {
+		return 0
+	}
+	return r.Time - covered
+}
+
+// ExposedCommFraction returns ExposedCommTime over total time.
+func (r *Result) ExposedCommFraction() float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return float64(r.ExposedCommTime()) / float64(r.Time)
+}
+
+// Goodput returns useful bytes over wire bytes.
+func (r *Result) Goodput() float64 {
+	if r.WireBytes == 0 {
+		return 0
+	}
+	return float64(r.UsefulBytes) / float64(r.WireBytes)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: time=%v speedup=%.2f wire=%d useful=%d proto=%d wasted=%d",
+		r.Workload, r.Paradigm, r.Time, r.Speedup(),
+		r.WireBytes, r.UsefulBytes, r.ProtocolBytes(), r.WastedBytes())
+}

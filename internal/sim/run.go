@@ -1,0 +1,541 @@
+package sim
+
+import (
+	"fmt"
+
+	"finepack/internal/core"
+	"finepack/internal/des"
+	"finepack/internal/gpusim"
+	"finepack/internal/interconnect"
+	"finepack/internal/memsystem"
+	"finepack/internal/trace"
+)
+
+// SingleGPUTime returns the analytic single-GPU execution time for the
+// traced problem: all compute, no inter-GPU traffic, no barriers — the
+// Fig 9 baseline.
+func SingleGPUTime(tr *trace.Trace, cfg Config) des.Time {
+	per := cfg.Compute.Duration(tr.SingleGPUOpsPerIter)
+	return per * des.Time(len(tr.Iterations))
+}
+
+// Run replays a trace under one paradigm and returns the measured result.
+func Run(tr *trace.Trace, par Paradigm, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.NumGPUs < 2 {
+		return nil, fmt.Errorf("sim: trace has %d GPUs; multi-GPU run needs ≥2", tr.NumGPUs)
+	}
+
+	sched := des.NewScheduler()
+	bw := cfg.linkBandwidth()
+	netCfg := interconnect.DefaultConfig(tr.NumGPUs, bw)
+	if par == Infinite {
+		// The opportunity bound elides all transfer costs.
+		netCfg.Bandwidth = 0
+		netCfg.SwitchLatency = 0
+		netCfg.PropagationLatency = 0
+	}
+	net, err := interconnect.New(sched, netCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Workload:      tr.Name,
+		Paradigm:      par,
+		NumGPUs:       tr.NumGPUs,
+		SingleGPUTime: SingleGPUTime(tr, cfg),
+	}
+
+	r := &runner{
+		sched: sched,
+		net:   net,
+		cfg:   cfg,
+		par:   par,
+		tr:    tr,
+		res:   res,
+	}
+	if cfg.CheckData && (par == P2P || par == FinePack) {
+		r.refMem = make(map[int]*memsystem.Memory)
+		r.actMem = make(map[int]*memsystem.Memory)
+		for g := 0; g < tr.NumGPUs; g++ {
+			r.refMem[g] = memsystem.NewMemory()
+			r.actMem[g] = memsystem.NewMemory()
+		}
+	}
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+	r.startIteration(0)
+	sched.Run()
+	if r.checkErr != nil {
+		return nil, r.checkErr
+	}
+	if !r.finished {
+		return nil, fmt.Errorf("sim: %s/%s deadlocked at %v (pending=%d)",
+			tr.Name, par, sched.Now(), sched.Pending())
+	}
+
+	res.Time = r.endTime
+	res.WireBytes = net.BytesSent
+	res.Packets = net.PacketsSent
+	if !r.storeParadigm() {
+		// Bulk copies travel as one network message but occupy multiple
+		// max-payload TLPs on the wire.
+		res.Packets = r.dmaTLPs
+	}
+	for _, e := range r.engines {
+		e.accumulate(res)
+	}
+	if res.fpPacketSum > 0 {
+		res.AvgStoresPerPacket = float64(res.fpStoresPackedSum) / float64(res.fpPacketSum)
+	}
+	return res, nil
+}
+
+// runner holds the per-run mutable state.
+type runner struct {
+	sched   *des.Scheduler
+	net     *interconnect.Network
+	cfg     Config
+	par     Paradigm
+	tr      *trace.Trace
+	res     *Result
+	engines []egress // store paradigms; nil entries for DMA/Infinite
+
+	// useful-byte tracking: unique bytes per (src,dst) per iteration.
+	trackers map[int]*memsystem.ByteTracker
+
+	// CheckData state.
+	refMem   map[int]*memsystem.Memory
+	actMem   map[int]*memsystem.Memory
+	checkErr error
+
+	finished  bool
+	endTime   des.Time
+	dmaTLPs   uint64
+	readCache map[int][][]int
+}
+
+func (r *runner) storeParadigm() bool {
+	switch r.par {
+	case P2P, FinePack, WriteCombining, GPS, UM:
+		return true
+	}
+	return false
+}
+
+func (r *runner) setup() error {
+	if !r.storeParadigm() {
+		return nil
+	}
+	r.trackers = make(map[int]*memsystem.ByteTracker)
+	r.engines = make([]egress, r.tr.NumGPUs)
+
+	// Destination-side de-packetizer ingress buffers, shared by all
+	// senders targeting a GPU. UM transfers whole pages outside the
+	// packet path and skips them.
+	var ingress []*memsystem.IngressBuffer
+	if r.par != UM {
+		ingress = make([]*memsystem.IngressBuffer, r.tr.NumGPUs)
+		for g := 0; g < r.tr.NumGPUs; g++ {
+			ingress[g] = memsystem.NewIngressBuffer(
+				r.sched, r.cfg.IngressEntries, r.cfg.LocalMemBandwidth)
+		}
+	}
+	for g := 0; g < r.tr.NumGPUs; g++ {
+		s := &sender{sched: r.sched, net: r.net, src: g}
+		if ingress != nil {
+			s.ingest = func(p *core.Packet, done func()) {
+				stores := core.Depacketize(p)
+				if len(stores) == 0 {
+					r.sched.After(0, done)
+					return
+				}
+				remaining := len(stores)
+				for _, st := range stores {
+					st := st
+					ingress[p.Dst].Accept(st, func() {
+						if r.actMem != nil {
+							r.actMem[st.Dst].Write(st)
+						}
+						remaining--
+						if remaining == 0 {
+							done()
+						}
+					})
+				}
+			}
+		}
+		var (
+			e   egress
+			err error
+		)
+		switch r.par {
+		case P2P:
+			e = &p2pEgress{cfg: r.cfg.FinePack, s: s}
+		case FinePack:
+			e, err = newFPEgress(r.cfg.FinePack, r.cfg.FlushTimeout, s)
+		case WriteCombining:
+			e, err = newWCEgress(r.cfg.FinePack, s)
+		case GPS:
+			e, err = newGPSEgress(r.cfg.FinePack, r.cfg.GPSConsumedFraction, s)
+		case UM:
+			e = newUMEgress(r.cfg.FinePack, r.cfg.UMPageBytes, r.cfg.UMFaultLatency, s)
+		}
+		if err != nil {
+			return err
+		}
+		r.engines[g] = e
+	}
+	return nil
+}
+
+// startIteration launches iteration i at the current simulated time; when
+// every GPU reaches the closing barrier with its traffic delivered, the
+// next iteration starts after BarrierLatency.
+func (r *runner) startIteration(i int) {
+	// Fold the finished epoch's unique bytes into the useful-byte total
+	// (barriers delimit epochs: a byte rewritten in a later iteration is
+	// separately useful there).
+	for _, t := range r.trackers {
+		r.res.UsefulBytes += t.Unique()
+		t.Reset()
+	}
+	if i >= len(r.tr.Iterations) {
+		r.finished = true
+		r.endTime = r.sched.Now()
+		return
+	}
+	it := r.tr.Iterations[i]
+	t0 := r.sched.Now()
+
+	// Critical-path compute accounting for the overlap metrics.
+	var maxTc des.Time
+	for _, w := range it.PerGPU {
+		if tc := r.cfg.Compute.Duration(w.ComputeOps); tc > maxTc {
+			maxTc = tc
+		}
+	}
+	r.res.ComputeTime += maxTc
+	r.res.BarrierTime += r.cfg.BarrierLatency
+
+	if r.storeParadigm() {
+		// Store paradigms: the queue-drain tail overlaps the barrier
+		// itself (§VI-B: the flush cost "will be dwarfed by the cost of
+		// the synchronization barrier"). The next iteration starts at
+		// max(last kernel end + barrier, last byte delivered).
+		kernels, drains := r.tr.NumGPUs, r.tr.NumGPUs
+		var barrierAt, drainsAt des.Time
+		maybeNext := func() {
+			if kernels != 0 || drains != 0 {
+				return
+			}
+			if r.actMem != nil {
+				r.checkMemories(i)
+				if r.checkErr != nil {
+					return
+				}
+			}
+			at := barrierAt
+			if drainsAt > at {
+				at = drainsAt
+			}
+			r.sched.At(at, func() { r.startIteration(i + 1) })
+		}
+		for g := 0; g < r.tr.NumGPUs; g++ {
+			w := it.PerGPU[g]
+			tc := r.cfg.Compute.Duration(w.ComputeOps)
+			r.scheduleStores(g, w, t0, tc,
+				func() { // kernel end (flush initiated)
+					if t := r.sched.Now() + r.cfg.BarrierLatency; t > barrierAt {
+						barrierAt = t
+					}
+					kernels--
+					maybeNext()
+				},
+				func() { // all traffic delivered
+					if t := r.sched.Now(); t > drainsAt {
+						drainsAt = t
+					}
+					drains--
+					maybeNext()
+				})
+		}
+		return
+	}
+
+	// memcpy/on-demand paradigms: transfers are serial with compute; the
+	// barrier closes after the last delivery.
+	remaining := r.tr.NumGPUs
+	gpuDone := func() {
+		remaining--
+		if remaining == 0 {
+			r.sched.After(r.cfg.BarrierLatency, func() { r.startIteration(i + 1) })
+		}
+	}
+	for g := 0; g < r.tr.NumGPUs; g++ {
+		if r.par == RemoteRead {
+			r.scheduleReads(g, i, t0, gpuDone)
+			continue
+		}
+		r.scheduleCopies(g, it.PerGPU[g], t0, gpuDone)
+	}
+}
+
+// scheduleReads schedules one GPU's kernel under the RemoteRead paradigm:
+// the consumer's loads of remotely-produced lines interleave with compute,
+// stalling it by the latency the available memory-level parallelism cannot
+// hide, while the reply data occupies the producer→consumer links.
+func (r *runner) scheduleReads(g, iter int, t0 des.Time, done func()) {
+	it := r.tr.Iterations[iter]
+	tc := r.cfg.Compute.Duration(it.PerGPU[g].ComputeOps)
+
+	lines := r.readLines(iter, g)
+	var totalLines int
+	for _, n := range lines {
+		totalLines += n
+	}
+	// Latency exposure: each batch of ReadMLP outstanding reads pays one
+	// round trip.
+	mlp := r.cfg.ReadMLP
+	if mlp <= 0 {
+		mlp = 1
+	}
+	stall := des.Time(uint64(r.cfg.ReadRTT) * uint64((totalLines+mlp-1)/mlp))
+
+	// Reply data (one completion TLP per line) flows producer→consumer,
+	// contending on the fabric like any other traffic.
+	outstanding := 0
+	issued := false
+	maybeDone := func() {
+		if issued && outstanding == 0 {
+			done()
+		}
+	}
+	request, completion := r.cfg.FinePack.TLP.ReadWireBytes(128)
+	lineWire := request + completion
+	for src, n := range lines {
+		if n == 0 || src == g {
+			continue
+		}
+		src := src
+		bytes := n * lineWire
+		r.res.DataBytes += uint64(n) * 128
+		outstanding++
+		r.sched.At(t0, func() {
+			r.net.Send(src, g, bytes, func() {
+				outstanding--
+				maybeDone()
+			})
+		})
+	}
+	// The kernel retires once compute plus the exposed read stalls have
+	// elapsed; the barrier additionally waits for reply traffic.
+	outstanding++
+	r.sched.At(t0+tc+stall, func() {
+		outstanding--
+		maybeDone()
+	})
+	issued = true
+}
+
+// readLines returns, for iteration iter, the number of distinct remote
+// 128B lines consumer g reads from each producer: the lines the producers
+// would have pushed to g under the replication paradigms. Computed once
+// per run and cached.
+func (r *runner) readLines(iter, g int) []int {
+	if r.readCache == nil {
+		r.readCache = make(map[int][][]int)
+	}
+	perGPU, ok := r.readCache[iter]
+	if !ok {
+		perGPU = make([][]int, r.tr.NumGPUs)
+		for c := 0; c < r.tr.NumGPUs; c++ {
+			perGPU[c] = make([]int, r.tr.NumGPUs)
+		}
+		trackers := make(map[[2]int]*memsystem.ByteTracker)
+		for src, w := range r.tr.Iterations[iter].PerGPU {
+			for _, ws := range w.Stores {
+				var txs []core.Store
+				var err error
+				if ws.Atomic {
+					txs, err = gpusim.Expand(ws)
+				} else {
+					txs, err = gpusim.Coalesce(ws)
+				}
+				if err != nil {
+					continue
+				}
+				for _, st := range txs {
+					key := [2]int{src, st.Dst}
+					tk, ok := trackers[key]
+					if !ok {
+						tk = memsystem.NewByteTracker()
+						trackers[key] = tk
+					}
+					tk.Add(st.Addr, st.Size)
+				}
+			}
+		}
+		for key, tk := range trackers {
+			perGPU[key[1]][key[0]] = tk.Lines()
+			r.res.UsefulBytes += tk.Unique()
+		}
+		r.readCache[iter] = perGPU
+	}
+	return perGPU[g]
+}
+
+// scheduleCopies schedules one GPU's kernel under the memcpy paradigms:
+// compute, then issue copies serially through the software stack; the
+// barrier waits for delivery.
+func (r *runner) scheduleCopies(g int, w trace.GPUWork, t0 des.Time, done func()) {
+	tc := r.cfg.Compute.Duration(w.ComputeOps)
+	r.sched.At(t0+tc, func() {
+		if len(w.Copies) == 0 {
+			done()
+			return
+		}
+		api := r.cfg.DMAAPIOverhead
+		if r.par == Infinite {
+			api = 0
+		}
+		// DMA engines pipeline a copy across the fabric in chunks (the
+		// hardware moves max-payload TLPs back to back; a whole copy is
+		// not store-and-forwarded at each hop).
+		const chunkBytes = 64 << 10
+		outstanding := 0
+		issued := false
+		maybeDone := func() {
+			if issued && outstanding == 0 {
+				done()
+			}
+		}
+		cursor := r.sched.Now()
+		for _, c := range w.Copies {
+			c := c
+			cursor += api
+			tlps, wire := r.cfg.FinePack.TLP.TLPsForTransfer(int(c.Bytes), r.cfg.FinePack.MaxPayload)
+			r.dmaTLPs += uint64(tlps)
+			r.res.DataBytes += c.Bytes
+			r.res.UsefulBytes += c.UsefulBytes
+			for off := uint64(0); off < wire; off += chunkBytes {
+				n := wire - off
+				if n > chunkBytes {
+					n = chunkBytes
+				}
+				outstanding++
+				r.sched.At(cursor, func() {
+					r.net.Send(g, c.Dst, int(n), func() {
+						outstanding--
+						maybeDone()
+					})
+				})
+			}
+		}
+		issued = true
+		maybeDone()
+	})
+}
+
+// scheduleStores spreads the kernel's store stream across its compute time
+// in EmissionBatches batches (proactive stores overlap compute), then
+// flushes the transport at kernel end. kernelEnd fires when the kernel
+// retires (release issued); drained fires when every packet is delivered.
+func (r *runner) scheduleStores(g int, w trace.GPUWork, t0 des.Time, tc des.Time, kernelEnd, drained func()) {
+	e := r.engines[g]
+	n := len(w.Stores)
+	batches := r.cfg.EmissionBatches
+	if batches > n {
+		batches = n
+	}
+	fail := func(err error) {
+		if r.checkErr == nil {
+			r.checkErr = err
+		}
+		r.sched.Halt()
+	}
+	for b := 0; b < batches; b++ {
+		lo, hi := n*b/batches, n*(b+1)/batches
+		chunk := w.Stores[lo:hi]
+		// Batch b is produced at fraction b/batches of the kernel: stores
+		// stream out across execution, leaving the final tc/batches for
+		// the transport to drain before the kernel-end flush.
+		at := t0 + tc*des.Time(b)/des.Time(batches)
+		r.sched.At(at, func() {
+			for _, ws := range chunk {
+				if ws.Atomic {
+					// Atomics bypass L1 coalescing: one transaction
+					// per lane (§IV-C).
+					txs, err := gpusim.Expand(ws)
+					if err != nil {
+						fail(err)
+						return
+					}
+					for _, st := range txs {
+						r.res.StoresSent++
+						r.track(g, st)
+						if r.refMem != nil {
+							r.refMem[st.Dst].Write(st)
+						}
+						if err := e.atomic(st); err != nil {
+							fail(err)
+							return
+						}
+					}
+					continue
+				}
+				txs, err := gpusim.Coalesce(ws)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for _, st := range txs {
+					r.res.StoresSent++
+					r.track(g, st)
+					if r.refMem != nil {
+						r.refMem[st.Dst].Write(st)
+					}
+					if err := e.store(st); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		})
+	}
+	r.sched.At(t0+tc, func() {
+		e.flush(drained)
+		kernelEnd()
+	})
+}
+
+// track records a store's bytes in the per-(src,dst) unique-byte tracker.
+func (r *runner) track(src int, st core.Store) {
+	key := src*r.tr.NumGPUs + st.Dst
+	t, ok := r.trackers[key]
+	if !ok {
+		t = memsystem.NewByteTracker()
+		r.trackers[key] = t
+	}
+	t.Add(st.Addr, st.Size)
+}
+
+// checkMemories verifies, at a barrier, that delivered bytes match program
+// order exactly (the weak-memory-model end-to-end invariant).
+func (r *runner) checkMemories(iter int) {
+	for g := 0; g < r.tr.NumGPUs; g++ {
+		if !r.refMem[g].Equal(r.actMem[g]) {
+			r.checkErr = fmt.Errorf("sim: %s/%s: destination %d memory diverged at barrier %d",
+				r.tr.Name, r.par, g, iter)
+			r.sched.Halt()
+			return
+		}
+	}
+}

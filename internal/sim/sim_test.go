@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"testing"
+
+	"finepack/internal/core"
+	"finepack/internal/des"
+	"finepack/internal/pcie"
+	"finepack/internal/trace"
+	"finepack/internal/workloads"
+)
+
+func genTrace(t *testing.T, name string, gpus int) *trace.Trace {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Generate(gpus, workloads.Params{Scale: 0.25, Iterations: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunAllParadigmsJacobi(t *testing.T) {
+	tr := genTrace(t, "jacobi", 4)
+	cfg := DefaultConfig()
+	for _, par := range []Paradigm{P2P, DMA, FinePack, WriteCombining, GPS, Infinite} {
+		res, err := Run(tr, par, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", par, err)
+		}
+		if res.Time == 0 {
+			t.Fatalf("%v: zero time", par)
+		}
+		if res.Speedup() <= 0 {
+			t.Fatalf("%v: speedup %v", par, res.Speedup())
+		}
+		if par != Infinite && res.WireBytes == 0 {
+			t.Fatalf("%v: no traffic", par)
+		}
+	}
+}
+
+func TestInfiniteIsFastest(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, name := range []string{"jacobi", "sssp", "hit"} {
+		tr := genTrace(t, name, 4)
+		inf, err := Run(tr, Infinite, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []Paradigm{P2P, DMA, FinePack} {
+			res, err := Run(tr, par, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Time < inf.Time {
+				t.Fatalf("%s: %v (%v) beat infinite bandwidth (%v)",
+					name, par, res.Time, inf.Time)
+			}
+		}
+	}
+}
+
+func TestFinePackWireNeverExceedsP2P(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, w := range workloads.All() {
+		tr, err := w.Generate(4, workloads.Params{Scale: 0.2, Iterations: 1, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2p, err := Run(tr, P2P, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := Run(tr, FinePack, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp.WireBytes > p2p.WireBytes {
+			t.Errorf("%s: FinePack wire %d > P2P wire %d",
+				w.Name(), fp.WireBytes, p2p.WireBytes)
+		}
+		// Loose time sanity only: at this deliberately tiny scale
+		// (kernels of a few hundred ns) FinePack's ≤4KB flush tail is
+		// a visible fraction of the run; the full-scale Fig 9 harness
+		// test asserts the real ordering.
+		if fp.Time > p2p.Time+p2p.Time/2 {
+			t.Errorf("%s: FinePack slower than P2P (%v vs %v)",
+				w.Name(), fp.Time, p2p.Time)
+		}
+	}
+}
+
+func TestEndToEndDataIntegrity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CheckData = true
+	// sssp includes remote atomics, exercising the uncoalesced path.
+	for _, name := range []string{"pagerank", "hit", "eqwp", "sssp"} {
+		tr := genTrace(t, name, 4)
+		for _, par := range []Paradigm{P2P, FinePack} {
+			if _, err := Run(tr, par, cfg); err != nil {
+				t.Fatalf("%s/%v: %v", name, par, err)
+			}
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	tr := genTrace(t, "sssp", 4)
+	cfg := DefaultConfig()
+	a, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.WireBytes != b.WireBytes || a.Packets != b.Packets {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSingleGPUTime(t *testing.T) {
+	tr := genTrace(t, "jacobi", 4)
+	cfg := DefaultConfig()
+	want := cfg.Compute.Duration(tr.SingleGPUOpsPerIter) * des.Time(len(tr.Iterations))
+	if got := SingleGPUTime(tr, cfg); got != want {
+		t.Fatalf("SingleGPUTime = %v, want %v", got, want)
+	}
+}
+
+func TestBandwidthScalingHelpsCommBound(t *testing.T) {
+	tr := genTrace(t, "hit", 4) // communication bound
+	cfg := DefaultConfig()
+	cfg.Gen = pcie.Gen4
+	slow, err := Run(tr, P2P, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Gen = pcie.Gen6
+	fast, err := Run(tr, P2P, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Time >= slow.Time {
+		t.Fatalf("4× bandwidth did not help a comm-bound app: %v vs %v",
+			fast.Time, slow.Time)
+	}
+}
+
+func TestUsefulBytesMatchAcrossStoreParadigms(t *testing.T) {
+	// Useful bytes are a property of the program, not the transport.
+	tr := genTrace(t, "sssp", 4)
+	cfg := DefaultConfig()
+	p2p, err := Run(tr, P2P, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2p.UsefulBytes != fp.UsefulBytes {
+		t.Fatalf("useful bytes differ: %d vs %d", p2p.UsefulBytes, fp.UsefulBytes)
+	}
+	if p2p.UsefulBytes == 0 {
+		t.Fatal("no useful bytes tracked")
+	}
+	// SSSP re-relaxes: P2P must show wasted bytes, FinePack far fewer.
+	if p2p.WastedBytes() == 0 {
+		t.Fatal("P2P should waste bytes on redundant relaxations")
+	}
+	if fp.WastedBytes() >= p2p.WastedBytes() {
+		t.Fatalf("FinePack wasted %d ≥ P2P wasted %d", fp.WastedBytes(), p2p.WastedBytes())
+	}
+}
+
+func TestFinePackPacksStores(t *testing.T) {
+	tr := genTrace(t, "pagerank", 4)
+	res, err := Run(tr, FinePack, cfg4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgStoresPerPacket < 5 {
+		t.Fatalf("pagerank packs %.1f stores/packet; expected strong packing",
+			res.AvgStoresPerPacket)
+	}
+}
+
+func cfg4() Config { return DefaultConfig() }
+
+// TestAtomicsReachFinePackPath: SSSP's atomic relaxations must flow through
+// the queue's atomic machinery (line flushes, uncoalesced egress).
+func TestAtomicsReachFinePackPath(t *testing.T) {
+	tr := genTrace(t, "sssp", 4)
+	res, err := Run(tr, FinePack, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushes[core.CauseAtomic] == 0 {
+		t.Fatal("no atomic-cause flushes; atomic path not exercised")
+	}
+	// All paradigms still agree on useful bytes with atomics present.
+	p2p, err := Run(tr, P2P, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2p.UsefulBytes != res.UsefulBytes {
+		t.Fatalf("useful bytes diverge with atomics: %d vs %d",
+			p2p.UsefulBytes, res.UsefulBytes)
+	}
+}
+
+// TestUMParadigm: page migration moves whole pages (heavy inflation for
+// sparse updates) on the critical path.
+func TestUMParadigm(t *testing.T) {
+	tr := genTrace(t, "pagerank", 4)
+	cfg := DefaultConfig()
+	um, err := Run(tr, UM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if um.UMPagesMigrated == 0 {
+		t.Fatal("no pages migrated")
+	}
+	if um.DataBytes != um.UMPagesMigrated*uint64(cfg.UMPageBytes) {
+		t.Fatalf("data bytes %d != pages %d × %d",
+			um.DataBytes, um.UMPagesMigrated, cfg.UMPageBytes)
+	}
+	if um.DataBytes <= um.UsefulBytes {
+		t.Fatal("page granularity must inflate transferred bytes")
+	}
+	fp, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if um.Time <= fp.Time {
+		t.Fatal("UM should be slower than FinePack")
+	}
+	// Deterministic.
+	um2, err := Run(tr, UM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if um2.Time != um.Time || um2.UMPagesMigrated != um.UMPagesMigrated {
+		t.Fatal("UM run not deterministic")
+	}
+}
+
+// TestRemoteReadParadigm: on-demand reads stall compute and move whole
+// lines; slower than every replication-based paradigm.
+func TestRemoteReadParadigm(t *testing.T) {
+	tr := genTrace(t, "sssp", 4)
+	cfg := DefaultConfig()
+	rr, err := Run(tr, RemoteRead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.DataBytes == 0 || rr.UsefulBytes == 0 {
+		t.Fatal("no read traffic accounted")
+	}
+	if rr.DataBytes < rr.UsefulBytes {
+		t.Fatal("line-granular reads must fetch at least the useful bytes")
+	}
+	dma, err := Run(tr, DMA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Time <= dma.Time {
+		t.Fatalf("remote reads (%v) should be slower than DMA (%v)", rr.Time, dma.Time)
+	}
+	// Useful bytes agree with the store paradigms (same program).
+	fp, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.UsefulBytes != fp.UsefulBytes {
+		t.Fatalf("useful bytes %d != FinePack's %d", rr.UsefulBytes, fp.UsefulBytes)
+	}
+}
+
+// TestOverlapMetrics: the decomposition fields are filled and consistent.
+func TestOverlapMetrics(t *testing.T) {
+	tr := genTrace(t, "hit", 4)
+	cfg := DefaultConfig()
+	for _, par := range []Paradigm{P2P, DMA, FinePack} {
+		res, err := Run(tr, par, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ComputeTime == 0 || res.BarrierTime == 0 {
+			t.Fatalf("%v: decomposition empty", par)
+		}
+		if res.ComputeTime+res.BarrierTime > res.Time+res.ExposedCommTime() {
+			t.Fatalf("%v: decomposition exceeds total", par)
+		}
+		if f := res.ExposedCommFraction(); f < 0 || f > 1 {
+			t.Fatalf("%v: exposed fraction %v", par, f)
+		}
+	}
+	// HIT is comm-bound: DMA must expose communication.
+	dma, _ := Run(tr, DMA, cfg)
+	if dma.ExposedCommTime() == 0 {
+		t.Fatal("comm-bound DMA run should expose communication")
+	}
+}
+
+// TestFlushCauseCharacterization documents which mechanism limits
+// FinePack's coalescing window per workload class: scattered CT thrashes
+// the address window; dense pagerank fills payloads; strided HIT exhausts
+// entries; tiny-halo jacobi mostly flushes at the release.
+func TestFlushCauseCharacterization(t *testing.T) {
+	cfg := DefaultConfig()
+	dominant := func(name string) core.FlushCause {
+		// Full problem scale: the flush-cause mix is a property of real
+		// address geometry (strides shrink at reduced scale).
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Generate(4, workloads.Params{Scale: 1, Iterations: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(tr, FinePack, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, bestN := core.CauseNone, uint64(0)
+		for c := 0; c < core.NumFlushCauses; c++ {
+			if res.Flushes[c] > bestN {
+				best, bestN = core.FlushCause(c), res.Flushes[c]
+			}
+		}
+		return best
+	}
+	if got := dominant("ct"); got != core.CauseWindowMiss {
+		t.Errorf("ct dominated by %v, want window-miss (volume-scale jumps)", got)
+	}
+	if got := dominant("pagerank"); got != core.CausePayloadFull {
+		t.Errorf("pagerank dominated by %v, want payload-full (dense boundary)", got)
+	}
+	if got := dominant("hit"); got != core.CauseEntriesFull {
+		t.Errorf("hit dominated by %v, want entries-full (strided lines)", got)
+	}
+	if got := dominant("jacobi"); got != core.CausePayloadFull && got != core.CauseRelease {
+		t.Errorf("jacobi dominated by %v, want payload-full or release", got)
+	}
+}
+
+// TestAtomicsOnAllEngines: every store paradigm must accept atomic warps.
+func TestAtomicsOnAllEngines(t *testing.T) {
+	tr := genTrace(t, "sssp", 4)
+	for _, par := range []Paradigm{P2P, FinePack, WriteCombining, GPS} {
+		if _, err := Run(tr, par, DefaultConfig()); err != nil {
+			t.Fatalf("%v: %v", par, err)
+		}
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	r := &Result{
+		Time: 2 * des.Microsecond, SingleGPUTime: 6 * des.Microsecond,
+		WireBytes: 100, DataBytes: 80, UsefulBytes: 60,
+	}
+	if r.Speedup() != 3 {
+		t.Fatalf("speedup = %v", r.Speedup())
+	}
+	if r.ProtocolBytes() != 20 || r.WastedBytes() != 20 {
+		t.Fatalf("proto=%d wasted=%d", r.ProtocolBytes(), r.WastedBytes())
+	}
+	if r.Goodput() != 0.6 {
+		t.Fatalf("goodput = %v", r.Goodput())
+	}
+	// Degenerate cases clamp to zero.
+	z := &Result{}
+	if z.Speedup() != 0 || z.Goodput() != 0 || z.ProtocolBytes() != 0 || z.WastedBytes() != 0 {
+		t.Fatal("zero result should produce zeros")
+	}
+}
+
+func TestParadigmString(t *testing.T) {
+	if FinePack.String() != "finepack" || P2P.String() != "p2p" {
+		t.Fatal("paradigm names wrong")
+	}
+	if Paradigm(99).String() != "paradigm(99)" {
+		t.Fatal("out-of-range paradigm")
+	}
+	if len(Fig9Paradigms()) != 4 {
+		t.Fatal("Fig 9 compares 4 paradigms")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.EmissionBatches = 0
+	if _, err := Run(genTrace(t, "jacobi", 4), P2P, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.GPSConsumedFraction = 2
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("bad GPS fraction accepted")
+	}
+	bad3 := DefaultConfig()
+	bad3.Compute.OpsPerSecond = 0
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("zero compute accepted")
+	}
+}
+
+func TestRejectSingleGPUTrace(t *testing.T) {
+	tr := &trace.Trace{
+		Name: "x", NumGPUs: 1, SingleGPUOpsPerIter: 1,
+		Iterations: []trace.Iteration{{PerGPU: make([]trace.GPUWork, 1)}},
+	}
+	tr.Iterations[0].PerGPU[0].ComputeOps = 1
+	if _, err := Run(tr, P2P, DefaultConfig()); err == nil {
+		t.Fatal("single-GPU trace should be rejected")
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BarChart renders horizontal ASCII bar charts so experiment output can be
+// eyeballed against the paper's figures directly in a terminal.
+type BarChart struct {
+	title  string
+	width  int
+	labels []string
+	values []float64
+}
+
+// NewBarChart creates a chart; width is the maximum bar length in
+// characters (default 50 when non-positive).
+func NewBarChart(title string, width int) *BarChart {
+	if width <= 0 {
+		width = 50
+	}
+	return &BarChart{title: title, width: width}
+}
+
+// Add appends one bar.
+func (b *BarChart) Add(label string, value float64) {
+	b.labels = append(b.labels, label)
+	b.values = append(b.values, value)
+}
+
+// Render writes the chart to w. Bars scale to the maximum value; negative
+// values render as empty bars.
+func (b *BarChart) Render(w io.Writer) {
+	if b.title != "" {
+		fmt.Fprintf(w, "== %s ==\n", b.title)
+	}
+	maxV := Max(b.values)
+	labelW := 0
+	for _, l := range b.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, l := range b.labels {
+		v := b.values[i]
+		n := 0
+		if maxV > 0 && v > 0 {
+			n = int(v / maxV * float64(b.width))
+			if n == 0 {
+				n = 1 // visible sliver for small positive values
+			}
+		}
+		fmt.Fprintf(w, "%s |%s %.2f\n", pad(l, labelW), strings.Repeat("#", n), v)
+	}
+}
+
+// String renders the chart to a string.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	b.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRender(t *testing.T) {
+	c := NewBarChart("Fig 9", 10)
+	c.Add("jacobi", 4.0)
+	c.Add("sssp", 1.0)
+	c.Add("zero", 0)
+	out := c.String()
+	if !strings.Contains(out, "== Fig 9 ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// jacobi gets the full width, sssp a quarter.
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 2 {
+		t.Fatalf("quarter bar: %q", lines[2])
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Fatalf("zero bar should be empty: %q", lines[3])
+	}
+	// Values printed.
+	if !strings.Contains(lines[1], "4.00") {
+		t.Fatalf("value missing: %q", lines[1])
+	}
+}
+
+func TestBarChartSliver(t *testing.T) {
+	c := NewBarChart("", 10)
+	c.Add("big", 100)
+	c.Add("tiny", 0.01)
+	out := c.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") != 1 {
+		t.Fatalf("tiny positive value should get a sliver: %q", lines[1])
+	}
+}
+
+func TestBarChartNegativeAndDefaultWidth(t *testing.T) {
+	c := NewBarChart("x", 0)
+	c.Add("neg", -3)
+	c.Add("pos", 1)
+	out := c.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") != 0 {
+		t.Fatalf("negative bar should be empty: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 50 {
+		t.Fatalf("default width should be 50: %q", lines[2])
+	}
+}
+
+func TestBarChartLabelAlignment(t *testing.T) {
+	c := NewBarChart("", 5)
+	c.Add("a", 1)
+	c.Add("longlabel", 1)
+	lines := strings.Split(strings.TrimSpace(c.String()), "\n")
+	// Both pipes align at the same column.
+	if strings.Index(lines[0], "|") != strings.Index(lines[1], "|") {
+		t.Fatalf("bars misaligned:\n%s", c.String())
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SizeHistogram tallies transfer sizes into the power-of-two byte buckets
+// used throughout the paper (Figs 1, 2 and 4): ≤4B, 8B, 16B, 32B, 64B,
+// 128B, and >128B. Sizes are rounded up to the containing bucket, so a 5B
+// store lands in the 8B bucket just as it occupies an 8B slot in Fig 4.
+type SizeHistogram struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// Canonical Fig-4 bucket upper bounds, in bytes. The final bucket collects
+// everything larger than a cache line.
+var sizeBuckets = []int{4, 8, 16, 32, 64, 128}
+
+// NewSizeHistogram returns an empty histogram.
+func NewSizeHistogram() *SizeHistogram {
+	return &SizeHistogram{counts: make(map[int]uint64)}
+}
+
+// Bucket returns the bucket upper bound a size of n bytes falls into,
+// or -1 for the ">128B" overflow bucket.
+func Bucket(n int) int {
+	for _, b := range sizeBuckets {
+		if n <= b {
+			return b
+		}
+	}
+	return -1
+}
+
+// Observe records one transfer of n bytes.
+func (h *SizeHistogram) Observe(n int) {
+	h.counts[Bucket(n)]++
+	h.total++
+}
+
+// ObserveN records count transfers of n bytes each.
+func (h *SizeHistogram) ObserveN(n int, count uint64) {
+	h.counts[Bucket(n)] += count
+	h.total += count
+}
+
+// Total returns the number of observations.
+func (h *SizeHistogram) Total() uint64 { return h.total }
+
+// Fraction returns the fraction of observations in the bucket whose upper
+// bound is b (-1 for the overflow bucket).
+func (h *SizeHistogram) Fraction(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[b]) / float64(h.total)
+}
+
+// FractionAtMost returns the fraction of observations of size ≤ n bytes.
+func (h *SizeHistogram) FractionAtMost(n int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c uint64
+	for _, b := range sizeBuckets {
+		if b <= n {
+			c += h.counts[b]
+		}
+	}
+	return float64(c) / float64(h.total)
+}
+
+// MeanSize returns the mean bucketed size in bytes, counting the overflow
+// bucket at 256B (the smallest size that can land there, halved upward:
+// a conservative stand-in since the simulator never emits stores >128B).
+func (h *SizeHistogram) MeanSize() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for b, c := range h.counts {
+		sz := b
+		if b == -1 {
+			sz = 256
+		}
+		sum += float64(sz) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Buckets returns the bucket labels and fractions in ascending size order,
+// ending with the overflow bucket. Empty buckets are included so stacked
+// outputs line up across workloads.
+func (h *SizeHistogram) Buckets() (labels []string, fractions []float64) {
+	for _, b := range sizeBuckets {
+		labels = append(labels, fmt.Sprintf("<=%dB", b))
+		fractions = append(fractions, h.Fraction(b))
+	}
+	labels = append(labels, ">128B")
+	fractions = append(fractions, h.Fraction(-1))
+	return labels, fractions
+}
+
+// String renders the histogram as one line of "label:percent" pairs.
+func (h *SizeHistogram) String() string {
+	labels, fracs := h.Buckets()
+	parts := make([]string, 0, len(labels))
+	for i, l := range labels {
+		parts = append(parts, fmt.Sprintf("%s:%.1f%%", l, fracs[i]*100))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Merge adds every observation of other into h.
+func (h *SizeHistogram) Merge(other *SizeHistogram) {
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.total += other.total
+}
+
+// BucketBounds returns the canonical bucket upper bounds (ascending),
+// excluding the overflow bucket.
+func BucketBounds() []int {
+	out := make([]int, len(sizeBuckets))
+	copy(out, sizeBuckets)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); !almostEqual(got, 4) {
+		t.Fatalf("Mean = %v, want 4", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, 4}); !almostEqual(got, 2) {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 8, 0, -3}); !almostEqual(got, 4) {
+		t.Fatalf("GeoMean skipping non-positive = %v, want 4", got)
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) && v < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)*(1-1e-9) && g <= Max(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Fatalf("Max = %v, want 7", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("Min/Max of empty should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {105, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile of empty should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Counter = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Counter after reset = %d, want 0", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 0); got != 0 {
+		t.Fatalf("Ratio div by zero = %v, want 0", got)
+	}
+	if got := Ratio(3, 4); !almostEqual(got, 0.75) {
+		t.Fatalf("Ratio = %v, want 0.75", got)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{64, "64B"}, {4096, "4KB"}, {16 << 10, "16KB"},
+		{4 << 20, "4MB"}, {1 << 30, "1GB"}, {256 << 30, "256GB"},
+		{1 << 40, "1TB"}, {1000, "1000B"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.n); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSizeHistogramBuckets(t *testing.T) {
+	h := NewSizeHistogram()
+	h.Observe(1)   // <=4B
+	h.Observe(4)   // <=4B
+	h.Observe(5)   // 8B bucket
+	h.Observe(32)  // 32B
+	h.Observe(129) // overflow
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+	if got := h.Fraction(4); !almostEqual(got, 0.4) {
+		t.Fatalf("Fraction(4) = %v, want 0.4", got)
+	}
+	if got := h.Fraction(8); !almostEqual(got, 0.2) {
+		t.Fatalf("Fraction(8) = %v, want 0.2", got)
+	}
+	if got := h.Fraction(-1); !almostEqual(got, 0.2) {
+		t.Fatalf("overflow fraction = %v, want 0.2", got)
+	}
+}
+
+func TestSizeHistogramFractionAtMost(t *testing.T) {
+	h := NewSizeHistogram()
+	h.ObserveN(8, 3)
+	h.ObserveN(128, 1)
+	if got := h.FractionAtMost(32); !almostEqual(got, 0.75) {
+		t.Fatalf("FractionAtMost(32) = %v, want 0.75", got)
+	}
+	if got := h.FractionAtMost(128); !almostEqual(got, 1) {
+		t.Fatalf("FractionAtMost(128) = %v, want 1", got)
+	}
+}
+
+func TestSizeHistogramMeanAndMerge(t *testing.T) {
+	a := NewSizeHistogram()
+	a.ObserveN(8, 2)
+	b := NewSizeHistogram()
+	b.ObserveN(32, 2)
+	a.Merge(b)
+	if a.Total() != 4 {
+		t.Fatalf("merged total = %d, want 4", a.Total())
+	}
+	if got := a.MeanSize(); !almostEqual(got, 20) {
+		t.Fatalf("MeanSize = %v, want 20", got)
+	}
+}
+
+func TestSizeHistogramString(t *testing.T) {
+	h := NewSizeHistogram()
+	h.Observe(128)
+	s := h.String()
+	if !strings.Contains(s, "<=128B:100.0%") {
+		t.Fatalf("String() = %q, want 128B bucket at 100%%", s)
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	f := func(n uint16) bool {
+		b := Bucket(int(n))
+		if b == -1 {
+			return int(n) > 128
+		}
+		return int(n) <= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketBoundsCopy(t *testing.T) {
+	b := BucketBounds()
+	b[0] = 9999
+	if BucketBounds()[0] == 9999 {
+		t.Fatal("BucketBounds must return a copy")
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		h := NewSizeHistogram()
+		for _, s := range sizes {
+			h.Observe(int(s) + 1)
+		}
+		if len(sizes) == 0 {
+			return true
+		}
+		_, fracs := h.Buckets()
+		var sum float64
+		for _, fr := range fracs {
+			sum += fr
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Fig X", "app", "speedup")
+	tab.AddRow("jacobi", 3.14159)
+	tab.AddRow("sssp", "n/a")
+	out := tab.String()
+	if !strings.Contains(out, "== Fig X ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("missing float formatting: %q", out)
+	}
+	if !strings.Contains(out, "jacobi") || !strings.Contains(out, "sssp") {
+		t.Fatalf("missing rows: %q", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tab.NumRows())
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := NewTable("ignored", "a", "b")
+	tab.AddRow("x", 1.5)
+	tab.AddRow("y,with,commas", 2)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"y,with,commas"`) {
+		t.Fatalf("commas not quoted: %q", lines[2])
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("longvalue", 1)
+	lines := strings.Split(strings.TrimSpace(tab.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d: %q", len(lines), lines)
+	}
+	// The separator must be at least as wide as the longest cell.
+	if !strings.Contains(lines[1], strings.Repeat("-", len("longvalue"))) {
+		t.Fatalf("separator not widened: %q", lines[1])
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+
+	"finepack/internal/core"
+	"finepack/internal/gpusim"
+	"finepack/internal/memsystem"
+)
+
+// Characteristics summarizes the properties of a trace that determine how
+// the communication paradigms behave on it: the quantities §III argues
+// from (store sizes, redundancy, locality) plus compute intensity.
+type Characteristics struct {
+	// WarpStores and Stores count warp instructions and post-coalescing
+	// L1 transactions.
+	WarpStores, Stores uint64
+	// Atomics counts atomic warp operations.
+	Atomics uint64
+	// StoreBytes is the total payload pushed (including rewrites).
+	StoreBytes uint64
+	// UniqueBytes is the distinct-byte footprint per epoch, summed.
+	UniqueBytes uint64
+	// RedundancyX = StoreBytes / UniqueBytes (≥ 1).
+	RedundancyX float64
+	// MeanStoreBytes is the average L1-egress transaction size.
+	MeanStoreBytes float64
+	// Sub32Fraction is the share of transactions ≤ 32B (Fig 1/4).
+	Sub32Fraction float64
+	// CopyBytes/CopyUseful summarize the memcpy variant.
+	CopyBytes, CopyUseful uint64
+	// ComputeOpsPerByte is total kernel work over unique communicated
+	// bytes: the arithmetic intensity that decides whether communication
+	// can hide under compute.
+	ComputeOpsPerByte float64
+	// ActivePairs counts communicating (src,dst) pairs; MaxPairs is
+	// NumGPUs × (NumGPUs-1).
+	ActivePairs, MaxPairs int
+}
+
+// Describe computes the characteristics of a trace.
+func Describe(t *Trace) (*Characteristics, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Characteristics{MaxPairs: t.NumGPUs * (t.NumGPUs - 1)}
+	h, err := t.StoreSizeHistogram()
+	if err != nil {
+		return nil, err
+	}
+	c.MeanStoreBytes = h.MeanSize()
+	c.Sub32Fraction = h.FractionAtMost(32)
+
+	pairs := map[[2]int]bool{}
+	var totalOps float64
+	for _, it := range t.Iterations {
+		trackers := map[[2]int]*memsystem.ByteTracker{}
+		for src, w := range it.PerGPU {
+			totalOps += w.ComputeOps
+			for _, ws := range w.Stores {
+				if ws.Atomic {
+					c.Atomics++
+				}
+				txs, err := coalesceAny(ws)
+				if err != nil {
+					return nil, err
+				}
+				for _, st := range txs {
+					c.Stores++
+					c.StoreBytes += uint64(st.Size)
+					key := [2]int{src, st.Dst}
+					pairs[key] = true
+					tk, ok := trackers[key]
+					if !ok {
+						tk = memsystem.NewByteTracker()
+						trackers[key] = tk
+					}
+					tk.Add(st.Addr, st.Size)
+				}
+			}
+			c.WarpStores += uint64(len(w.Stores))
+			for _, cp := range w.Copies {
+				c.CopyBytes += cp.Bytes
+				c.CopyUseful += cp.UsefulBytes
+			}
+		}
+		for _, tk := range trackers {
+			c.UniqueBytes += tk.Unique()
+		}
+	}
+	c.ActivePairs = len(pairs)
+	if c.UniqueBytes > 0 {
+		c.RedundancyX = float64(c.StoreBytes) / float64(c.UniqueBytes)
+		c.ComputeOpsPerByte = totalOps / float64(c.UniqueBytes)
+	}
+	return c, nil
+}
+
+func coalesceAny(ws gpusim.WarpStore) ([]core.Store, error) {
+	if ws.Atomic {
+		return gpusim.Expand(ws)
+	}
+	return gpusim.Coalesce(ws)
+}
+
+func (c *Characteristics) String() string {
+	return fmt.Sprintf(
+		"stores=%d (%.0fB mean, %.0f%% ≤32B, %.2fx redundancy) unique=%dB "+
+			"copies=%d/%d useful ops/byte=%.0f pairs=%d/%d atomics=%d",
+		c.Stores, c.MeanStoreBytes, c.Sub32Fraction*100, c.RedundancyX,
+		c.UniqueBytes, c.CopyUseful, c.CopyBytes, c.ComputeOpsPerByte,
+		c.ActivePairs, c.MaxPairs, c.Atomics)
+}

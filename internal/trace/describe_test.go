@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"finepack/internal/gpusim"
+)
+
+func TestDescribeTinyTrace(t *testing.T) {
+	tr := tinyTrace()
+	c, err := Describe(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WarpStores != 6 {
+		t.Fatalf("warp stores = %d, want 6", c.WarpStores)
+	}
+	// Per iteration: warp(0,4,8) coalesces to one 12B tx, warp(4096) one
+	// 4B, gpu1 warp(128) one 4B → 3 txs × 2 iterations.
+	if c.Stores != 6 {
+		t.Fatalf("stores = %d, want 6", c.Stores)
+	}
+	if c.StoreBytes != 2*(12+4+4) {
+		t.Fatalf("store bytes = %d, want 40", c.StoreBytes)
+	}
+	// No rewrites: unique equals pushed.
+	if c.UniqueBytes != c.StoreBytes || c.RedundancyX != 1 {
+		t.Fatalf("unique=%d redundancy=%v", c.UniqueBytes, c.RedundancyX)
+	}
+	if c.ActivePairs != 2 || c.MaxPairs != 2 {
+		t.Fatalf("pairs = %d/%d", c.ActivePairs, c.MaxPairs)
+	}
+	if c.Atomics != 0 {
+		t.Fatalf("atomics = %d", c.Atomics)
+	}
+	total, useful := tr.CopyBytes()
+	if c.CopyBytes != total || c.CopyUseful != useful {
+		t.Fatal("copy accounting mismatch")
+	}
+	if !strings.Contains(c.String(), "redundancy") {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+// oneIterTrace builds a single-iteration 2-GPU trace with the given warp
+// stores on GPU 0 (no shared slices, safe to mutate).
+func oneIterTrace(stores []gpusim.WarpStore) *Trace {
+	return &Trace{
+		Name: "x", NumGPUs: 2, SingleGPUOpsPerIter: 1,
+		Iterations: []Iteration{{PerGPU: []GPUWork{
+			{ComputeOps: 1, Stores: stores},
+			{ComputeOps: 1},
+		}}},
+	}
+}
+
+func TestDescribeCountsRedundancy(t *testing.T) {
+	ws := gpusim.WarpStore{Dst: 1, ElemSize: 4, Addrs: []uint64{0, 4, 8}}
+	tr := oneIterTrace([]gpusim.WarpStore{ws, ws}) // every byte written twice
+	c, err := Describe(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RedundancyX < 1.99 || c.RedundancyX > 2.01 {
+		t.Fatalf("redundancy = %v, want 2", c.RedundancyX)
+	}
+}
+
+func TestDescribeCountsAtomics(t *testing.T) {
+	plain := gpusim.WarpStore{Dst: 1, ElemSize: 4, Addrs: []uint64{0, 4, 8}}
+	atomic := plain
+	atomic.Atomic = true
+	tr := oneIterTrace([]gpusim.WarpStore{plain, atomic})
+	c, err := Describe(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Atomics != 1 {
+		t.Fatalf("atomics = %d", c.Atomics)
+	}
+	// The plain warp coalesces to one 12B tx; the atomic warp expands to
+	// three 4B transactions.
+	if c.Stores != 4 {
+		t.Fatalf("stores = %d, want 4", c.Stores)
+	}
+}
+
+func TestDescribeRejectsInvalid(t *testing.T) {
+	tr := tinyTrace()
+	tr.NumGPUs = 0
+	if _, err := Describe(tr); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+func TestDescribeEpochSeparation(t *testing.T) {
+	// The same byte written in two iterations is unique in each epoch.
+	ws := gpusim.WarpStore{Dst: 1, ElemSize: 4, Addrs: []uint64{0}}
+	it := Iteration{PerGPU: []GPUWork{
+		{ComputeOps: 1, Stores: []gpusim.WarpStore{ws}},
+		{ComputeOps: 1},
+	}}
+	tr := &Trace{Name: "x", NumGPUs: 2, SingleGPUOpsPerIter: 1,
+		Iterations: []Iteration{it, it}}
+	c, err := Describe(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.UniqueBytes != 8 {
+		t.Fatalf("unique = %d, want 4 per epoch × 2", c.UniqueBytes)
+	}
+}

@@ -1,0 +1,28 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad drives the trace decoder with arbitrary bytes: errors are fine,
+// panics and invalid traces are not.
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if err := tinyTrace().Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("finepack-trace-v1"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := Load(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Load returned invalid trace: %v", err)
+		}
+	})
+}

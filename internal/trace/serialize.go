@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the trace to w in the binary trace format (gob-encoded with
+// a format tag), used by cmd/finepack-trace for offline inspection.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(formatTag); err != nil {
+		return fmt.Errorf("trace: encode tag: %w", err)
+	}
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a trace written by Save and validates it.
+func Load(r io.Reader) (*Trace, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var tag string
+	if err := dec.Decode(&tag); err != nil {
+		return nil, fmt.Errorf("trace: decode tag: %w", err)
+	}
+	if tag != formatTag {
+		return nil, fmt.Errorf("trace: unknown format %q", tag)
+	}
+	var t Trace
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// SaveFile writes the trace to a file path.
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a trace from a file path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+const formatTag = "finepack-trace-v1"
+
+// SaveJSON writes the trace as indented JSON: an interoperability export
+// for non-Go tooling (the gob format remains the compact native one).
+func (t *Trace) SaveJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// LoadJSON reads a trace written by SaveJSON and validates it.
+func LoadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

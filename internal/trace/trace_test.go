@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"finepack/internal/gpusim"
+)
+
+// tinyTrace builds a 2-GPU, 2-iteration trace exercising both paradigms.
+func tinyTrace() *Trace {
+	ws := func(dst int, addrs ...uint64) gpusim.WarpStore {
+		return gpusim.WarpStore{Dst: dst, ElemSize: 4, Addrs: addrs}
+	}
+	iter := Iteration{PerGPU: []GPUWork{
+		{
+			ComputeOps: 1e6,
+			Stores:     []gpusim.WarpStore{ws(1, 0, 4, 8), ws(1, 4096)},
+			Copies:     []Copy{{Dst: 1, Bytes: 1 << 20, UsefulBytes: 1 << 10}},
+		},
+		{
+			ComputeOps: 1e6,
+			Stores:     []gpusim.WarpStore{ws(0, 128)},
+			Copies:     []Copy{{Dst: 0, Bytes: 1 << 20, UsefulBytes: 1 << 10}},
+		},
+	}}
+	return &Trace{
+		Name:                "tiny",
+		NumGPUs:             2,
+		SingleGPUOpsPerIter: 2e6,
+		Iterations:          []Iteration{iter, iter},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := tinyTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Trace)
+	}{
+		{"zero gpus", func(tr *Trace) { tr.NumGPUs = 0 }},
+		{"zero baseline ops", func(tr *Trace) { tr.SingleGPUOpsPerIter = 0 }},
+		{"gpu count mismatch", func(tr *Trace) {
+			tr.Iterations[0].PerGPU = tr.Iterations[0].PerGPU[:1]
+		}},
+		{"self store", func(tr *Trace) {
+			tr.Iterations[0].PerGPU[0].Stores[0].Dst = 0
+		}},
+		{"dst out of range", func(tr *Trace) {
+			tr.Iterations[0].PerGPU[0].Stores[0].Dst = 5
+		}},
+		{"invalid warp store", func(tr *Trace) {
+			tr.Iterations[0].PerGPU[0].Stores[0].ElemSize = 0
+		}},
+		{"self copy", func(tr *Trace) {
+			tr.Iterations[0].PerGPU[0].Copies[0].Dst = 0
+		}},
+		{"useful exceeds total", func(tr *Trace) {
+			tr.Iterations[0].PerGPU[0].Copies[0].UsefulBytes = 2 << 20
+		}},
+	}
+	for _, m := range mutations {
+		tr := tinyTrace()
+		m.mut(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: validation should fail", m.name)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := tinyTrace()
+	if got := tr.NumWarpStores(); got != 6 {
+		t.Fatalf("NumWarpStores = %d, want 6", got)
+	}
+	total, useful := tr.CopyBytes()
+	if total != 4<<20 || useful != 4<<10 {
+		t.Fatalf("CopyBytes = %d/%d", total, useful)
+	}
+}
+
+func TestStoreSizeHistogram(t *testing.T) {
+	tr := tinyTrace()
+	h, err := tr.StoreSizeHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: gpu0 warp1 coalesces 3 adjacent 4B lanes → one 12B
+	// tx (16B bucket) plus warp2 → one 4B tx; gpu1 → one 4B tx.
+	// ×2 iterations = 6 transactions: 4 in ≤4B bucket, 2 in 16B.
+	if h.Total() != 6 {
+		t.Fatalf("histogram total = %d, want 6", h.Total())
+	}
+	if got := h.Fraction(4); got < 0.66 || got > 0.67 {
+		t.Fatalf("4B fraction = %v, want 2/3", got)
+	}
+	if got := h.Fraction(16); got < 0.33 || got > 0.34 {
+		t.Fatalf("16B fraction = %v, want 1/3", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.NumGPUs != tr.NumGPUs ||
+		got.NumWarpStores() != tr.NumWarpStores() {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	gt, gu := got.CopyBytes()
+	wt, wu := tr.CopyBytes()
+	if gt != wt || gu != wu {
+		t.Fatal("copy bytes changed in round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage should not load")
+	}
+}
+
+func TestLoadRejectsWrongTag(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-encode a wrong tag.
+	tr := tinyTrace()
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the tag bytes (the format string appears early in the gob
+	// stream).
+	idx := bytes.Index(raw, []byte("finepack-trace-v1"))
+	if idx < 0 {
+		t.Skip("tag not found in encoding")
+	}
+	raw[idx] = 'X'
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted tag should not load")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	tr := tinyTrace()
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "tiny" {
+		t.Fatalf("loaded name %q", got.Name)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := tr.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.NumWarpStores() != tr.NumWarpStores() {
+		t.Fatalf("json round trip mismatch: %+v", got)
+	}
+	if _, err := LoadJSON(bytes.NewReader([]byte("{"))); err == nil {
+		t.Fatal("truncated json accepted")
+	}
+	// JSON load validates too.
+	if _, err := LoadJSON(bytes.NewReader([]byte(`{"Name":"x","NumGPUs":0}`))); err == nil {
+		t.Fatal("invalid trace accepted via json")
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	tr := tinyTrace()
+	tr.Iterations[0].PerGPU[0].Stores[0].Dst = 0 // self-store
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("Load must validate")
+	}
+}

@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestCTAddressesWithinVolume(t *testing.T) {
+	c := NewCT()
+	tr, err := c.Generate(4, Params{Scale: 0.5, Iterations: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := replicaBase + c.VolumeBytes
+	for _, w := range tr.Iterations[0].PerGPU {
+		for _, ws := range w.Stores {
+			for _, a := range ws.Addrs {
+				if a < replicaBase || a+uint64(c.ElemBytes) > hi {
+					t.Fatalf("voxel update at %#x outside volume", a)
+				}
+			}
+		}
+	}
+}
+
+func TestCTBurstStructure(t *testing.T) {
+	c := NewCT()
+	tr, err := c.Generate(4, Params{Scale: 1, Iterations: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive addresses form short adjacent bursts separated by huge
+	// jumps; mean burst length near BurstLen.
+	var bursts, steps int
+	var last uint64
+	first := true
+	for _, ws := range tr.Iterations[0].PerGPU[0].Stores {
+		if ws.Dst != 1 {
+			continue
+		}
+		for _, a := range ws.Addrs {
+			if first {
+				first = false
+				bursts = 1
+			} else {
+				if a == last+uint64(c.ElemBytes) {
+					// continuation
+				} else {
+					bursts++
+				}
+				steps++
+			}
+			last = a
+		}
+	}
+	if bursts == 0 || steps == 0 {
+		t.Fatal("no CT stream to GPU 1")
+	}
+	meanBurst := float64(steps+1) / float64(bursts)
+	if meanBurst < 1.5 || meanBurst > float64(2*c.BurstLen) {
+		t.Fatalf("mean burst = %.1f elements, configured around %d", meanBurst, c.BurstLen)
+	}
+}
+
+func TestCTEvenSpreadAcrossDestinations(t *testing.T) {
+	tr, err := NewCT().Generate(4, Params{Scale: 0.5, Iterations: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, ws := range tr.Iterations[0].PerGPU[0].Stores {
+		counts[ws.Dst] += len(ws.Addrs)
+	}
+	if len(counts) != 3 {
+		t.Fatalf("destinations = %d, want 3", len(counts))
+	}
+	for dst, n := range counts {
+		for dst2, n2 := range counts {
+			if dst != dst2 && (n > 2*n2 || n2 > 2*n) {
+				t.Fatalf("unbalanced all-to-all: %v", counts)
+			}
+		}
+	}
+}
+
+func TestHITTransposeAddresses(t *testing.T) {
+	h := NewHIT()
+	p := Params{Scale: 0.5, Iterations: 1, Seed: 3}
+	tr, err := h.Generate(4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := scaled(h.GridN, p, 8*4) / 4 * 4
+	rowsPer := n / 4
+	rowBytes := uint64(n) * uint64(h.ElemBytes)
+	// Element (r,c) owned by src lands at transposed position (c,r) in
+	// dst's replica: address = (c*n + r)*elem, with c in dst's rows and
+	// r in src's rows.
+	for src, w := range tr.Iterations[0].PerGPU {
+		for _, ws := range w.Stores {
+			for _, addr := range ws.Addrs {
+				off := addr - replicaBase
+				c := int(off / rowBytes)
+				r := int(off % rowBytes / uint64(h.ElemBytes))
+				if c/rowsPer != ws.Dst {
+					t.Fatalf("src %d: column %d not owned by dst %d", src, c, ws.Dst)
+				}
+				if r/rowsPer != src {
+					t.Fatalf("src %d: row %d not owned by src", src, r)
+				}
+			}
+		}
+	}
+}
+
+func TestHITTileVolumeConservation(t *testing.T) {
+	h := NewHIT()
+	p := Params{Scale: 0.5, Iterations: 1, Seed: 3}
+	tr, err := h.Generate(4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := scaled(h.GridN, p, 8*4) / 4 * 4
+	rowsPer := n / 4
+	wantPerPair := uint64(rowsPer) * uint64(rowsPer) * uint64(h.ElemBytes)
+	for src, w := range tr.Iterations[0].PerGPU {
+		perDst := map[int]uint64{}
+		for _, ws := range w.Stores {
+			perDst[ws.Dst] += uint64(len(ws.Addrs) * ws.ElemSize)
+		}
+		for dst, got := range perDst {
+			if got != wantPerPair {
+				t.Fatalf("src %d → dst %d moved %d bytes, want %d (one tile)",
+					src, dst, got, wantPerPair)
+			}
+		}
+	}
+}
+
+func TestHITStaggeredDestinations(t *testing.T) {
+	tr, err := NewHIT().Generate(4, Params{Scale: 0.25, Iterations: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each source's first destination is src+1 (the anti-hotspot
+	// schedule), so first stores differ per source.
+	for src, w := range tr.Iterations[0].PerGPU {
+		if len(w.Stores) == 0 {
+			t.Fatalf("src %d has no stores", src)
+		}
+		if want := (src + 1) % 4; w.Stores[0].Dst != want {
+			t.Fatalf("src %d starts with dst %d, want %d", src, w.Stores[0].Dst, want)
+		}
+	}
+}
+
+func TestDstOrderHelper(t *testing.T) {
+	got := dstOrder(2, 4)
+	want := []int{3, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("dstOrder = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dstOrder = %v, want %v", got, want)
+		}
+	}
+}

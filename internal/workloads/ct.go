@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"finepack/internal/trace"
+)
+
+// CT is the model-based iterative reconstruction (MBIR) benchmark of §V.
+// Voxel updates scatter across a multi-GB reconstruction volume replicated
+// on every GPU: the communication pattern is all-to-all and — uniquely in
+// the suite — updates have *minimal spatial locality* (a short burst around
+// a voxel, then a jump anywhere in the volume), so FinePack's coalescing
+// window thrashes and packs only a handful of stores per packet (the Fig 11
+// outlier). MBIR's heavy per-update arithmetic keeps the application from
+// being severely bandwidth bound, so it still scales well (Fig 9).
+type CT struct {
+	// VolumeBytes is the replicated reconstruction volume size.
+	VolumeBytes uint64
+	// UpdatesPerGPU is the voxel updates pushed per GPU per iteration.
+	UpdatesPerGPU int
+	// BurstLen is the mean spatially local burst length around a voxel.
+	BurstLen int
+	// ElemBytes is the voxel update size.
+	ElemBytes int
+	// OpsPerUpdate is the forward/back-projection work per update.
+	OpsPerUpdate float64
+	// Efficiency is the parallel efficiency.
+	Efficiency float64
+}
+
+// NewCT returns the default configuration.
+func NewCT() *CT {
+	return &CT{
+		VolumeBytes:   8 << 30,
+		UpdatesPerGPU: 20000,
+		BurstLen:      3,
+		ElemBytes:     8,
+		OpsPerUpdate:  2200,
+		Efficiency:    0.8,
+	}
+}
+
+// Name implements Workload.
+func (c *CT) Name() string { return "ct" }
+
+// Description implements Workload.
+func (c *CT) Description() string {
+	return "MBIR CT reconstruction; scattered voxel updates across a multi-GB volume"
+}
+
+// Pattern implements Workload.
+func (c *CT) Pattern() string { return "all-to-all" }
+
+// Generate implements Workload.
+func (c *CT) Generate(numGPUs int, p Params) (*trace.Trace, error) {
+	p = p.withDefaults()
+	updates := scaled(c.UpdatesPerGPU, p, 32)
+	totalOps := float64(updates) * float64(numGPUs) * c.OpsPerUpdate
+	perGPUOps := totalOps / float64(numGPUs) / c.Efficiency
+	rng := rand.New(rand.NewSource(p.Seed + 13))
+
+	var iters []trace.Iteration
+	for it := 0; it < p.Iterations; it++ {
+		iter := trace.Iteration{PerGPU: make([]trace.GPUWork, numGPUs)}
+		for src := 0; src < numGPUs; src++ {
+			w := trace.GPUWork{ComputeOps: perGPUOps}
+			perDst := updates / (numGPUs - 1)
+			for _, dst := range dstOrder(src, numGPUs) {
+				addrs := c.burstAddrs(rng, perDst)
+				w.Stores = append(w.Stores, pushAddrs(dst, c.ElemBytes, addrs)...)
+				// memcpy variant: per-sector update buffers are shipped
+				// whole; ~70% of the shipped bytes are consumed.
+				useful := uint64(perDst) * uint64(c.ElemBytes)
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst:         dst,
+					Bytes:       useful * 14 / 10,
+					UsefulBytes: useful,
+				})
+			}
+			iter.PerGPU[src] = w
+		}
+		iters = append(iters, iter)
+	}
+	t := &trace.Trace{
+		Name:                c.Name(),
+		NumGPUs:             numGPUs,
+		SingleGPUOpsPerIter: totalOps,
+		Iterations:          iters,
+	}
+	return t, t.Validate()
+}
+
+// burstAddrs builds count scattered voxel-update addresses: short runs of
+// adjacent voxels separated by volume-scale jumps.
+func (c *CT) burstAddrs(rng *rand.Rand, count int) []uint64 {
+	voxels := int64(c.VolumeBytes) / int64(c.ElemBytes)
+	addrs := make([]uint64, 0, count)
+	for len(addrs) < count {
+		pos := rng.Int63n(voxels)
+		burst := 1 + rng.Intn(2*c.BurstLen)
+		for b := 0; b < burst && len(addrs) < count; b++ {
+			v := pos + int64(b)
+			if v >= voxels {
+				break
+			}
+			addrs = append(addrs, replicaBase+uint64(v)*uint64(c.ElemBytes))
+		}
+	}
+	return addrs
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"finepack/internal/trace"
+)
+
+// Diffusion is the Tartan heat-equation / inviscid Burgers solver (§V):
+// a 2D explicit stencil with one-deep halo exchange between neighboring
+// GPUs each step. Like Jacobi it is regular (contiguous 128B stores), but
+// with a larger grid and heavier per-point arithmetic (the Burgers flux
+// computation), so compute covers more of the communication.
+type Diffusion struct {
+	// GridN is the square grid dimension.
+	GridN int
+	// OpsPerPoint is per-point work (heat + Burgers updates).
+	OpsPerPoint float64
+	// Efficiency is the parallel efficiency.
+	Efficiency float64
+}
+
+// NewDiffusion returns the default configuration.
+func NewDiffusion() *Diffusion {
+	return &Diffusion{GridN: 3072, OpsPerPoint: 14, Efficiency: 0.96}
+}
+
+// Name implements Workload.
+func (d *Diffusion) Name() string { return "diffusion" }
+
+// Description implements Workload.
+func (d *Diffusion) Description() string {
+	return "Tartan heat-equation/Burgers stencil; 1-deep halo exchange with neighbors"
+}
+
+// Pattern implements Workload.
+func (d *Diffusion) Pattern() string { return "peer" }
+
+// Generate implements Workload.
+func (d *Diffusion) Generate(numGPUs int, p Params) (*trace.Trace, error) {
+	p = p.withDefaults()
+	n := scaled(d.GridN, p, 8*numGPUs)
+	rowBytes := uint64(n) * 8
+	rowsPer := n / numGPUs
+	totalOps := float64(n) * float64(n) * d.OpsPerPoint
+	perGPUOps := totalOps / float64(numGPUs) / d.Efficiency
+
+	var iters []trace.Iteration
+	for it := 0; it < p.Iterations; it++ {
+		iter := trace.Iteration{PerGPU: make([]trace.GPUWork, numGPUs)}
+		for g := 0; g < numGPUs; g++ {
+			w := trace.GPUWork{ComputeOps: perGPUOps}
+			lo := g * rowsPer
+			hi := lo + rowsPer
+			if g > 0 {
+				base := replicaBase + uint64(lo)*rowBytes
+				w.Stores = append(w.Stores, pushContiguous(g-1, base, int(rowBytes))...)
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst: g - 1, Bytes: rowBytes, UsefulBytes: rowBytes,
+				})
+			}
+			if g < numGPUs-1 {
+				base := replicaBase + uint64(hi-1)*rowBytes
+				w.Stores = append(w.Stores, pushContiguous(g+1, base, int(rowBytes))...)
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst: g + 1, Bytes: rowBytes, UsefulBytes: rowBytes,
+				})
+			}
+			iter.PerGPU[g] = w
+		}
+		iters = append(iters, iter)
+	}
+	t := &trace.Trace{
+		Name:                d.Name(),
+		NumGPUs:             numGPUs,
+		SingleGPUOpsPerIter: totalOps,
+		Iterations:          iters,
+	}
+	return t, t.Validate()
+}

@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"fmt"
+
+	"finepack/internal/gpusim"
+	"finepack/internal/trace"
+)
+
+// EQWP is the Tartan 3D earthquake-wave-propagation model (§V): a
+// 4th-order finite-difference stencil on an N³ grid, partitioned in 2D
+// across GPUs (x × y tiles, full z columns). Each step exchanges 2-deep
+// halo faces with the x- and y-neighbors. The y-faces are contiguous rows
+// (efficient 128B stores) but the x-faces are strided 16B element pairs —
+// the mixed store-size case where plain P2P stores start losing to
+// FinePack.
+type EQWP struct {
+	// GridN is the cubic grid dimension.
+	GridN int
+	// OpsPerPoint is the 4th-order stencil work per grid point.
+	OpsPerPoint float64
+	// Efficiency is the parallel efficiency.
+	Efficiency float64
+	// HaloDepth is the halo thickness (2 for 4th-order).
+	HaloDepth int
+}
+
+// NewEQWP returns the default configuration.
+func NewEQWP() *EQWP {
+	return &EQWP{GridN: 192, OpsPerPoint: 55, Efficiency: 0.9, HaloDepth: 2}
+}
+
+// Name implements Workload.
+func (e *EQWP) Name() string { return "eqwp" }
+
+// Description implements Workload.
+func (e *EQWP) Description() string {
+	return "Tartan 3D earthquake wave propagation; 2-deep 2D halo exchange"
+}
+
+// Pattern implements Workload.
+func (e *EQWP) Pattern() string { return "peer" }
+
+// factor2D splits n GPUs into the most square gx × gy tiling with gx ≥ gy.
+func factor2D(n int) (gx, gy int) {
+	gy = 1
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			gy = f
+		}
+	}
+	return n / gy, gy
+}
+
+// Generate implements Workload.
+func (e *EQWP) Generate(numGPUs int, p Params) (*trace.Trace, error) {
+	p = p.withDefaults()
+	n := scaled(e.GridN, p, 4*numGPUs)
+	gx, gy := factor2D(numGPUs)
+	if n%gx != 0 || n%gy != 0 {
+		n = n / (gx * gy) * (gx * gy) // round to a divisible size
+		if n == 0 {
+			return nil, fmt.Errorf("eqwp: grid too small for %d GPUs", numGPUs)
+		}
+	}
+	tileX, tileY := n/gx, n/gy
+	totalOps := float64(n) * float64(n) * float64(n) * e.OpsPerPoint
+	perGPUOps := totalOps / float64(numGPUs) / e.Efficiency
+	rowBytes := uint64(n) * 8   // one x-row of the full grid
+	elemPair := 8 * e.HaloDepth // HaloDepth adjacent x-elements: one store
+	gpuOf := func(px, py int) int { return py*gx + px }
+
+	var iters []trace.Iteration
+	for it := 0; it < p.Iterations; it++ {
+		iter := trace.Iteration{PerGPU: make([]trace.GPUWork, numGPUs)}
+		for g := 0; g < numGPUs; g++ {
+			px, py := g%gx, g/gx
+			w := trace.GPUWork{ComputeOps: perGPUOps}
+			x0, y0 := px*tileX, py*tileY
+
+			// addrOf returns the replica byte address of grid point
+			// (x,y,z) under the (z-major, then y, then x) layout.
+			addrOf := func(x, y, z int) uint64 {
+				return replicaBase + ((uint64(z)*uint64(n)+uint64(y))*uint64(n)+uint64(x))*8
+			}
+			faceBytes := uint64(e.HaloDepth) * uint64(tileY) * uint64(n) * 8
+
+			// X-direction faces: HaloDepth adjacent x-elements per (y,z)
+			// → strided elemPair-byte stores.
+			xFace := func(dst, xEdge int) {
+				var stores []gpusim.WarpStore
+				for z := 0; z < n; z++ {
+					base := addrOf(xEdge, y0, z)
+					stores = append(stores,
+						pushStrided(dst, base, elemPair, tileY, rowBytes)...)
+				}
+				w.Stores = append(w.Stores, stores...)
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst: dst, Bytes: faceBytes, UsefulBytes: faceBytes,
+				})
+			}
+			if px > 0 {
+				xFace(gpuOf(px-1, py), x0)
+			}
+			if px < gx-1 {
+				xFace(gpuOf(px+1, py), x0+tileX-e.HaloDepth)
+			}
+
+			// Y-direction faces: contiguous x-rows per (depth, z).
+			yFaceBytes := uint64(e.HaloDepth) * uint64(tileX) * uint64(n) * 8
+			yFace := func(dst, yEdge int) {
+				for z := 0; z < n; z++ {
+					for d := 0; d < e.HaloDepth; d++ {
+						base := addrOf(x0, yEdge+d, z)
+						w.Stores = append(w.Stores,
+							pushContiguous(dst, base, tileX*8)...)
+					}
+				}
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst: dst, Bytes: yFaceBytes, UsefulBytes: yFaceBytes,
+				})
+			}
+			if py > 0 {
+				yFace(gpuOf(px, py-1), y0)
+			}
+			if py < gy-1 {
+				yFace(gpuOf(px, py+1), y0+tileY-e.HaloDepth)
+			}
+			iter.PerGPU[g] = w
+		}
+		iters = append(iters, iter)
+	}
+	t := &trace.Trace{
+		Name:                e.Name(),
+		NumGPUs:             numGPUs,
+		SingleGPUOpsPerIter: totalOps,
+		Iterations:          iters,
+	}
+	return t, t.Validate()
+}

@@ -1,0 +1,223 @@
+package workloads
+
+import (
+	"testing"
+
+	"finepack/internal/datasets"
+	"finepack/internal/trace"
+)
+
+func TestPagerankPushesMatchCrossSets(t *testing.T) {
+	pr := NewPagerank()
+	p := Params{Scale: 0.25, Iterations: 1, Seed: 3}
+	tr, err := pr.Generate(4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the boundary sets independently and check the pushed
+	// address sets match exactly (addresses = replicaBase + v*8, each
+	// vertex pushed PushRounds times).
+	n := scaled(pr.Vertices, p, 64*4)
+	g := datasets.CageLike(n, pr.AvgDegree, pr.HalfBand, p.Seed)
+	ranges := datasets.Partition1D(n, 4)
+	cross, err := datasets.CrossSets(g, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 4; src++ {
+		pushed := map[int]map[uint64]int{} // dst → addr → count
+		for _, ws := range tr.Iterations[0].PerGPU[src].Stores {
+			m, ok := pushed[ws.Dst]
+			if !ok {
+				m = map[uint64]int{}
+				pushed[ws.Dst] = m
+			}
+			for _, a := range ws.Addrs {
+				m[a]++
+			}
+		}
+		for dst := 0; dst < 4; dst++ {
+			if dst == src {
+				continue
+			}
+			want := cross[src][dst]
+			got := pushed[dst]
+			if len(got) != len(want) {
+				t.Fatalf("src %d dst %d: %d unique pushes, want %d",
+					src, dst, len(got), len(want))
+			}
+			for _, v := range want {
+				addr := replicaBase + uint64(v)*8
+				if got[addr] != pr.PushRounds {
+					t.Fatalf("src %d dst %d vertex %d pushed %d times, want %d",
+						src, dst, v, got[addr], pr.PushRounds)
+				}
+			}
+		}
+	}
+}
+
+func TestPagerankPeerPattern(t *testing.T) {
+	tr, err := NewPagerank().Generate(4, Params{Scale: 0.25, Iterations: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Cage band keeps communication between adjacent partitions only.
+	for g, w := range tr.Iterations[0].PerGPU {
+		for _, ws := range w.Stores {
+			d := ws.Dst - g
+			if d != 1 && d != -1 {
+				t.Fatalf("gpu %d pushes to non-neighbor %d (band leaked)", g, ws.Dst)
+			}
+		}
+	}
+}
+
+func TestPagerankDMAOverTransfer(t *testing.T) {
+	tr, err := NewPagerank().Generate(4, Params{Scale: 0.25, Iterations: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, useful := tr.CopyBytes()
+	if useful >= total {
+		t.Fatal("pagerank memcpy should over-transfer (band span vs consumed)")
+	}
+	ratio := float64(total) / float64(useful)
+	if ratio < 1.1 || ratio > 4 {
+		t.Fatalf("over-transfer ratio = %.2f, want a moderate band-span factor", ratio)
+	}
+}
+
+func TestSSSPFrontierVariesPerIteration(t *testing.T) {
+	tr, err := NewSSSP().Generate(4, Params{Scale: 0.25, Iterations: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]uint64{}
+	for i, it := range tr.Iterations {
+		var n uint64
+		for _, w := range it.PerGPU {
+			for _, ws := range w.Stores {
+				n += uint64(len(ws.Addrs))
+			}
+		}
+		counts[i] = n
+	}
+	if counts[0] == counts[1] && counts[1] == counts[2] {
+		t.Fatal("frontier should vary across iterations")
+	}
+}
+
+func TestSSSPRelaxationMultiplicity(t *testing.T) {
+	s := NewSSSP()
+	tr, err := s.Generate(4, Params{Scale: 0.25, Iterations: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pushed address appears exactly Relaxations times per (src,dst).
+	for src, w := range tr.Iterations[0].PerGPU {
+		seen := map[uint64]int{} // dst<<56|addr → count
+		for _, ws := range w.Stores {
+			for _, a := range ws.Addrs {
+				seen[uint64(ws.Dst)<<56|a]++
+			}
+		}
+		for k, c := range seen {
+			if c != s.Relaxations {
+				t.Fatalf("src %d key %#x relaxed %d times, want %d", src, k, c, s.Relaxations)
+			}
+		}
+	}
+}
+
+func TestSSSPAtomicFraction(t *testing.T) {
+	s := NewSSSP()
+	tr, err := s.Generate(4, Params{Scale: 0.25, Iterations: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atomics, total int
+	for _, w := range tr.Iterations[0].PerGPU {
+		for _, ws := range w.Stores {
+			total++
+			if ws.Atomic {
+				atomics++
+			}
+		}
+	}
+	if atomics == 0 {
+		t.Fatal("SSSP should include atomic relaxations")
+	}
+	frac := float64(atomics) / float64(total)
+	if frac < s.AtomicFraction/2 || frac > s.AtomicFraction*2 {
+		t.Fatalf("atomic warp fraction = %.3f, configured %.3f", frac, s.AtomicFraction)
+	}
+}
+
+func TestALSConsumptionStableAcrossIterations(t *testing.T) {
+	tr, err := NewALS().Generate(4, Params{Scale: 0.25, Iterations: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rating structure is static: both iterations push identical
+	// address sets.
+	addrSet := func(it trace.Iteration) map[uint64]bool {
+		m := map[uint64]bool{}
+		for _, w := range it.PerGPU {
+			for _, ws := range w.Stores {
+				for _, a := range ws.Addrs {
+					m[uint64(ws.Dst)<<56|a] = true
+				}
+			}
+		}
+		return m
+	}
+	a, b := addrSet(tr.Iterations[0]), addrSet(tr.Iterations[1])
+	if len(a) != len(b) {
+		t.Fatalf("iteration address sets differ: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatal("iteration address sets differ in content")
+		}
+	}
+}
+
+func TestALSAllToAll(t *testing.T) {
+	tr, err := NewALS().Generate(4, Params{Scale: 0.25, Iterations: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ordered pair communicates.
+	pairs := map[[2]int]bool{}
+	for g, w := range tr.Iterations[0].PerGPU {
+		for _, ws := range w.Stores {
+			pairs[[2]int{g, ws.Dst}] = true
+		}
+	}
+	if len(pairs) != 12 {
+		t.Fatalf("active pairs = %d, want 12 (all-to-all)", len(pairs))
+	}
+}
+
+func TestALSPushesOwnedItemsOnly(t *testing.T) {
+	a := NewALS()
+	p := Params{Scale: 0.25, Iterations: 1, Seed: 3}
+	tr, err := a.Generate(4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := scaled(a.Items, p, 64*4)
+	per := n / 4
+	for g, w := range tr.Iterations[0].PerGPU {
+		lo := replicaBase + uint64(g*per)*uint64(a.FactorBytes)
+		hi := replicaBase + uint64((g+1)*per)*uint64(a.FactorBytes)
+		for _, ws := range w.Stores {
+			for _, addr := range ws.Addrs {
+				if addr < lo || addr >= hi {
+					t.Fatalf("gpu %d pushed non-owned item at %#x", g, addr)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"finepack/internal/trace"
+)
+
+// HIT is the Tartan homogeneous-isotropic-turbulence benchmark of §V: a
+// pseudo-spectral solver that partitions the grid along X, runs FFTs, and
+// transposes the coefficient matrix between passes via all-to-all
+// transfers. The transpose writes each element to its transposed position
+// in the destination replica — a column walk through a row-major matrix —
+// so the store stream is a regular 8B-element stride pattern: sequential
+// stores land in distinct cache lines (no warp coalescing) but stay inside
+// one FinePack window, the case where FinePack's packing shines.
+type HIT struct {
+	// GridN is the square spectral grid dimension.
+	GridN int
+	// ElemBytes is the transposed element size.
+	ElemBytes int
+	// OpsPerPoint covers the FFT passes and the nonlinear term per grid
+	// point per step.
+	OpsPerPoint float64
+	// Efficiency is the parallel efficiency.
+	Efficiency float64
+	// DMAOverTransfer is the factor by which the pitched bulk-copy
+	// transpose path over-transfers (row padding).
+	DMAOverTransfer float64
+}
+
+// NewHIT returns the default configuration.
+func NewHIT() *HIT {
+	return &HIT{
+		GridN:           512,
+		ElemBytes:       8,
+		OpsPerPoint:     1200,
+		Efficiency:      0.94,
+		DMAOverTransfer: 1.15,
+	}
+}
+
+// Name implements Workload.
+func (h *HIT) Name() string { return "hit" }
+
+// Description implements Workload.
+func (h *HIT) Description() string {
+	return "Tartan homogeneous isotropic turbulence; FFT transpose via all-to-all"
+}
+
+// Pattern implements Workload.
+func (h *HIT) Pattern() string { return "all-to-all" }
+
+// Generate implements Workload.
+func (h *HIT) Generate(numGPUs int, p Params) (*trace.Trace, error) {
+	p = p.withDefaults()
+	n := scaled(h.GridN, p, 8*numGPUs)
+	n = n / numGPUs * numGPUs
+	rowsPer := n / numGPUs
+	totalOps := float64(n) * float64(n) * h.OpsPerPoint
+	perGPUOps := totalOps / float64(numGPUs) / h.Efficiency
+	rowBytes := uint64(n) * uint64(h.ElemBytes)
+
+	var iters []trace.Iteration
+	for it := 0; it < p.Iterations; it++ {
+		iter := trace.Iteration{PerGPU: make([]trace.GPUWork, numGPUs)}
+		for src := 0; src < numGPUs; src++ {
+			w := trace.GPUWork{ComputeOps: perGPUOps}
+			r0 := src * rowsPer
+			for _, dst := range dstOrder(src, numGPUs) {
+				c0 := dst * rowsPer
+				// Element (r,c) of the owned row block moves to position
+				// (c,r) of the destination replica: for each owned row r,
+				// a column walk with stride rowBytes starting at
+				// (c0*n + r).
+				for r := r0; r < r0+rowsPer; r++ {
+					base := replicaBase +
+						(uint64(c0)*uint64(n)+uint64(r))*uint64(h.ElemBytes)
+					w.Stores = append(w.Stores,
+						pushStrided(dst, base, h.ElemBytes, rowsPer, rowBytes)...)
+				}
+				tileBytes := uint64(rowsPer) * uint64(rowsPer) * uint64(h.ElemBytes)
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst:         dst,
+					Bytes:       uint64(float64(tileBytes) * h.DMAOverTransfer),
+					UsefulBytes: tileBytes,
+				})
+			}
+			iter.PerGPU[src] = w
+		}
+		iters = append(iters, iter)
+	}
+	t := &trace.Trace{
+		Name:                h.Name(),
+		NumGPUs:             numGPUs,
+		SingleGPUOpsPerIter: totalOps,
+		Iterations:          iters,
+	}
+	return t, t.Validate()
+}

@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"fmt"
+
+	"finepack/internal/trace"
+)
+
+// Jacobi is the iterative solver of §V: Ax = b with a synthetically
+// generated banded coefficient matrix (the 5-point discretization of a 2D
+// grid, the canonical finite-element band structure). The solution vector
+// is replicated; each GPU owns a contiguous block of rows and pushes its
+// boundary rows to the adjacent GPUs every sweep. Communication is
+// peer-to-peer and fully coalesced (128B stores), the regular case where
+// plain P2P stores already perform well (Fig 9).
+type Jacobi struct {
+	// GridN is the 2D grid dimension (GridN × GridN unknowns).
+	GridN int
+	// OpsPerPoint is the per-unknown work of one sweep.
+	OpsPerPoint float64
+	// Efficiency is the multi-GPU parallel efficiency (boundary handling
+	// and launch overheads), bounding the infinite-bandwidth speedup.
+	Efficiency float64
+	// HaloDepth is the number of boundary rows exchanged per direction.
+	HaloDepth int
+}
+
+// NewJacobi returns the default configuration.
+func NewJacobi() *Jacobi {
+	return &Jacobi{GridN: 4096, OpsPerPoint: 8, Efficiency: 0.95, HaloDepth: 1}
+}
+
+// Name implements Workload.
+func (j *Jacobi) Name() string { return "jacobi" }
+
+// Description implements Workload.
+func (j *Jacobi) Description() string {
+	return "Jacobi solver on a banded (2D Poisson) system; halo exchange with neighbors"
+}
+
+// Pattern implements Workload.
+func (j *Jacobi) Pattern() string { return "peer" }
+
+// Generate implements Workload.
+func (j *Jacobi) Generate(numGPUs int, p Params) (*trace.Trace, error) {
+	p = p.withDefaults()
+	n := scaled(j.GridN, p, 8*numGPUs)
+	if numGPUs < 1 {
+		return nil, fmt.Errorf("jacobi: numGPUs = %d", numGPUs)
+	}
+	rowBytes := uint64(n) * 8
+	rowsPer := n / numGPUs
+	totalOps := float64(n) * float64(n) * j.OpsPerPoint
+	perGPUOps := totalOps / float64(numGPUs) / j.Efficiency
+
+	var iters []trace.Iteration
+	for it := 0; it < p.Iterations; it++ {
+		iter := trace.Iteration{PerGPU: make([]trace.GPUWork, numGPUs)}
+		for g := 0; g < numGPUs; g++ {
+			w := trace.GPUWork{ComputeOps: perGPUOps}
+			lo := g * rowsPer
+			hi := lo + rowsPer
+			haloBytes := j.HaloDepth * int(rowBytes)
+			if g > 0 {
+				// Push the first owned rows to the lower neighbor.
+				base := replicaBase + uint64(lo)*rowBytes
+				w.Stores = append(w.Stores, pushContiguous(g-1, base, haloBytes)...)
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst: g - 1, Bytes: uint64(haloBytes), UsefulBytes: uint64(haloBytes),
+				})
+			}
+			if g < numGPUs-1 {
+				// Push the last owned rows to the upper neighbor.
+				base := replicaBase + uint64(hi-j.HaloDepth)*rowBytes
+				w.Stores = append(w.Stores, pushContiguous(g+1, base, haloBytes)...)
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst: g + 1, Bytes: uint64(haloBytes), UsefulBytes: uint64(haloBytes),
+				})
+			}
+			iter.PerGPU[g] = w
+		}
+		iters = append(iters, iter)
+	}
+	t := &trace.Trace{
+		Name:                j.Name(),
+		NumGPUs:             numGPUs,
+		SingleGPUOpsPerIter: totalOps,
+		Iterations:          iters,
+	}
+	if numGPUs == 1 {
+		return t, t.Validate()
+	}
+	return t, t.Validate()
+}

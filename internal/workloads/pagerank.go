@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"fmt"
+
+	"finepack/internal/datasets"
+	"finepack/internal/trace"
+)
+
+// Pagerank is the iterative matrix-vector PageRank of §V, evaluated on a
+// Cage-like matrix. The rank vector is replicated; after each sweep a GPU
+// pushes the new ranks of exactly those owned vertices some remote GPU's
+// in-edges consume. The Cage band structure makes the pattern peer-to-peer,
+// but in-band irregularity scatters the 8B pushes across cache lines —
+// Fig 1's sub-cacheline case. The memcpy variant instead copies the
+// contiguous boundary band, over-transferring ranks nobody reads
+// (§II-B "Over-transfer of data").
+type Pagerank struct {
+	// Vertices is the graph size.
+	Vertices int
+	// AvgDegree is the mean out-degree.
+	AvgDegree int
+	// HalfBand is the Cage-like band half-width.
+	HalfBand int
+	// OpsPerEdge covers the gather-multiply work per edge.
+	OpsPerEdge float64
+	// OpsPerVertex covers the per-vertex rank update.
+	OpsPerVertex float64
+	// Efficiency is the parallel efficiency.
+	Efficiency float64
+	// PushRounds is how many times ranks are re-pushed per iteration
+	// (partial accumulations under the push-style kernel): the temporal
+	// redundancy plain P2P pays for and FinePack coalesces away.
+	PushRounds int
+}
+
+// NewPagerank returns the default configuration.
+func NewPagerank() *Pagerank {
+	return &Pagerank{
+		Vertices:     1 << 17,
+		AvgDegree:    16,
+		HalfBand:     4096,
+		OpsPerEdge:   12,
+		OpsPerVertex: 10,
+		Efficiency:   0.92,
+		PushRounds:   4,
+	}
+}
+
+// Name implements Workload.
+func (pr *Pagerank) Name() string { return "pagerank" }
+
+// Description implements Workload.
+func (pr *Pagerank) Description() string {
+	return "iterative PageRank on a Cage-like banded irregular matrix"
+}
+
+// Pattern implements Workload.
+func (pr *Pagerank) Pattern() string { return "peer" }
+
+// Generate implements Workload.
+func (pr *Pagerank) Generate(numGPUs int, p Params) (*trace.Trace, error) {
+	p = p.withDefaults()
+	n := scaled(pr.Vertices, p, 64*numGPUs)
+	g := datasets.CageLike(n, pr.AvgDegree, pr.HalfBand, p.Seed)
+	ranges := datasets.Partition1D(n, numGPUs)
+	cross, err := datasets.CrossSets(g, ranges)
+	if err != nil {
+		return nil, fmt.Errorf("pagerank: %w", err)
+	}
+	totalOps := float64(g.Edges())*pr.OpsPerEdge + float64(n)*pr.OpsPerVertex
+	perGPUOps := totalOps / float64(numGPUs) / pr.Efficiency
+
+	const elem = 8 // one float64 rank per vertex
+	var iters []trace.Iteration
+	for it := 0; it < p.Iterations; it++ {
+		iter := trace.Iteration{PerGPU: make([]trace.GPUWork, numGPUs)}
+		for src := 0; src < numGPUs; src++ {
+			w := trace.GPUWork{ComputeOps: perGPUOps}
+			for _, dst := range dstOrder(src, numGPUs) {
+				b := cross[src][dst]
+				if len(b) == 0 {
+					continue
+				}
+				w.Stores = append(w.Stores,
+					repeat(pushList(dst, replicaBase, elem, b), pr.PushRounds)...)
+				// The memcpy variant copies the contiguous index span
+				// covering the boundary set (the band edge region):
+				// everything between the first and last consumed vertex.
+				span := uint64(b[len(b)-1]-b[0]+1) * elem
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst:         dst,
+					Bytes:       span,
+					UsefulBytes: uint64(len(b)) * elem,
+				})
+			}
+			iter.PerGPU[src] = w
+		}
+		iters = append(iters, iter)
+	}
+	t := &trace.Trace{
+		Name:                pr.Name(),
+		NumGPUs:             numGPUs,
+		SingleGPUOpsPerIter: totalOps,
+		Iterations:          iters,
+	}
+	return t, t.Validate()
+}

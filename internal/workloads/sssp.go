@@ -1,0 +1,137 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"finepack/internal/datasets"
+	"finepack/internal/trace"
+)
+
+// SSSP is the Bellman-Ford single-source shortest path of §V, run on a
+// web-crawl-like graph (the indochina stand-in). Distances are replicated;
+// each relaxation sweep pushes improved distances of frontier vertices to
+// every GPU whose edges consume them. The hub-dominated crawl structure
+// makes the pattern many-to-many, pushes are scattered 8B stores, and a
+// vertex's distance typically improves several times within a sweep —
+// maximal temporal redundancy that plain P2P resends and FinePack
+// coalesces.
+type SSSP struct {
+	// Vertices and AvgDegree size the graph.
+	Vertices  int
+	AvgDegree int
+	// CrossFraction is the long-range link fraction in the crawl model.
+	CrossFraction float64
+	// FrontierFraction is the share of boundary vertices active per sweep.
+	FrontierFraction float64
+	// Relaxations is how many times a frontier vertex's distance is
+	// re-pushed within one sweep.
+	Relaxations int
+	// OpsPerEdge is the relax work per scanned edge.
+	OpsPerEdge float64
+	// Efficiency is the parallel efficiency.
+	Efficiency float64
+	// AtomicFraction is the share of push warps issued as remote
+	// atomicMin operations (contended relaxations that cannot be plain
+	// stores). Atomics bypass both L1 coalescing and FinePack packing
+	// (§IV-C), so this exercises the uncoalesced path in integration.
+	AtomicFraction float64
+}
+
+// NewSSSP returns the default configuration.
+func NewSSSP() *SSSP {
+	return &SSSP{
+		Vertices:         1 << 17,
+		AvgDegree:        12,
+		CrossFraction:    0.04,
+		FrontierFraction: 0.3,
+		Relaxations:      3,
+		OpsPerEdge:       45,
+		Efficiency:       0.88,
+		AtomicFraction:   0.04,
+	}
+}
+
+// Name implements Workload.
+func (s *SSSP) Name() string { return "sssp" }
+
+// Description implements Workload.
+func (s *SSSP) Description() string {
+	return "Bellman-Ford SSSP on a web-crawl-like graph (indochina stand-in)"
+}
+
+// Pattern implements Workload.
+func (s *SSSP) Pattern() string { return "many-to-many" }
+
+// Generate implements Workload.
+func (s *SSSP) Generate(numGPUs int, p Params) (*trace.Trace, error) {
+	p = p.withDefaults()
+	n := scaled(s.Vertices, p, 64*numGPUs)
+	g := datasets.WebLike(n, s.AvgDegree, s.CrossFraction, p.Seed)
+	ranges := datasets.Partition1D(n, numGPUs)
+	cross, err := datasets.CrossSets(g, ranges)
+	if err != nil {
+		return nil, fmt.Errorf("sssp: %w", err)
+	}
+	totalOps := float64(g.Edges()) * s.OpsPerEdge * s.FrontierFraction * 2
+	perGPUOps := totalOps / float64(numGPUs) / s.Efficiency
+	rng := rand.New(rand.NewSource(p.Seed + 77))
+
+	const elem = 8 // distance value
+	var iters []trace.Iteration
+	for it := 0; it < p.Iterations; it++ {
+		iter := trace.Iteration{PerGPU: make([]trace.GPUWork, numGPUs)}
+		for src := 0; src < numGPUs; src++ {
+			w := trace.GPUWork{ComputeOps: perGPUOps}
+			for _, dst := range dstOrder(src, numGPUs) {
+				b := cross[src][dst]
+				if len(b) == 0 {
+					continue
+				}
+				// The frontier is a per-iteration random subset of the
+				// boundary set (kept sorted: the kernel scans vertices
+				// in index order).
+				frontier := make([]int32, 0, int(float64(len(b))*s.FrontierFraction)+1)
+				for _, v := range b {
+					if rng.Float64() < s.FrontierFraction {
+						frontier = append(frontier, v)
+					}
+				}
+				if len(frontier) == 0 {
+					continue
+				}
+				pushes := repeat(pushList(dst, replicaBase, elem, frontier), s.Relaxations)
+				// A deterministic subset of push warps are contended
+				// atomicMin relaxations.
+				if s.AtomicFraction > 0 {
+					stride := int(1 / s.AtomicFraction)
+					for i := range pushes {
+						if i%stride == stride-1 {
+							pushes[i].Atomic = true
+						}
+					}
+				}
+				w.Stores = append(w.Stores, pushes...)
+				// memcpy variant: the programmer ships compacted dirty
+				// update buffers (index + distance pairs at page
+				// granularity); page slack and indices make the copy
+				// ~4× the useful distance bytes (§II-B over-transfer).
+				useful := uint64(len(frontier)) * elem
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst:         dst,
+					Bytes:       3 * useful,
+					UsefulBytes: useful,
+				})
+			}
+			iter.PerGPU[src] = w
+		}
+		iters = append(iters, iter)
+	}
+	t := &trace.Trace{
+		Name:                s.Name(),
+		NumGPUs:             numGPUs,
+		SingleGPUOpsPerIter: totalOps,
+		Iterations:          iters,
+	}
+	return t, t.Validate()
+}

@@ -1,0 +1,179 @@
+package workloads
+
+import (
+	"testing"
+
+	"finepack/internal/gpusim"
+	"finepack/internal/trace"
+)
+
+// storeFootprint sums the byte footprint of a warp-store stream.
+func storeFootprint(stores []gpusim.WarpStore) uint64 {
+	var n uint64
+	for _, ws := range stores {
+		n += uint64(len(ws.Addrs) * ws.ElemSize)
+	}
+	return n
+}
+
+// copyBytesFor sums copy bytes for one GPU's work.
+func copyBytesFor(w trace.GPUWork) (total, useful uint64) {
+	for _, c := range w.Copies {
+		total += c.Bytes
+		useful += c.UsefulBytes
+	}
+	return total, useful
+}
+
+func TestJacobiHaloGeometry(t *testing.T) {
+	j := NewJacobi()
+	tr, err := j.Generate(4, Params{Scale: 1, Iterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBytes := uint64(j.GridN) * 8
+	for g, w := range tr.Iterations[0].PerGPU {
+		neighbors := 2
+		if g == 0 || g == 3 {
+			neighbors = 1
+		}
+		wantBytes := uint64(neighbors) * uint64(j.HaloDepth) * rowBytes
+		if got := storeFootprint(w.Stores); got != wantBytes {
+			t.Errorf("gpu %d: halo store bytes = %d, want %d", g, got, wantBytes)
+		}
+		total, useful := copyBytesFor(w)
+		if total != wantBytes || useful != wantBytes {
+			t.Errorf("gpu %d: halo copies %d/%d, want %d (no over-transfer)",
+				g, useful, total, wantBytes)
+		}
+		// Destinations are exactly the adjacent GPUs.
+		for _, ws := range w.Stores {
+			if d := ws.Dst - g; d != 1 && d != -1 {
+				t.Errorf("gpu %d: store to non-neighbor %d", g, ws.Dst)
+			}
+		}
+	}
+}
+
+func TestJacobiBoundaryRowAddresses(t *testing.T) {
+	j := NewJacobi()
+	tr, err := j.Generate(4, Params{Scale: 1, Iterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBytes := uint64(j.GridN) * 8
+	rowsPer := j.GridN / 4
+	// GPU 1 pushes its first owned row to GPU 0 and its last to GPU 2.
+	w := tr.Iterations[0].PerGPU[1]
+	lowBase := replicaBase + uint64(rowsPer)*rowBytes
+	highBase := replicaBase + uint64(2*rowsPer-j.HaloDepth)*rowBytes
+	for _, ws := range w.Stores {
+		for _, a := range ws.Addrs {
+			switch ws.Dst {
+			case 0:
+				if a < lowBase || a >= lowBase+uint64(j.HaloDepth)*rowBytes {
+					t.Fatalf("push to GPU0 at %#x outside first owned rows", a)
+				}
+			case 2:
+				if a < highBase || a >= highBase+uint64(j.HaloDepth)*rowBytes {
+					t.Fatalf("push to GPU2 at %#x outside last owned rows", a)
+				}
+			}
+		}
+	}
+}
+
+func TestDiffusionMatchesJacobiShape(t *testing.T) {
+	d := NewDiffusion()
+	tr, err := d.Generate(4, Params{Scale: 0.5, Iterations: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All iterations identical (static stencil).
+	a := tr.Iterations[0].PerGPU[1]
+	b := tr.Iterations[1].PerGPU[1]
+	if storeFootprint(a.Stores) != storeFootprint(b.Stores) {
+		t.Fatal("iterations should be identical")
+	}
+	at, _ := copyBytesFor(a)
+	bt, _ := copyBytesFor(b)
+	if at != bt {
+		t.Fatal("copies should be identical across iterations")
+	}
+}
+
+func TestEQWPFaceGeometry(t *testing.T) {
+	e := NewEQWP()
+	tr, err := e.Generate(4, Params{Scale: 1, Iterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := e.GridN
+	gx, gy := factor2D(4)
+	if gx != 2 || gy != 2 {
+		t.Fatalf("4 GPUs should tile 2x2, got %dx%d", gx, gy)
+	}
+	tileX, tileY := n/gx, n/gy
+	// Every GPU in a 2×2 tiling has one x- and one y-neighbor: the store
+	// footprint is one x-face plus one y-face, 2-deep.
+	wantX := uint64(e.HaloDepth) * uint64(tileY) * uint64(n) * 8
+	wantY := uint64(e.HaloDepth) * uint64(tileX) * uint64(n) * 8
+	for g, w := range tr.Iterations[0].PerGPU {
+		if got := storeFootprint(w.Stores); got != wantX+wantY {
+			t.Errorf("gpu %d: face bytes = %d, want %d", g, got, wantX+wantY)
+		}
+		if len(w.Copies) != 2 {
+			t.Errorf("gpu %d: copies = %d, want 2 (one per face)", g, len(w.Copies))
+		}
+	}
+}
+
+func TestEQWPXFaceStoresAreElementPairs(t *testing.T) {
+	e := NewEQWP()
+	tr, err := e.Generate(4, Params{Scale: 1, Iterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPU 0 (tile 0,0) pushes its x-face to GPU 1: 16B strided stores.
+	sawPair := false
+	for _, ws := range tr.Iterations[0].PerGPU[0].Stores {
+		if ws.Dst == 1 {
+			if ws.ElemSize != 8*e.HaloDepth {
+				t.Fatalf("x-face element size = %d, want %d", ws.ElemSize, 8*e.HaloDepth)
+			}
+			sawPair = true
+		}
+	}
+	if !sawPair {
+		t.Fatal("no x-face stores to GPU 1")
+	}
+}
+
+func TestEQWPOddGPUCounts(t *testing.T) {
+	for _, gpus := range []int{2, 3, 6, 8, 12} {
+		tr, err := NewEQWP().Generate(gpus, Params{Scale: 0.3, Iterations: 1, Seed: 1})
+		if err != nil {
+			t.Fatalf("%d GPUs: %v", gpus, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%d GPUs: %v", gpus, err)
+		}
+	}
+}
+
+func TestStencilScaleChangesProblemSize(t *testing.T) {
+	small, err := NewJacobi().Generate(4, Params{Scale: 0.25, Iterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewJacobi().Generate(4, Params{Scale: 1, Iterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.SingleGPUOpsPerIter >= big.SingleGPUOpsPerIter {
+		t.Fatal("scale should grow compute")
+	}
+	if small.NumWarpStores() >= big.NumWarpStores() {
+		t.Fatal("scale should grow communication")
+	}
+}

@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"finepack/internal/trace"
+)
+
+// Synthetic is a fully parameterized stress workload for integration and
+// property testing: arbitrary store-size mixes, tunable spatial locality,
+// redundancy and atomics. It is deliberately NOT part of the paper's
+// evaluated suite — All() excludes it — but it lets tests sweep the whole
+// behavioral space the eight real workloads only sample.
+type Synthetic struct {
+	// StoresPerGPU is the per-iteration, per-GPU remote store count
+	// (pre-coalescing lanes).
+	StoresPerGPU int
+	// ElemSizes is the per-lane store width mix, sampled uniformly.
+	ElemSizes []int
+	// AddrRange bounds generated addresses (per destination replica).
+	AddrRange uint64
+	// Locality in [0,1]: 0 = uniform-random addresses, 1 = sequential.
+	Locality float64
+	// Redundancy repeats each warp back to back.
+	Redundancy int
+	// AtomicFraction marks that share of warps atomic.
+	AtomicFraction float64
+	// ComputeOps is the per-GPU, per-iteration kernel work.
+	ComputeOps float64
+	// CopyOverTransfer inflates the memcpy variant's bytes over useful.
+	CopyOverTransfer float64
+}
+
+// NewSynthetic returns a stress configuration with a broad mix.
+func NewSynthetic() *Synthetic {
+	return &Synthetic{
+		StoresPerGPU:     20000,
+		ElemSizes:        []int{1, 2, 4, 8, 16},
+		AddrRange:        8 << 20,
+		Locality:         0.5,
+		Redundancy:       2,
+		AtomicFraction:   0.02,
+		ComputeOps:       20e6,
+		CopyOverTransfer: 1.5,
+	}
+}
+
+// Name implements Workload.
+func (sw *Synthetic) Name() string { return "synthetic" }
+
+// Description implements Workload.
+func (sw *Synthetic) Description() string {
+	return "parameterized stress workload (not part of the paper's suite)"
+}
+
+// Pattern implements Workload.
+func (sw *Synthetic) Pattern() string { return "all-to-all" }
+
+// Generate implements Workload.
+func (sw *Synthetic) Generate(numGPUs int, p Params) (*trace.Trace, error) {
+	p = p.withDefaults()
+	if sw.StoresPerGPU <= 0 || len(sw.ElemSizes) == 0 {
+		return nil, fmt.Errorf("synthetic: empty configuration")
+	}
+	if sw.AddrRange < 4096 {
+		return nil, fmt.Errorf("synthetic: address range %d too small", sw.AddrRange)
+	}
+	stores := scaled(sw.StoresPerGPU, p, 32)
+	rng := rand.New(rand.NewSource(p.Seed + 1234))
+
+	var iters []trace.Iteration
+	for it := 0; it < p.Iterations; it++ {
+		iter := trace.Iteration{PerGPU: make([]trace.GPUWork, numGPUs)}
+		for src := 0; src < numGPUs; src++ {
+			w := trace.GPUWork{ComputeOps: sw.ComputeOps}
+			perDst := stores / max(1, numGPUs-1)
+			for _, dst := range dstOrder(src, numGPUs) {
+				addrs := sw.addrs(rng, perDst)
+				elem := sw.ElemSizes[rng.Intn(len(sw.ElemSizes))]
+				warps := repeat(pushAddrs(dst, elem, addrs), sw.Redundancy)
+				if sw.AtomicFraction > 0 {
+					stride := int(1 / sw.AtomicFraction)
+					for i := range warps {
+						if i%stride == stride-1 {
+							warps[i].Atomic = true
+						}
+					}
+				}
+				w.Stores = append(w.Stores, warps...)
+				useful := uint64(perDst) * uint64(elem)
+				w.Copies = append(w.Copies, trace.Copy{
+					Dst:         dst,
+					Bytes:       uint64(float64(useful) * sw.CopyOverTransfer),
+					UsefulBytes: useful,
+				})
+			}
+			iter.PerGPU[src] = w
+		}
+		iters = append(iters, iter)
+	}
+	t := &trace.Trace{
+		Name:                sw.Name(),
+		NumGPUs:             numGPUs,
+		SingleGPUOpsPerIter: sw.ComputeOps * float64(numGPUs) * 0.95,
+		Iterations:          iters,
+	}
+	return t, t.Validate()
+}
+
+// addrs draws count addresses mixing sequential runs (locality) with
+// uniform jumps.
+func (sw *Synthetic) addrs(rng *rand.Rand, count int) []uint64 {
+	out := make([]uint64, 0, count)
+	cursor := uint64(rng.Int63n(int64(sw.AddrRange)))
+	for len(out) < count {
+		if rng.Float64() < sw.Locality {
+			cursor += 8
+			if cursor >= sw.AddrRange {
+				cursor = 0
+			}
+		} else {
+			cursor = uint64(rng.Int63n(int64(sw.AddrRange)))
+		}
+		out = append(out, replicaBase+cursor)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+// Package workloads implements the paper's eight evaluation applications
+// (§V): Jacobi, PageRank, SSSP, ALS, CT (MBIR), EQWP, Diffusion and HIT.
+// Each workload generates a trace.Trace containing, per iteration and per
+// GPU, the kernel's compute work plus the two functionally equivalent
+// communication encodings — the warp-level P2P store stream and the
+// kernel-boundary bulk-copy list. Store address streams are derived from
+// real partitioned data structures (grids, graphs, factor matrices), so
+// their size mix, spatial locality and redundancy — the inputs FinePack's
+// results depend on — emerge from algorithm structure rather than from
+// hand-tuned distributions.
+package workloads
+
+import (
+	"fmt"
+
+	"finepack/internal/gpusim"
+	"finepack/internal/trace"
+)
+
+// Params controls trace generation.
+type Params struct {
+	// Scale multiplies the default problem size (1.0 = paper-scale-down
+	// defaults chosen so a full experiment suite runs in seconds).
+	Scale float64
+	// Iterations is the number of bulk-synchronous steps to trace.
+	Iterations int
+	// Seed feeds every random generator, making traces reproducible.
+	Seed int64
+}
+
+// DefaultParams returns the standard evaluation parameters.
+func DefaultParams() Params {
+	return Params{Scale: 1.0, Iterations: 3, Seed: 1}
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	if p.Iterations <= 0 {
+		p.Iterations = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Workload generates traces for one application.
+type Workload interface {
+	// Name is the short identifier used in figures ("jacobi", "sssp"...).
+	Name() string
+	// Description summarizes the algorithm and dataset.
+	Description() string
+	// Pattern is the §V communication pattern ("peer", "many-to-many",
+	// "all-to-all").
+	Pattern() string
+	// Generate builds the trace for a system of numGPUs.
+	Generate(numGPUs int, p Params) (*trace.Trace, error)
+}
+
+// All returns the full suite in the paper's presentation order.
+func All() []Workload {
+	return []Workload{
+		NewJacobi(),
+		NewPagerank(),
+		NewSSSP(),
+		NewALS(),
+		NewCT(),
+		NewEQWP(),
+		NewDiffusion(),
+		NewHIT(),
+	}
+}
+
+// ByName resolves a workload by its Name.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names lists the suite's workload names in order.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+// replicaBase is the byte address where each replicated data structure
+// begins in every GPU's physical memory. Keeping replicas at identical
+// offsets mirrors the symmetric-allocation practice of §II-A.
+const replicaBase uint64 = 1 << 34 // 16GB region start
+
+// pushList converts a sorted index list into warp stores: the push kernel
+// walks the list 32 lanes at a time, each lane storing one elem-sized
+// update at base + idx*elem. Gaps between consecutive indices reproduce
+// the sub-cacheline scatter irregular applications exhibit.
+func pushList(dst int, base uint64, elem int, idx []int32) []gpusim.WarpStore {
+	var out []gpusim.WarpStore
+	for i := 0; i < len(idx); i += gpusim.WarpSize {
+		end := i + gpusim.WarpSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		ws := gpusim.WarpStore{Dst: dst, ElemSize: elem}
+		for _, v := range idx[i:end] {
+			ws.Addrs = append(ws.Addrs, base+uint64(v)*uint64(elem))
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// pushAddrs chunks an explicit address list into warps of 32 lanes: the
+// kernel's threads walk the update list in order.
+func pushAddrs(dst, elem int, addrs []uint64) []gpusim.WarpStore {
+	var out []gpusim.WarpStore
+	for i := 0; i < len(addrs); i += gpusim.WarpSize {
+		end := i + gpusim.WarpSize
+		if end > len(addrs) {
+			end = len(addrs)
+		}
+		out = append(out, gpusim.WarpStore{
+			Dst:      dst,
+			ElemSize: elem,
+			Addrs:    append([]uint64(nil), addrs[i:end]...),
+		})
+	}
+	return out
+}
+
+// pushContiguous emits a dense byte range [base, base+bytes) as fully
+// coalesced warp stores: 32 lanes × 8B = 256B per warp, the halo-exchange
+// pattern of the regular stencils.
+func pushContiguous(dst int, base uint64, bytes int) []gpusim.WarpStore {
+	const elem = 8
+	var out []gpusim.WarpStore
+	for off := 0; off < bytes; off += gpusim.WarpSize * elem {
+		ws := gpusim.WarpStore{Dst: dst, ElemSize: elem}
+		for l := 0; l < gpusim.WarpSize && off+l*elem < bytes; l++ {
+			ws.Addrs = append(ws.Addrs, base+uint64(off+l*elem))
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// pushStrided emits count elements of elem bytes, the i-th at
+// base + i*stride: the column/face pattern of transposes and 2D halos.
+func pushStrided(dst int, base uint64, elem, count int, stride uint64) []gpusim.WarpStore {
+	var out []gpusim.WarpStore
+	for i := 0; i < count; i += gpusim.WarpSize {
+		end := i + gpusim.WarpSize
+		if end > count {
+			end = count
+		}
+		ws := gpusim.WarpStore{Dst: dst, ElemSize: elem}
+		for j := i; j < end; j++ {
+			ws.Addrs = append(ws.Addrs, base+uint64(j)*stride)
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// repeat duplicates each warp store k times back to back: the
+// temporal-redundancy model for algorithms that update the same locations
+// repeatedly between synchronizations (§II-B "Redundant transfer of
+// data"). Repeats are interleaved at warp granularity because rewrites
+// cluster in time — successive relaxations of a vertex or solver
+// refinements of a factor row happen while the data is hot.
+func repeat(stores []gpusim.WarpStore, k int) []gpusim.WarpStore {
+	if k <= 1 {
+		return stores
+	}
+	out := make([]gpusim.WarpStore, 0, len(stores)*k)
+	for _, ws := range stores {
+		for i := 0; i < k; i++ {
+			out = append(out, ws)
+		}
+	}
+	return out
+}
+
+// dstOrder returns the remote GPU indices in staggered order — src+1,
+// src+2, … wrapping around — the schedule all-to-all implementations use
+// so that no destination is hit by every sender simultaneously.
+func dstOrder(src, numGPUs int) []int {
+	out := make([]int, 0, numGPUs-1)
+	for i := 1; i < numGPUs; i++ {
+		out = append(out, (src+i)%numGPUs)
+	}
+	return out
+}
+
+// scaled returns the integer n scaled by p.Scale, at least min.
+func scaled(n int, p Params, min int) int {
+	v := int(float64(n) * p.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}

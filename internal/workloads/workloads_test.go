@@ -1,0 +1,349 @@
+package workloads
+
+import (
+	"testing"
+
+	"finepack/internal/gpusim"
+)
+
+// smallParams keeps generation fast in unit tests.
+func smallParams() Params {
+	return Params{Scale: 0.25, Iterations: 2, Seed: 42}
+}
+
+func TestSuiteCompleteness(t *testing.T) {
+	ws := All()
+	if len(ws) != 8 {
+		t.Fatalf("suite has %d workloads, paper evaluates 8", len(ws))
+	}
+	want := map[string]string{
+		"jacobi":    "peer",
+		"pagerank":  "peer",
+		"sssp":      "many-to-many",
+		"als":       "all-to-all",
+		"ct":        "all-to-all",
+		"eqwp":      "peer",
+		"diffusion": "peer",
+		"hit":       "all-to-all",
+	}
+	for _, w := range ws {
+		p, ok := want[w.Name()]
+		if !ok {
+			t.Errorf("unexpected workload %q", w.Name())
+			continue
+		}
+		if w.Pattern() != p {
+			t.Errorf("%s pattern = %q, want %q (§V)", w.Name(), w.Pattern(), p)
+		}
+		if w.Description() == "" {
+			t.Errorf("%s has no description", w.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("jacobi")
+	if err != nil || w.Name() != "jacobi" {
+		t.Fatalf("ByName(jacobi) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+	if len(Names()) != 8 {
+		t.Fatalf("Names() = %v", Names())
+	}
+}
+
+func TestAllWorkloadsGenerateValidTraces(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			tr, err := w.Generate(4, smallParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Name != w.Name() || tr.NumGPUs != 4 {
+				t.Fatalf("trace header %+v", tr)
+			}
+			if len(tr.Iterations) != 2 {
+				t.Fatalf("iterations = %d", len(tr.Iterations))
+			}
+			if tr.NumWarpStores() == 0 {
+				t.Fatal("no P2P stores generated")
+			}
+			total, useful := tr.CopyBytes()
+			if total == 0 || useful == 0 || useful > total {
+				t.Fatalf("copy bytes %d/%d", useful, total)
+			}
+			// Every GPU computes.
+			for _, it := range tr.Iterations {
+				for g, work := range it.PerGPU {
+					if work.ComputeOps <= 0 {
+						t.Fatalf("gpu %d has no compute", g)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	for _, w := range All() {
+		a, err := w.Generate(4, smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := w.Generate(4, smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumWarpStores() != b.NumWarpStores() {
+			t.Fatalf("%s: nondeterministic store count", w.Name())
+		}
+		at, au := a.CopyBytes()
+		bt, bu := b.CopyBytes()
+		if at != bt || au != bu {
+			t.Fatalf("%s: nondeterministic copy bytes", w.Name())
+		}
+	}
+}
+
+// TestStoreSizeMixes checks Fig 4's qualitative split: the regular
+// stencils emit full cache lines; the irregular applications emit mostly
+// sub-32B stores.
+func TestStoreSizeMixes(t *testing.T) {
+	hist := func(name string) (small, line float64) {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Generate(4, smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := tr.StoreSizeHistogram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.FractionAtMost(32), h.Fraction(128)
+	}
+	for _, regular := range []string{"jacobi", "diffusion"} {
+		small, line := hist(regular)
+		if line < 0.9 {
+			t.Errorf("%s: 128B fraction = %.2f, want ≥0.9 (regular halo)", regular, line)
+		}
+		if small > 0.1 {
+			t.Errorf("%s: sub-32B fraction = %.2f, want ~0", regular, small)
+		}
+	}
+	for _, irregular := range []string{"pagerank", "sssp", "ct", "hit"} {
+		small, _ := hist(irregular)
+		if small < 0.6 {
+			t.Errorf("%s: sub-32B fraction = %.2f, want ≥0.6 (Fig 4)", irregular, small)
+		}
+	}
+}
+
+// TestSuiteAverageSmallStoreFraction reproduces §I's profiling claim: "on
+// average over 63% of inter-GPU transfers initiated by P2P stores carry a
+// payload smaller than 32B".
+func TestSuiteAverageSmallStoreFraction(t *testing.T) {
+	var sum float64
+	ws := All()
+	for _, w := range ws {
+		tr, err := w.Generate(4, smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := tr.StoreSizeHistogram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += h.FractionAtMost(32)
+	}
+	avg := sum / float64(len(ws))
+	if avg < 0.5 {
+		t.Fatalf("suite-average sub-32B fraction = %.2f, paper reports >0.63", avg)
+	}
+}
+
+func TestGenerateDifferentGPUCounts(t *testing.T) {
+	for _, gpus := range []int{2, 4, 8, 16} {
+		for _, w := range All() {
+			tr, err := w.Generate(gpus, Params{Scale: 0.2, Iterations: 1, Seed: 3})
+			if err != nil {
+				t.Fatalf("%s at %d GPUs: %v", w.Name(), gpus, err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%s at %d GPUs: %v", w.Name(), gpus, err)
+			}
+		}
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Scale != 1 || p.Iterations != 3 || p.Seed != 1 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	d := DefaultParams()
+	if d.Scale != 1 || d.Iterations != 3 {
+		t.Fatalf("DefaultParams = %+v", d)
+	}
+}
+
+func TestPushHelpers(t *testing.T) {
+	// pushList: 70 indices → 3 warps (32+32+6).
+	idx := make([]int32, 70)
+	for i := range idx {
+		idx[i] = int32(i * 3)
+	}
+	ws := pushList(1, 1000, 8, idx)
+	if len(ws) != 3 || len(ws[2].Addrs) != 6 {
+		t.Fatalf("pushList shape: %d warps, last %d lanes", len(ws), len(ws[len(ws)-1].Addrs))
+	}
+	if ws[0].Addrs[1] != 1000+3*8 {
+		t.Fatalf("pushList addr = %d", ws[0].Addrs[1])
+	}
+	// pushContiguous: 1000 bytes at 8B lanes → ceil(125/32) = 4 warps.
+	cw := pushContiguous(2, 0, 1000)
+	if len(cw) != 4 {
+		t.Fatalf("pushContiguous warps = %d", len(cw))
+	}
+	lanes := 0
+	for _, w := range cw {
+		lanes += len(w.Addrs)
+	}
+	if lanes != 125 {
+		t.Fatalf("pushContiguous lanes = %d, want 125", lanes)
+	}
+	// pushStrided addresses.
+	sw := pushStrided(0, 0, 4, 33, 4096)
+	if len(sw) != 2 || sw[1].Addrs[0] != 32*4096 {
+		t.Fatalf("pushStrided shape: %+v", sw)
+	}
+	// pushAddrs round trip.
+	aw := pushAddrs(0, 8, []uint64{5, 10, 15})
+	if len(aw) != 1 || aw[0].Addrs[2] != 15 {
+		t.Fatalf("pushAddrs: %+v", aw)
+	}
+	// repeat.
+	if got := repeat(ws, 3); len(got) != 9 {
+		t.Fatalf("repeat len = %d", len(got))
+	}
+	if got := repeat(ws, 1); len(got) != 3 {
+		t.Fatalf("repeat(1) should be identity")
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	p := Params{Scale: 0.001, Iterations: 1, Seed: 1}
+	if got := scaled(1000, p, 64); got != 64 {
+		t.Fatalf("scaled floor = %d, want 64", got)
+	}
+}
+
+// TestRedundancyVisible: SSSP's repeated relaxations must actually produce
+// duplicate addresses in the stream (the redundancy FinePack removes).
+func TestRedundancyVisible(t *testing.T) {
+	w := NewSSSP()
+	tr, err := w.Generate(4, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	dup := 0
+	for _, ws := range tr.Iterations[0].PerGPU[0].Stores {
+		for _, a := range ws.Addrs {
+			key := uint64(ws.Dst)<<56 | a
+			if seen[key] > 0 {
+				dup++
+			}
+			seen[key]++
+		}
+	}
+	if dup == 0 {
+		t.Fatal("SSSP stream has no redundant stores; relaxation model broken")
+	}
+}
+
+// TestEQWPMixesSizes: EQWP must emit both large (≥64B) and small (≤16B)
+// stores — the mixed-face pattern.
+func TestEQWPMixesSizes(t *testing.T) {
+	tr, err := NewEQWP().Generate(4, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tr.StoreSizeHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Fraction(16) == 0 {
+		t.Fatal("EQWP should emit 16B x-face stores")
+	}
+	if h.Fraction(128) == 0 {
+		t.Fatal("EQWP should emit 128B y-face stores")
+	}
+}
+
+// TestCTWindowThrashing: consecutive CT stores to one destination usually
+// jump beyond the 1GB FinePack window (the Fig 11 outlier mechanism).
+func TestCTWindowThrashing(t *testing.T) {
+	tr, err := NewCT().Generate(4, Params{Scale: 1, Iterations: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jumps, steps int
+	var last uint64
+	first := true
+	for _, ws := range tr.Iterations[0].PerGPU[0].Stores {
+		if ws.Dst != 1 {
+			continue
+		}
+		for _, a := range ws.Addrs {
+			if !first {
+				steps++
+				diff := int64(a) - int64(last)
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff >= 1<<30 {
+					jumps++
+				}
+			}
+			last, first = a, false
+		}
+	}
+	if steps == 0 {
+		t.Fatal("no CT stores to GPU 1")
+	}
+	if frac := float64(jumps) / float64(steps); frac < 0.05 {
+		t.Fatalf("window-crossing jump fraction = %.3f; CT should thrash windows", frac)
+	}
+}
+
+// TestWarpStoresWellFormed double-checks the helpers never exceed warp
+// limits for any workload.
+func TestWarpStoresWellFormed(t *testing.T) {
+	for _, w := range All() {
+		tr, err := w.Generate(4, Params{Scale: 0.1, Iterations: 1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range tr.Iterations {
+			for _, gw := range it.PerGPU {
+				for _, ws := range gw.Stores {
+					if err := ws.Validate(); err != nil {
+						t.Fatalf("%s: %v", w.Name(), err)
+					}
+					if _, err := gpusim.Coalesce(ws); err != nil {
+						t.Fatalf("%s: coalesce: %v", w.Name(), err)
+					}
+				}
+			}
+		}
+	}
+}
