@@ -1,8 +1,16 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench vet fmt figures report clean
+.PHONY: all build test test-short bench vet fmt ci fuzz-smoke figures report clean
 
 all: build vet test
+
+# Exactly what .github/workflows/ci.yml runs.
+ci: build vet
+	go test -race ./...
+	$(MAKE) fuzz-smoke
+
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzDecodePacket -fuzztime=10s ./internal/core
 
 build:
 	go build ./...

@@ -4,7 +4,7 @@
 //	finepack-sim [flags] <experiment>
 //
 // Experiments: fig2 fig4 fig9 fig10 fig11 fig12 fig13 tab2 alt-design wc
-// gps scale16 all
+// gps scale16 ber-sweep all
 package main
 
 import (
@@ -14,8 +14,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
+	"finepack/internal/des"
 	"finepack/internal/experiments"
+	"finepack/internal/faults"
 	"finepack/internal/sim"
 	"finepack/internal/stats"
 	"finepack/internal/workloads"
@@ -23,10 +27,13 @@ import (
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 1.0, "workload problem-size multiplier")
-		iters = flag.Int("iters", 3, "iterations per workload")
-		seed  = flag.Int64("seed", 1, "trace generation seed")
-		gpus  = flag.Int("gpus", 4, "number of GPUs")
+		scale     = flag.Float64("scale", 1.0, "workload problem-size multiplier")
+		iters     = flag.Int("iters", 3, "iterations per workload")
+		seed      = flag.Int64("seed", 1, "trace generation seed")
+		gpus      = flag.Int("gpus", 4, "number of GPUs")
+		ber       = flag.Float64("ber", 0, "per-link bit-error rate injected into every run (0 = ideal links)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injection random seed")
+		degrade   = flag.String("degrade", "", "persistent link degradation src:dst:fraction[@us], '*' endpoint wildcards (e.g. '0:1:0.5@10')")
 	)
 	flag.BoolVar(&chart, "chart", false, "also render bar charts for fig9/fig11")
 	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
@@ -38,8 +45,19 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	cfg := sim.DefaultConfig()
+	cfg.Faults.BER = *ber
+	cfg.Faults.Seed = *faultSeed
+	if *degrade != "" {
+		d, err := parseDegrade(*degrade)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "finepack-sim:", err)
+			os.Exit(2)
+		}
+		cfg.Faults.Degradations = append(cfg.Faults.Degradations, d)
+	}
 	suite := experiments.New(
-		sim.DefaultConfig(),
+		cfg,
 		workloads.Params{Scale: *scale, Iterations: *iters, Seed: *seed},
 		*gpus,
 	)
@@ -47,6 +65,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "finepack-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// parseDegrade parses a -degrade spec: src:dst:fraction, optionally
+// suffixed @us for the onset time. '*' on an endpoint matches every GPU.
+func parseDegrade(spec string) (faults.Degradation, error) {
+	var d faults.Degradation
+	body, at, hasAt := strings.Cut(spec, "@")
+	parts := strings.Split(body, ":")
+	if len(parts) != 3 {
+		return d, fmt.Errorf("bad -degrade %q: want src:dst:fraction[@us]", spec)
+	}
+	endpoint := func(s string) (int, error) {
+		if s == "*" {
+			return -1, nil
+		}
+		return strconv.Atoi(s)
+	}
+	var err error
+	if d.Link.Src, err = endpoint(parts[0]); err != nil {
+		return d, fmt.Errorf("bad -degrade source %q: %v", parts[0], err)
+	}
+	if d.Link.Dst, err = endpoint(parts[1]); err != nil {
+		return d, fmt.Errorf("bad -degrade destination %q: %v", parts[1], err)
+	}
+	if d.BandwidthFraction, err = strconv.ParseFloat(parts[2], 64); err != nil {
+		return d, fmt.Errorf("bad -degrade fraction %q: %v", parts[2], err)
+	}
+	if hasAt {
+		us, err := strconv.ParseFloat(at, 64)
+		if err != nil || us < 0 {
+			return d, fmt.Errorf("bad -degrade onset %q: want microseconds", at)
+		}
+		d.At = des.Time(us * float64(des.Microsecond))
+	}
+	return d, nil
 }
 
 func usage() {
@@ -70,6 +123,7 @@ experiments:
   overlap     compute/communication overlap decomposition
   um          UM page-migration / remote-read baselines (§II-A)
   scaling     strong-scaling curve: geomean speedup at 2/4/8/16 GPUs
+  ber-sweep   robustness crossover: slowdown & replays vs link bit-error rate
   report      one self-contained markdown report with every experiment
   diag        raw per-run quantities for every workload and paradigm
   all         everything above
@@ -99,6 +153,7 @@ func run(s *experiments.Suite, name string) error {
 		"overlap":    showOverlap,
 		"um":         showUM,
 		"scaling":    showScaling,
+		"ber-sweep":  showBERSweep,
 		"report":     showReport,
 	}
 	if name == "all" {
@@ -370,6 +425,19 @@ func showScaling(s *experiments.Suite) error {
 		return err
 	}
 	return emit("scaling", rows, experiments.ScalingTable(rows))
+}
+
+func showBERSweep(s *experiments.Suite) error {
+	rows, err := s.BERSweep(nil)
+	if err != nil {
+		return err
+	}
+	if err := writeSVG("ber-sweep", func(w io.Writer) error {
+		return experiments.BERSweepSVG(rows, w)
+	}); err != nil {
+		return err
+	}
+	return emit("ber-sweep", rows, experiments.BERSweepTable(rows))
 }
 
 func showReport(s *experiments.Suite) error {

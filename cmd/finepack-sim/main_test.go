@@ -6,7 +6,9 @@ import (
 	"strings"
 	"testing"
 
+	"finepack/internal/des"
 	"finepack/internal/experiments"
+	"finepack/internal/faults"
 )
 
 func TestRunDispatchCheapExperiments(t *testing.T) {
@@ -37,6 +39,51 @@ func TestSVGOutput(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run(experiments.Quick(), "fig99"); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestParseDegrade(t *testing.T) {
+	cases := []struct {
+		spec string
+		want faults.Degradation
+		err  bool
+	}{
+		{spec: "0:1:0.5", want: faults.Degradation{
+			Link: faults.Link{Src: 0, Dst: 1}, BandwidthFraction: 0.5}},
+		{spec: "*:2:0.25@10", want: faults.Degradation{
+			Link: faults.Link{Src: -1, Dst: 2}, At: 10 * des.Microsecond,
+			BandwidthFraction: 0.25}},
+		{spec: "0:1", err: true},
+		{spec: "x:1:0.5", err: true},
+		{spec: "0:y:0.5", err: true},
+		{spec: "0:1:zz", err: true},
+		{spec: "0:1:0.5@oops", err: true},
+		{spec: "0:1:0.5@-2", err: true},
+	}
+	for _, c := range cases {
+		got, err := parseDegrade(c.spec)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseDegrade(%q) accepted", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseDegrade(%q): %v", c.spec, err)
+		} else if got != c.want {
+			t.Errorf("parseDegrade(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestBERSweepCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed CLI paths skipped in -short mode")
+	}
+	s := experiments.Quick()
+	s.Cfg.Faults.Seed = 7
+	if err := run(s, "ber-sweep"); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -159,22 +159,46 @@ func (s *Scheduler) Halt() { s.halted = true }
 
 // Run executes events until the queue is empty.
 // It returns the final simulated time.
-func (s *Scheduler) Run() Time { return s.RunUntil(Time(math.MaxUint64)) }
+func (s *Scheduler) Run() Time {
+	t, _ := s.run(Time(math.MaxUint64), 0)
+	return t
+}
 
 // RunUntil executes events with timestamps ≤ deadline, advancing the clock
 // to each event's timestamp. It returns the simulated time after the last
 // executed event (or deadline if the queue drained earlier than that but
 // events remain in the future — the clock never moves past work not done).
 func (s *Scheduler) RunUntil(deadline Time) Time {
+	t, _ := s.run(deadline, 0)
+	return t
+}
+
+// RunBudget executes events until the queue is empty, but fails once more
+// than maxEvents events have fired with work still pending. A model bug
+// that schedules events forever (a retry loop, a self-perpetuating timer)
+// then surfaces as a clear error instead of an infinite loop. maxEvents
+// zero means unlimited (identical to Run).
+func (s *Scheduler) RunBudget(maxEvents uint64) (Time, error) {
+	return s.run(Time(math.MaxUint64), maxEvents)
+}
+
+func (s *Scheduler) run(deadline Time, budget uint64) (Time, error) {
 	if s.inRun {
 		panic("des: re-entrant Run")
 	}
 	s.inRun = true
 	s.halted = false
 	defer func() { s.inRun = false }()
+	start := s.fired
+	var err error
 	for len(s.queue) > 0 && !s.halted {
 		next := s.queue[0]
 		if next.At > deadline {
+			break
+		}
+		if budget > 0 && s.fired-start >= budget {
+			err = fmt.Errorf("des: event budget of %d exceeded at %v (pending=%d)",
+				budget, s.now, len(s.queue))
 			break
 		}
 		heap.Pop(&s.queue)
@@ -185,5 +209,5 @@ func (s *Scheduler) RunUntil(deadline Time) Time {
 	if s.now > s.maxT {
 		s.maxT = s.now
 	}
-	return s.now
+	return s.now, err
 }

@@ -307,3 +307,68 @@ func TestTokenPoolZeroAcquire(t *testing.T) {
 		t.Fatal("zero-credit acquire should run immediately")
 	}
 }
+
+func TestRunBudgetExceeded(t *testing.T) {
+	s := NewScheduler()
+	// A self-perpetuating timer: the queue never drains.
+	var tick func()
+	tick = func() { s.After(Nanosecond, tick) }
+	s.After(0, tick)
+	_, err := s.RunBudget(1000)
+	if err == nil {
+		t.Fatal("runaway event loop must exceed the budget")
+	}
+	if s.Pending() == 0 {
+		t.Fatal("budget error must fire with work still pending")
+	}
+	if s.Fired() != 1000 {
+		t.Fatalf("fired %d events, want exactly the budget", s.Fired())
+	}
+}
+
+func TestRunBudgetWithinBudget(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.After(Time(i)*Nanosecond, func() { count++ })
+	}
+	end, err := s.RunBudget(1000)
+	if err != nil {
+		t.Fatalf("budget hit on a finite run: %v", err)
+	}
+	if count != 10 || end != 9*Nanosecond {
+		t.Fatalf("count=%d end=%v", count, end)
+	}
+}
+
+func TestRunBudgetZeroIsUnlimited(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 100; i++ {
+		s.After(Time(i), func() { count++ })
+	}
+	if _, err := s.RunBudget(0); err != nil {
+		t.Fatalf("zero budget must mean unlimited: %v", err)
+	}
+	if count != 100 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+func TestRunBudgetResetsPerCall(t *testing.T) {
+	// The budget counts events fired in this call, not over the
+	// scheduler's lifetime.
+	s := NewScheduler()
+	for i := 0; i < 50; i++ {
+		s.After(Time(i), func() {})
+	}
+	if _, err := s.RunBudget(60); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.After(Time(i), func() {})
+	}
+	if _, err := s.RunBudget(60); err != nil {
+		t.Fatalf("second call inherited the first call's spend: %v", err)
+	}
+}

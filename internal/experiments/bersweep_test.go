@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"finepack/internal/sim"
+)
+
+func TestBERSweepCrossoverAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep skipped in -short mode")
+	}
+	sweep := func() []BERRow {
+		s := Quick()
+		s.Cfg.Faults.Seed = 21
+		rows, err := s.BERSweep([]float64{0, 1e-6, 3e-5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	rows := sweep()
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+
+	clean := rows[0]
+	if clean.Slowdown[sim.P2P] != 1 || clean.Slowdown[sim.FinePack] != 1 {
+		t.Fatalf("BER 0 must be the 1.0 baseline: %+v", clean.Slowdown)
+	}
+	if clean.Replays[sim.P2P] != 0 || clean.Replays[sim.FinePack] != 0 {
+		t.Fatalf("BER 0 produced replays: %+v", clean.Replays)
+	}
+
+	worst := rows[len(rows)-1]
+	if worst.Replays[sim.FinePack] == 0 {
+		t.Fatal("worst-case BER produced no FinePack replays")
+	}
+	if worst.Slowdown[sim.FinePack] <= 1 {
+		t.Fatalf("FinePack slowdown %v at BER 3e-5, want > 1", worst.Slowdown[sim.FinePack])
+	}
+	// The robustness crossover: FinePack's large packets lose more wire
+	// efficiency per error than P2P's 128B writes.
+	if worst.EffectiveWireFraction[sim.FinePack] >= worst.EffectiveWireFraction[sim.P2P] {
+		t.Fatalf("FinePack wire efficiency %.3f should fall below P2P's %.3f at high BER",
+			worst.EffectiveWireFraction[sim.FinePack], worst.EffectiveWireFraction[sim.P2P])
+	}
+	// Slowdown grows with the error rate.
+	if worst.Slowdown[sim.FinePack] <= rows[1].Slowdown[sim.FinePack] {
+		t.Fatalf("FinePack slowdown not increasing: %v then %v",
+			rows[1].Slowdown[sim.FinePack], worst.Slowdown[sim.FinePack])
+	}
+
+	// Identical seeds on a fresh suite reproduce the sweep bit for bit.
+	if again := sweep(); !reflect.DeepEqual(rows, again) {
+		t.Fatal("two sweeps with the same fault seed diverged")
+	}
+
+	if tab := BERSweepTable(rows); tab == nil {
+		t.Fatal("nil table")
+	}
+}

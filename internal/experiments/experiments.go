@@ -43,6 +43,10 @@ type resultKey struct {
 	entries   int
 	windows   int
 	timeout   des.Time
+	// faults fingerprints the fault-injection config so runs with
+	// different error rates, seeds or scripted events never collide in
+	// the cache (the zero config prints identically everywhere).
+	faults string
 }
 
 // Default returns the paper's evaluation setup: 4 GPUs, PCIe 4.0,
@@ -101,6 +105,7 @@ func (s *Suite) runWith(name string, gpus int, par sim.Paradigm, cfg sim.Config)
 		entries:   cfg.FinePack.QueueEntries,
 		windows:   cfg.FinePack.MaxOpenWindows,
 		timeout:   cfg.FlushTimeout,
+		faults:    fmt.Sprintf("%+v", cfg.Faults),
 	}
 	if cfg.Bandwidth == 0 {
 		k.bandwidth = cfg.Gen.Bandwidth()

@@ -1,0 +1,350 @@
+// Package faults provides a deterministic, seeded link-reliability model
+// for the interconnect: a per-link bit-error rate translated into a
+// per-packet corruption probability derived from wire bytes, plus scripted
+// fault events — transient error bursts, persistent link-width/speed
+// degradation (PCIe lane down-training), and dead-link windows.
+//
+// The model is strictly opt-in: a zero Config means ideal, error-free
+// links, and the interconnect then schedules no fault-path events at all,
+// keeping fault-free runs bit-identical to a build without this package.
+// With a fixed Seed, every draw comes from a per-link splitmix64 stream,
+// so identical configurations replay identical fault sequences on the
+// single-threaded DES kernel.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"finepack/internal/des"
+)
+
+// Link names a directed endpoint pair. A negative Src or Dst is a
+// wildcard matching every GPU on that side; AllLinks matches everything.
+type Link struct {
+	Src, Dst int
+}
+
+// AllLinks is the wildcard link selector for fleet-wide fault events.
+var AllLinks = Link{Src: -1, Dst: -1}
+
+// Matches reports whether the selector covers the concrete (src,dst) pair.
+func (l Link) Matches(src, dst int) bool {
+	return (l.Src < 0 || l.Src == src) && (l.Dst < 0 || l.Dst == dst)
+}
+
+func (l Link) String() string {
+	name := func(g int) string {
+		if g < 0 {
+			return "*"
+		}
+		return fmt.Sprintf("%d", g)
+	}
+	return name(l.Src) + "->" + name(l.Dst)
+}
+
+// Burst is a transient error window: between Start (inclusive) and End
+// (exclusive) the matching links run at BER max(Config.BER, Burst.BER) —
+// a noisy interval (connector re-seating, thermal event) on an otherwise
+// healthy link.
+type Burst struct {
+	Link  Link
+	Start des.Time
+	End   des.Time
+	// BER is the bit-error rate during the window.
+	BER float64
+}
+
+// Degradation is persistent lane down-training: from At onward the
+// matching links run at BandwidthFraction of their configured rate
+// (e.g. 0.5 for an x16 link retrained to x8). Overlapping degradations
+// compound to the most-degraded (minimum) fraction.
+type Degradation struct {
+	Link Link
+	At   des.Time
+	// BandwidthFraction is the surviving fraction of link bandwidth,
+	// in (0,1]. Zero or below is rejected — a dead link is a Down event.
+	BandwidthFraction float64
+}
+
+// Down is a dead-link window: between At and Until no packet on the
+// matching links is delivered (every attempt is Nak'd). Until zero means
+// the link stays dead until a watchdog link-level reset retrains it.
+type Down struct {
+	Link  Link
+	At    des.Time
+	Until des.Time
+}
+
+// Config describes the fault model and the reliability-protocol knobs the
+// interconnect uses when the model is enabled. The zero value disables
+// everything.
+type Config struct {
+	// BER is the steady-state per-bit error rate on every link.
+	BER float64
+	// Seed selects the reproducible fault stream. Two runs with equal
+	// Config produce identical fault sequences.
+	Seed int64
+
+	// Bursts, Degradations and Downs are scripted fault events.
+	Bursts       []Burst
+	Degradations []Degradation
+	Downs        []Down
+
+	// AckTimeout is the transmitter's replay timer: the delay from a
+	// Nak'd (or unacknowledged) packet to its retransmission. Replays
+	// back off exponentially from this base, bounded by MaxBackoffShift
+	// doublings. Zero selects 500ns.
+	AckTimeout des.Time
+	// ReplayBufferDepth bounds un-acked packets held per egress port; a
+	// full replay buffer stalls the port, modeling DLLP back-pressure.
+	// Zero selects 128, sized like a real replay buffer (~16KB) to cover
+	// the ack round trip even for minimum-size packets; small values
+	// throttle healthy links too.
+	ReplayBufferDepth int
+	// WatchdogWindow is the credit-watchdog progress window: traffic
+	// pending with no delivery for a whole window triggers a link-level
+	// reset of dead links. Zero selects 20µs.
+	WatchdogWindow des.Time
+	// DisableWatchdog turns the credit watchdog off entirely (a
+	// permanently dead link then stalls forever, surfaced by the event
+	// budget guard instead of a recovery).
+	DisableWatchdog bool
+	// RetrainFraction is the bandwidth fraction a link comes back at
+	// after a watchdog reset (graceful degradation: the link retrains at
+	// reduced width rather than staying dead). Zero selects 0.5.
+	RetrainFraction float64
+}
+
+// Reliability-protocol defaults applied by WithDefaults.
+const (
+	DefaultAckTimeout        = 500 * des.Nanosecond
+	DefaultReplayBufferDepth = 128
+	DefaultWatchdogWindow    = 20 * des.Microsecond
+	DefaultRetrainFraction   = 0.5
+
+	// MaxBackoffShift bounds the exponential replay backoff: the delay
+	// never exceeds AckTimeout << MaxBackoffShift.
+	MaxBackoffShift = 6
+)
+
+// Enabled reports whether the config injects any faults. Disabled configs
+// keep the interconnect on its ideal, event-free fast path.
+func (c Config) Enabled() bool {
+	return c.BER > 0 || len(c.Bursts) > 0 || len(c.Degradations) > 0 || len(c.Downs) > 0
+}
+
+// WithDefaults returns the config with zero protocol knobs replaced by
+// their documented defaults.
+func (c Config) WithDefaults() Config {
+	if c.AckTimeout == 0 {
+		c.AckTimeout = DefaultAckTimeout
+	}
+	if c.ReplayBufferDepth <= 0 {
+		c.ReplayBufferDepth = DefaultReplayBufferDepth
+	}
+	if c.WatchdogWindow == 0 {
+		c.WatchdogWindow = DefaultWatchdogWindow
+	}
+	if c.RetrainFraction <= 0 {
+		c.RetrainFraction = DefaultRetrainFraction
+	}
+	return c
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if c.BER < 0 || c.BER >= 1 {
+		return fmt.Errorf("faults: BER %v outside [0,1)", c.BER)
+	}
+	for _, b := range c.Bursts {
+		if b.BER < 0 || b.BER > 1 {
+			return fmt.Errorf("faults: burst BER %v outside [0,1]", b.BER)
+		}
+		if b.End <= b.Start {
+			return fmt.Errorf("faults: burst window [%v,%v) is empty", b.Start, b.End)
+		}
+	}
+	for _, d := range c.Degradations {
+		if d.BandwidthFraction <= 0 || d.BandwidthFraction > 1 {
+			return fmt.Errorf("faults: degradation fraction %v outside (0,1] (use a Down event for a dead link)",
+				d.BandwidthFraction)
+		}
+	}
+	for _, d := range c.Downs {
+		if d.Until != 0 && d.Until <= d.At {
+			return fmt.Errorf("faults: down window [%v,%v) is empty", d.At, d.Until)
+		}
+	}
+	if c.RetrainFraction < 0 || c.RetrainFraction > 1 {
+		return fmt.Errorf("faults: retrain fraction %v outside [0,1]", c.RetrainFraction)
+	}
+	if c.ReplayBufferDepth < 0 {
+		return fmt.Errorf("faults: replay buffer depth %d negative", c.ReplayBufferDepth)
+	}
+	return nil
+}
+
+// Injector is the instantiated fault model. It owns the per-link random
+// streams and the mutable scripted-event state (watchdog resets retire
+// Down events and install retrain degradations).
+type Injector struct {
+	cfg          Config
+	streams      map[Link]*stream
+	downs        []Down
+	degradations []Degradation
+
+	// Draws counts corruption lotteries run, ErrorsInjected the losses —
+	// exposed for tests and diagnostics.
+	Draws          uint64
+	ErrorsInjected uint64
+}
+
+// NewInjector validates the config and builds the injector.
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithDefaults()
+	in := &Injector{
+		cfg:     cfg,
+		streams: make(map[Link]*stream),
+	}
+	in.downs = append(in.downs, cfg.Downs...)
+	in.degradations = append(in.degradations, cfg.Degradations...)
+	return in, nil
+}
+
+// Config returns the (defaulted) configuration the injector runs with.
+func (in *Injector) Config() Config { return in.cfg }
+
+// effBER returns the bit-error rate active on a link at the given time:
+// the steady-state rate, raised to the strongest overlapping burst.
+func (in *Injector) effBER(src, dst int, now des.Time) float64 {
+	ber := in.cfg.BER
+	for _, b := range in.cfg.Bursts {
+		if b.Link.Matches(src, dst) && now >= b.Start && now < b.End && b.BER > ber {
+			ber = b.BER
+		}
+	}
+	return ber
+}
+
+// PacketErrorProb returns the probability that a packet of wireBytes is
+// corrupted on the link at the given time: 1-(1-BER)^bits, computed in
+// log space so tiny rates on large packets stay exact.
+func (in *Injector) PacketErrorProb(src, dst int, wireBytes int, now des.Time) float64 {
+	ber := in.effBER(src, dst, now)
+	if ber <= 0 || wireBytes <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	bits := float64(8 * wireBytes)
+	return -math.Expm1(bits * math.Log1p(-ber))
+}
+
+// Corrupted draws the corruption lottery for one transmission attempt.
+// Each call advances the link's random stream, so retransmissions of the
+// same packet draw independently.
+func (in *Injector) Corrupted(src, dst int, wireBytes int, now des.Time) bool {
+	p := in.PacketErrorProb(src, dst, wireBytes, now)
+	if p <= 0 {
+		return false
+	}
+	in.Draws++
+	if in.stream(src, dst).float64() < p {
+		in.ErrorsInjected++
+		return true
+	}
+	return false
+}
+
+// BandwidthFraction returns the surviving bandwidth fraction on a link:
+// 1 when healthy, the minimum over active degradations otherwise.
+func (in *Injector) BandwidthFraction(src, dst int, now des.Time) float64 {
+	frac := 1.0
+	for _, d := range in.degradations {
+		if d.Link.Matches(src, dst) && now >= d.At && d.BandwidthFraction < frac {
+			frac = d.BandwidthFraction
+		}
+	}
+	return frac
+}
+
+// IsDown reports whether the link is dead at the given time.
+func (in *Injector) IsDown(src, dst int, now des.Time) bool {
+	for _, d := range in.downs {
+		if d.Link.Matches(src, dst) && now >= d.At && (d.Until == 0 || now < d.Until) {
+			return true
+		}
+	}
+	return false
+}
+
+// RetrainDown performs a link-level reset of every link dead at the given
+// time: the Down events are retired and each affected link selector comes
+// back persistently degraded to RetrainFraction (lane down-training after
+// retrain). It returns the number of retired Down events; zero means
+// nothing was dead and the reset was a no-op.
+func (in *Injector) RetrainDown(now des.Time) int {
+	kept := in.downs[:0]
+	retired := 0
+	for _, d := range in.downs {
+		if now >= d.At && (d.Until == 0 || now < d.Until) {
+			retired++
+			in.degradations = append(in.degradations, Degradation{
+				Link: d.Link, At: now, BandwidthFraction: in.cfg.RetrainFraction,
+			})
+			continue
+		}
+		kept = append(kept, d)
+	}
+	in.downs = kept
+	return retired
+}
+
+// stream returns (creating on first use) the link's random stream. Each
+// stream is seeded purely from (Seed, src, dst), so creation order cannot
+// change the sequence.
+func (in *Injector) stream(src, dst int) *stream {
+	key := Link{Src: src, Dst: dst}
+	s, ok := in.streams[key]
+	if !ok {
+		s = newStream(uint64(in.cfg.Seed), src, dst)
+		in.streams[key] = s
+	}
+	return s
+}
+
+// stream is a splitmix64 generator: tiny, fast, and identical across Go
+// versions (unlike math/rand's unexported algorithm choices), which keeps
+// fault sequences stable for golden results.
+type stream struct {
+	state uint64
+}
+
+func newStream(seed uint64, src, dst int) *stream {
+	// Decorrelate links sharing a seed by mixing the endpoints through
+	// one splitmix64 round each.
+	s := mix64(seed ^ mix64(uint64(src)+0x9E3779B97F4A7C15) ^ mix64(uint64(dst)+0xC2B2AE3D27D4EB4F))
+	return &stream{state: s}
+}
+
+func (r *stream) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix64(r.state)
+}
+
+// float64 returns a uniform draw in [0,1) with 53 random bits.
+func (r *stream) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,228 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"finepack/internal/des"
+)
+
+func mustInjector(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestPacketErrorProbTable(t *testing.T) {
+	cases := []struct {
+		ber   float64
+		bytes int
+		want  float64
+	}{
+		{0, 4096, 0},
+		{1e-6, 0, 0},
+		// Small-probability regime: p ≈ bits × BER.
+		{1e-12, 128, 8 * 128 * 1e-12},
+		{1e-9, 4096, -math.Expm1(8 * 4096 * math.Log1p(-1e-9))},
+		// Large packets at high BER saturate toward 1.
+		{1e-3, 4096, -math.Expm1(8 * 4096 * math.Log1p(-1e-3))},
+	}
+	for _, c := range cases {
+		in := mustInjector(t, Config{BER: c.ber})
+		got := in.PacketErrorProb(0, 1, c.bytes, 0)
+		if math.Abs(got-c.want) > 1e-9*math.Max(1, c.want) {
+			t.Errorf("PacketErrorProb(ber=%v, %dB) = %v, want %v", c.ber, c.bytes, got, c.want)
+		}
+		if got < 0 || got > 1 {
+			t.Errorf("probability %v outside [0,1]", got)
+		}
+	}
+	// A burst at BER 1 (Validate allows the closed interval for bursts)
+	// saturates the packet probability exactly.
+	in := mustInjector(t, Config{Bursts: []Burst{{Link: AllLinks, Start: 0, End: 10, BER: 1}}})
+	if p := in.PacketErrorProb(0, 1, 1, 5); p != 1 {
+		t.Fatalf("BER 1 burst: p=%v, want 1", p)
+	}
+}
+
+func TestPacketErrorProbMonotonicInSize(t *testing.T) {
+	in := mustInjector(t, Config{BER: 1e-8})
+	prev := -1.0
+	for _, n := range []int{1, 64, 128, 512, 4096, 1 << 20} {
+		p := in.PacketErrorProb(0, 1, n, 0)
+		if p <= prev {
+			t.Fatalf("probability not increasing with size at %dB: %v <= %v", n, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestCorruptedDeterministicAcrossInjectors(t *testing.T) {
+	draw := func(seed int64) []bool {
+		in := mustInjector(t, Config{BER: 1e-5, Seed: seed})
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, in.Corrupted(0, 1, 4096, des.Time(i)))
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := draw(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestStreamsIndependentOfCreationOrder(t *testing.T) {
+	first := mustInjector(t, Config{BER: 0.5, Seed: 3})
+	second := mustInjector(t, Config{BER: 0.5, Seed: 3})
+	// Touch links in opposite orders; per-link sequences must agree.
+	firstA := []bool{first.Corrupted(0, 1, 128, 0), first.Corrupted(0, 1, 128, 0)}
+	first.Corrupted(2, 3, 128, 0)
+	second.Corrupted(2, 3, 128, 0)
+	secondA := []bool{second.Corrupted(0, 1, 128, 0), second.Corrupted(0, 1, 128, 0)}
+	if firstA[0] != secondA[0] || firstA[1] != secondA[1] {
+		t.Fatal("link stream depends on creation order")
+	}
+}
+
+func TestLinkWildcardMatching(t *testing.T) {
+	if !AllLinks.Matches(3, 5) {
+		t.Fatal("AllLinks must match every pair")
+	}
+	if !(Link{Src: -1, Dst: 2}).Matches(7, 2) {
+		t.Fatal("dst-only selector must match")
+	}
+	if (Link{Src: 1, Dst: 2}).Matches(1, 3) {
+		t.Fatal("mismatched dst accepted")
+	}
+}
+
+func TestBurstWindow(t *testing.T) {
+	in := mustInjector(t, Config{Bursts: []Burst{
+		{Link: Link{Src: 0, Dst: 1}, Start: 100, End: 200, BER: 0.25},
+	}})
+	if p := in.PacketErrorProb(0, 1, 128, 99); p != 0 {
+		t.Fatalf("before burst: p=%v", p)
+	}
+	if p := in.PacketErrorProb(0, 1, 128, 100); p != 1 {
+		// 1024 bits at BER 0.25 is 1 to double precision.
+		t.Fatalf("inside burst: p=%v, want ~1", p)
+	}
+	if p := in.PacketErrorProb(0, 1, 128, 200); p != 0 {
+		t.Fatalf("End is exclusive: p=%v", p)
+	}
+	if p := in.PacketErrorProb(2, 1, 128, 150); p != 0 {
+		t.Fatalf("other link caught in burst: p=%v", p)
+	}
+}
+
+func TestDegradationCompoundsToMinimum(t *testing.T) {
+	in := mustInjector(t, Config{Degradations: []Degradation{
+		{Link: Link{Src: 0, Dst: 1}, At: 0, BandwidthFraction: 0.5},
+		{Link: AllLinks, At: 1000, BandwidthFraction: 0.75},
+	}})
+	if f := in.BandwidthFraction(0, 1, 0); f != 0.5 {
+		t.Fatalf("fraction=%v, want 0.5", f)
+	}
+	if f := in.BandwidthFraction(0, 1, 1000); f != 0.5 {
+		t.Fatalf("overlap must take the minimum, got %v", f)
+	}
+	if f := in.BandwidthFraction(2, 3, 500); f != 1 {
+		t.Fatalf("not-yet-active degradation applied: %v", f)
+	}
+	if f := in.BandwidthFraction(2, 3, 1000); f != 0.75 {
+		t.Fatalf("wildcard degradation missed: %v", f)
+	}
+}
+
+func TestDownWindowAndRetrain(t *testing.T) {
+	in := mustInjector(t, Config{
+		Downs: []Down{
+			{Link: Link{Src: 0, Dst: 1}, At: 100},          // dead until reset
+			{Link: Link{Src: 2, Dst: 3}, At: 0, Until: 50}, // transient
+		},
+		RetrainFraction: 0.25,
+	})
+	if in.IsDown(0, 1, 99) {
+		t.Fatal("down before At")
+	}
+	if !in.IsDown(0, 1, 100) || !in.IsDown(0, 1, 1<<40) {
+		t.Fatal("Until=0 must stay down until reset")
+	}
+	if !in.IsDown(2, 3, 49) || in.IsDown(2, 3, 50) {
+		t.Fatal("transient window must end at Until")
+	}
+
+	// Reset at t=200: only the 0→1 down is active and retires; the link
+	// comes back at the retrain fraction.
+	if n := in.RetrainDown(200); n != 1 {
+		t.Fatalf("retired %d downs, want 1", n)
+	}
+	if in.IsDown(0, 1, 200) {
+		t.Fatal("link still down after retrain")
+	}
+	if f := in.BandwidthFraction(0, 1, 200); f != 0.25 {
+		t.Fatalf("retrained fraction=%v, want 0.25", f)
+	}
+	if n := in.RetrainDown(200); n != 0 {
+		t.Fatalf("second reset retired %d downs, want 0", n)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{BER: -0.1},
+		{BER: 1},
+		{Bursts: []Burst{{Start: 10, End: 10, BER: 0.1}}},
+		{Bursts: []Burst{{Start: 0, End: 10, BER: 1.5}}},
+		{Degradations: []Degradation{{BandwidthFraction: 0}}},
+		{Degradations: []Degradation{{BandwidthFraction: 1.5}}},
+		{Downs: []Down{{At: 10, Until: 5}}},
+		{RetrainFraction: 2},
+		{ReplayBufferDepth: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+func TestEnabledAndDefaults(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if !(Config{BER: 1e-12}).Enabled() {
+		t.Fatal("nonzero BER must enable")
+	}
+	if !(Config{Downs: []Down{{Link: AllLinks}}}).Enabled() {
+		t.Fatal("scripted events must enable")
+	}
+	d := Config{}.WithDefaults()
+	if d.AckTimeout != DefaultAckTimeout || d.ReplayBufferDepth != DefaultReplayBufferDepth ||
+		d.WatchdogWindow != DefaultWatchdogWindow || d.RetrainFraction != DefaultRetrainFraction {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+	off := Config{DisableWatchdog: true}.WithDefaults()
+	if !off.DisableWatchdog {
+		t.Fatal("watchdog disable flag must survive defaulting")
+	}
+}

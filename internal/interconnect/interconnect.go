@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"finepack/internal/des"
+	"finepack/internal/faults"
 )
 
 // Config describes the fabric.
@@ -27,9 +28,21 @@ type Config struct {
 	// PropagationLatency is added per link traversal.
 	PropagationLatency des.Time
 	// CreditBytes bounds bytes in flight toward one destination port
-	// (receiver buffer size). Zero selects a default of 64KB.
+	// (receiver buffer size). Zero selects DefaultCreditBytes (256KB).
+	// Positive values below one credit unit (64B) are rejected: they
+	// would round down to a zero-token pool and deadlock unconditionally.
 	CreditBytes int
+	// Faults configures link-level fault injection and the Ack/Nak
+	// replay protocol. The zero value models ideal, error-free links and
+	// keeps the fault path entirely out of the event stream.
+	Faults faults.Config
 }
+
+// DefaultCreditBytes is the receiver buffer size used when CreditBytes is
+// unset: it covers the bandwidth-delay product of the two-stage
+// (egress + ingress) path for max-size bulk chunks, or the credit loop
+// halves effective throughput.
+const DefaultCreditBytes = 256 << 10
 
 // DefaultConfig returns a 4-GPU PCIe-4.0-class fabric: 32GB/s links,
 // ~150ns switch latency, one leaf switch.
@@ -40,10 +53,7 @@ func DefaultConfig(numGPUs int, bandwidth float64) Config {
 		GPUsPerSwitch:      4,
 		SwitchLatency:      150 * des.Nanosecond,
 		PropagationLatency: 10 * des.Nanosecond,
-		// Credits must cover the bandwidth-delay product of the two-stage
-		// (egress + ingress) path for max-size bulk chunks, or the credit
-		// loop halves effective throughput.
-		CreditBytes: 256 << 10,
+		CreditBytes:        DefaultCreditBytes,
 	}
 }
 
@@ -54,6 +64,13 @@ func (c Config) Validate() error {
 	}
 	if c.GPUsPerSwitch <= 0 {
 		return fmt.Errorf("interconnect: GPUs per switch must be positive")
+	}
+	if c.CreditBytes > 0 && c.CreditBytes < creditUnit {
+		return fmt.Errorf("interconnect: CreditBytes %d below one %dB credit unit would yield a zero-token pool and deadlock",
+			c.CreditBytes, creditUnit)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -75,6 +92,25 @@ type Network struct {
 	PacketsSent uint64
 	BytesSent   uint64
 	perLink     map[string]uint64
+
+	// Reliability state, populated only when cfg.Faults is enabled
+	// (see replay.go). fi == nil selects the ideal, error-free path.
+	fi            *faults.Injector
+	replaySlots   []*des.TokenPool // per-egress replay-buffer slots
+	inFlight      int              // packets accepted but not yet delivered
+	deliveries    uint64           // watchdog progress counter
+	lastProgress  uint64
+	watchdogArmed bool
+
+	// Replays counts retransmissions (one per Nak'd attempt),
+	// ReplayedBytes the wire bytes those retransmissions re-serialized,
+	// RecoveredStalls the credit-loop stalls the watchdog resolved by
+	// link-level reset.
+	Replays         uint64
+	ReplayedBytes   uint64
+	RecoveredStalls uint64
+	linkErrors      map[string]uint64
+	resets          []Reset
 }
 
 // New builds the network on the given scheduler.
@@ -83,13 +119,26 @@ func New(sched *des.Scheduler, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	if cfg.CreditBytes <= 0 {
-		cfg.CreditBytes = 64 << 10
+		cfg.CreditBytes = DefaultCreditBytes
 	}
 	n := &Network{
 		cfg:     cfg,
 		sched:   sched,
 		trunks:  make(map[[2]int]*des.Server),
 		perLink: make(map[string]uint64),
+	}
+	if cfg.Faults.Enabled() {
+		fi, err := faults.NewInjector(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		n.fi = fi
+		n.cfg.Faults = fi.Config() // protocol knobs with defaults applied
+		n.linkErrors = make(map[string]uint64)
+		for i := 0; i < cfg.NumGPUs; i++ {
+			n.replaySlots = append(n.replaySlots,
+				des.NewTokenPool(sched, n.cfg.Faults.ReplayBufferDepth))
+		}
 	}
 	for i := 0; i < cfg.NumGPUs; i++ {
 		n.egress = append(n.egress, des.NewServer(sched))
@@ -98,6 +147,10 @@ func New(sched *des.Scheduler, cfg Config) (*Network, error) {
 	}
 	return n, nil
 }
+
+// Config returns the resolved configuration the network runs with
+// (defaults substituted).
+func (n *Network) Config() Config { return n.cfg }
 
 // switchOf returns the leaf switch index for a GPU.
 func (n *Network) switchOf(gpu int) int { return gpu / n.cfg.GPUsPerSwitch }
@@ -154,6 +207,11 @@ func (n *Network) Send(src, dst int, wireBytes int, done func()) {
 	// chunk by chunk; it can never hold more credits than exist.
 	if maxCredits := n.cfg.CreditBytes / creditUnit; credits > maxCredits {
 		credits = maxCredits
+	}
+
+	if n.fi != nil {
+		n.sendReliable(src, dst, wireBytes, credits, done)
+		return
 	}
 
 	n.credits[dst].Acquire(credits, func() {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"finepack/internal/des"
+	"finepack/internal/faults"
 )
 
 // TestAllToAllConservation: every packet sent arrives exactly once, in
@@ -123,6 +124,54 @@ func TestHotspotSerializesAtIngress(t *testing.T) {
 	}
 	if u := n.EgressUtilization(0); u > 0.5 {
 		t.Fatalf("egress 0 utilization %v; sources should mostly idle", u)
+	}
+}
+
+// TestHighBERConservation: at a bit-error rate where roughly half of all
+// 4KB packets are corrupted per attempt, the Ack/Nak replay protocol must
+// still deliver every packet exactly once.
+func TestHighBERConservation(t *testing.T) {
+	sched := des.NewScheduler()
+	cfg := DefaultConfig(8, 32e9)
+	// 8×4096 bits at 2e-5 BER → per-attempt error probability ≈ 0.48.
+	cfg.Faults = faults.Config{BER: 2e-5, Seed: 99}
+	n, err := New(sched, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	sent, arrived := 0, 0
+	for i := 0; i < 2000; i++ {
+		src := rng.Intn(8)
+		dst := rng.Intn(8)
+		if src == dst {
+			continue
+		}
+		sent++
+		n.Send(src, dst, 4096, func() { arrived++ })
+	}
+	sched.Run()
+	if arrived != sent {
+		t.Fatalf("arrived %d of %d under high BER", arrived, sent)
+	}
+	// ≈0.48 error probability → expected replays within a wide band of
+	// one per delivered packet; zero or wildly many means the lottery or
+	// the replay loop is broken.
+	if n.Replays < uint64(sent)/4 || n.Replays > uint64(sent)*4 {
+		t.Fatalf("replays = %d for %d packets at ~0.5 loss; expected the same order of magnitude", n.Replays, sent)
+	}
+	if n.ReplayedBytes != n.Replays*4096 {
+		t.Fatalf("replayed bytes %d inconsistent with %d replays of 4096B", n.ReplayedBytes, n.Replays)
+	}
+	var linkErrs uint64
+	for _, v := range n.LinkErrors() {
+		linkErrs += v
+	}
+	if linkErrs != n.Replays {
+		t.Fatalf("per-link error counts sum to %d, want %d", linkErrs, n.Replays)
+	}
+	if n.RecoveredStalls != 0 {
+		t.Fatalf("no dead links configured, yet %d recovered stalls", n.RecoveredStalls)
 	}
 }
 

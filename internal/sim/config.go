@@ -5,6 +5,7 @@ import (
 
 	"finepack/internal/core"
 	"finepack/internal/des"
+	"finepack/internal/faults"
 	"finepack/internal/gpusim"
 	"finepack/internal/memsystem"
 	"finepack/internal/pcie"
@@ -62,6 +63,16 @@ type Config struct {
 	// delivered packet is applied to a destination memory image and
 	// compared against program order at each barrier. Slow; for tests.
 	CheckData bool
+	// Faults configures link-level fault injection: bit-error rate,
+	// scripted bursts/degradations/dead links, and the Ack/Nak replay
+	// protocol knobs. The zero value models ideal, error-free links and
+	// schedules no fault-path events, so fault-free runs stay
+	// bit-identical to builds without the fault model.
+	Faults faults.Config
+	// EventBudget caps the number of simulator events in one run so a
+	// retry-loop bug surfaces as an "event budget exceeded" error rather
+	// than an infinite loop. Zero selects a generous default.
+	EventBudget uint64
 }
 
 // DefaultConfig returns the paper's evaluated system: 4 Volta-class GPUs

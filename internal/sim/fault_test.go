@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"finepack/internal/des"
+	"finepack/internal/faults"
+)
+
+// TestFaultRunDeterminism: with a fixed nonzero fault seed, two runs of
+// the same configuration produce identical Result stats.
+func TestFaultRunDeterminism(t *testing.T) {
+	tr := genTrace(t, "jacobi", 4)
+	cfg := DefaultConfig()
+	cfg.Faults = faults.Config{BER: 1e-6, Seed: 11}
+	a, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical fault seeds diverged:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.Replays == 0 {
+		t.Fatal("BER 1e-6 on FinePack-size packets should produce replays")
+	}
+}
+
+// TestFaultPathSlowsAndReportsReplays: errors cost time and the replay
+// counters expose the cost; data still arrives intact (CheckData).
+func TestFaultPathSlowsAndReportsReplays(t *testing.T) {
+	tr := genTrace(t, "jacobi", 4)
+	cfg := DefaultConfig()
+	cfg.CheckData = true
+	ideal, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.Replays != 0 || ideal.ReplayedWireBytes != 0 || ideal.LinkErrors != nil {
+		t.Fatalf("ideal links reported fault stats: %+v", ideal)
+	}
+	if f := ideal.EffectiveWireFraction(); f != 1 {
+		t.Fatalf("ideal effective wire fraction = %v, want 1", f)
+	}
+
+	cfg.Faults = faults.Config{BER: 3e-6, Seed: 5}
+	faulty, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Replays == 0 {
+		t.Fatal("no replays under BER 3e-6")
+	}
+	if faulty.Time <= ideal.Time {
+		t.Fatalf("faulty run (%v) not slower than ideal (%v)", faulty.Time, ideal.Time)
+	}
+	if faulty.WireBytes != ideal.WireBytes {
+		t.Fatalf("WireBytes must stay goodput-only: faulty=%d ideal=%d",
+			faulty.WireBytes, ideal.WireBytes)
+	}
+	if faulty.RawWireBytes() != faulty.WireBytes+faulty.ReplayedWireBytes {
+		t.Fatal("RawWireBytes arithmetic broken")
+	}
+	if f := faulty.EffectiveWireFraction(); f >= 1 || f <= 0 {
+		t.Fatalf("effective wire fraction = %v, want in (0,1)", f)
+	}
+	if len(faulty.LinkErrors) == 0 {
+		t.Fatal("per-link error counts missing")
+	}
+}
+
+// TestWatchdogRecoversDeadLinkEndToEnd: a link that dies mid-run and
+// never comes back on its own is retrained by the credit watchdog; the
+// run completes with the recovery visible in the Result.
+func TestWatchdogRecoversDeadLinkEndToEnd(t *testing.T) {
+	tr := genTrace(t, "jacobi", 4)
+	cfg := DefaultConfig()
+	cfg.Faults = faults.Config{
+		Seed:           3,
+		WatchdogWindow: 5 * des.Microsecond,
+		Downs: []faults.Down{
+			{Link: faults.Link{Src: 0, Dst: 1}, At: 0}, // dead until reset
+		},
+	}
+	res, err := Run(tr, FinePack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveredStalls == 0 {
+		t.Fatal("dead link never recovered by the watchdog")
+	}
+	if res.Replays == 0 {
+		t.Fatal("dead-link outage should surface as replay traffic")
+	}
+	if res.LinkErrors["0->1"] == 0 {
+		t.Fatalf("link errors %v missing the dead link", res.LinkErrors)
+	}
+
+	ideal, err := Run(tr, FinePack, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= ideal.Time {
+		t.Fatalf("outage run (%v) not slower than ideal (%v)", res.Time, ideal.Time)
+	}
+}
+
+// TestEventBudgetSurfacesRunaway: an unrecoverable dead link with the
+// watchdog disabled retries forever; the event budget must turn that into
+// an error instead of an infinite loop.
+func TestEventBudgetSurfacesRunaway(t *testing.T) {
+	tr := genTrace(t, "jacobi", 4)
+	cfg := DefaultConfig()
+	cfg.EventBudget = 200_000
+	cfg.Faults = faults.Config{
+		Seed:            1,
+		DisableWatchdog: true,
+		Downs: []faults.Down{
+			{Link: faults.AllLinks, At: 0}, // everything dead, forever
+		},
+	}
+	if _, err := Run(tr, FinePack, cfg); err == nil {
+		t.Fatal("runaway replay loop must exceed the event budget")
+	}
+}
+
+// TestFaultConfigValidation: broken fault configs are rejected up front.
+func TestFaultConfigValidation(t *testing.T) {
+	tr := genTrace(t, "jacobi", 4)
+	cfg := DefaultConfig()
+	cfg.Faults = faults.Config{BER: -1}
+	if _, err := Run(tr, FinePack, cfg); err == nil {
+		t.Fatal("negative BER accepted")
+	}
+}

@@ -42,6 +42,19 @@ type Result struct {
 	// UMPagesMigrated counts page migrations (UM paradigm only).
 	UMPagesMigrated uint64
 
+	// Link-reliability detail, nonzero only when Config.Faults injects
+	// faults. Replays counts Ack/Nak retransmissions, ReplayedWireBytes
+	// the wire bytes those retransmissions re-serialized (WireBytes keeps
+	// counting each packet once; RawWireBytes() adds the replay traffic).
+	Replays           uint64
+	ReplayedWireBytes uint64
+	// RecoveredStalls counts credit-loop stalls the watchdog resolved by
+	// link-level reset (graceful degradation instead of deadlock).
+	RecoveredStalls uint64
+	// LinkErrors is the per-link injected-error count ("src->dst" keys),
+	// nil when no error occurred.
+	LinkErrors map[string]uint64
+
 	// FinePack-specific detail (zero for other paradigms).
 	AvgStoresPerPacket float64
 	SubheaderBytes     uint64
@@ -96,6 +109,23 @@ func (r *Result) ExposedCommFraction() float64 {
 		return 0
 	}
 	return float64(r.ExposedCommTime()) / float64(r.Time)
+}
+
+// RawWireBytes returns every byte the links actually carried, including
+// Ack/Nak replay traffic.
+func (r *Result) RawWireBytes() uint64 {
+	return r.WireBytes + r.ReplayedWireBytes
+}
+
+// EffectiveWireFraction returns the fraction of raw link traffic that was
+// first-transmission wire bytes — effective vs raw bandwidth under
+// replays (1.0 on error-free links).
+func (r *Result) EffectiveWireFraction() float64 {
+	raw := r.RawWireBytes()
+	if raw == 0 {
+		return 1
+	}
+	return float64(r.WireBytes) / float64(raw)
 }
 
 // Goodput returns useful bytes over wire bytes.

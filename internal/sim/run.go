@@ -11,6 +11,12 @@ import (
 	"finepack/internal/trace"
 )
 
+// defaultEventBudget bounds one run's event count when Config.EventBudget
+// is unset: far above any legitimate run in this suite (the largest
+// full-scale traces fire tens of millions of events), low enough that a
+// runaway retry loop errors out in seconds rather than hanging forever.
+const defaultEventBudget = 500_000_000
+
 // SingleGPUTime returns the analytic single-GPU execution time for the
 // traced problem: all compute, no inter-GPU traffic, no barriers — the
 // Fig 9 baseline.
@@ -34,6 +40,7 @@ func Run(tr *trace.Trace, par Paradigm, cfg Config) (*Result, error) {
 	sched := des.NewScheduler()
 	bw := cfg.linkBandwidth()
 	netCfg := interconnect.DefaultConfig(tr.NumGPUs, bw)
+	netCfg.Faults = cfg.Faults
 	if par == Infinite {
 		// The opportunity bound elides all transfer costs.
 		netCfg.Bandwidth = 0
@@ -72,7 +79,13 @@ func Run(tr *trace.Trace, par Paradigm, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r.startIteration(0)
-	sched.Run()
+	budget := cfg.EventBudget
+	if budget == 0 {
+		budget = defaultEventBudget
+	}
+	if _, err := sched.RunBudget(budget); err != nil {
+		return nil, fmt.Errorf("sim: %s/%s: %w", tr.Name, par, err)
+	}
 	if r.checkErr != nil {
 		return nil, r.checkErr
 	}
@@ -84,6 +97,10 @@ func Run(tr *trace.Trace, par Paradigm, cfg Config) (*Result, error) {
 	res.Time = r.endTime
 	res.WireBytes = net.BytesSent
 	res.Packets = net.PacketsSent
+	res.Replays = net.Replays
+	res.ReplayedWireBytes = net.ReplayedBytes
+	res.RecoveredStalls = net.RecoveredStalls
+	res.LinkErrors = net.LinkErrors()
 	if !r.storeParadigm() {
 		// Bulk copies travel as one network message but occupy multiple
 		// max-payload TLPs on the wire.
