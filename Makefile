@@ -1,12 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench vet fmt ci fuzz-smoke figures report clean
+.PHONY: all build test test-short bench bench-smoke vet fmt ci fuzz-smoke figures report clean
 
 all: build vet test
 
 # Exactly what .github/workflows/ci.yml runs.
 ci: build vet
 	go test -race ./...
+	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 
 fuzz-smoke:
@@ -27,8 +28,18 @@ test:
 test-short:
 	go test -short ./...
 
+# Full benchmark sweep, captured both as raw text (bench_output.txt) and
+# as a dated machine-readable snapshot (BENCH_<date>.json) for diffing
+# trajectories across commits.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -run='^$$' -bench=. -benchmem ./... | tee bench_output.txt
+	go run ./cmd/benchjson < bench_output.txt > BENCH_$$(date +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
+
+# One iteration of every benchmark: catches bit-rotted benchmark code in
+# seconds without measuring anything.
+bench-smoke:
+	go test -run='^$$' -bench=. -benchtime=1x ./...
 
 fuzz:
 	go test -fuzz=FuzzDecodePacket -fuzztime=30s ./internal/core/

@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark trajectories can be
+// diffed across commits instead of eyeballed. Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson > BENCH_2026-08-05.json
+//
+// Each benchmark line becomes one record with the standard ns/op, B/op,
+// allocs/op columns broken out and every custom b.ReportMetric unit
+// (speedup-x, stores/packet, ...) collected under "metrics". `make bench`
+// wraps this into a dated snapshot file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Pkg        string  `json:"pkg,omitempty"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when the benchmark did not report
+	// allocations (no -benchmem and no b.ReportAllocs).
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Date       string      `json:"date"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?$`)
+
+func main() {
+	rep := Report{Date: time.Now().Format("2006-01-02")}
+	var pkg string
+	failed := false
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "FAIL"):
+			failed = true
+			continue
+		}
+		if b, ok := parseBenchLine(line, pkg); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: input contained FAIL lines")
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `BenchmarkName-P  N  v unit  v unit ...` line.
+// Anything that does not look like a benchmark result reports ok=false.
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	m := benchName.FindStringSubmatch(fields[0])
+	if m == nil {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:        m[1],
+		Pkg:         pkg,
+		Iterations:  iters,
+		BytesPerOp:  -1,
+		AllocsPerOp: -1,
+	}
+	if m[2] != "" {
+		b.Procs, _ = strconv.Atoi(m[2])
+	}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}

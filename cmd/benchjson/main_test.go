@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine(
+		"BenchmarkEndToEndSSSP-8   27  42049223 ns/op  2.244 speedup-x  14001293 B/op  134631 allocs/op",
+		"finepack")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if b.Name != "BenchmarkEndToEndSSSP" || b.Procs != 8 || b.Pkg != "finepack" {
+		t.Fatalf("name/procs/pkg = %q/%d/%q", b.Name, b.Procs, b.Pkg)
+	}
+	if b.Iterations != 27 || b.NsPerOp != 42049223 {
+		t.Fatalf("iters/ns = %d/%g", b.Iterations, b.NsPerOp)
+	}
+	if b.BytesPerOp != 14001293 || b.AllocsPerOp != 134631 {
+		t.Fatalf("B/op=%g allocs/op=%g", b.BytesPerOp, b.AllocsPerOp)
+	}
+	if got := b.Metrics["speedup-x"]; got != 2.244 {
+		t.Fatalf("speedup-x = %g", got)
+	}
+}
+
+func TestParseBenchLineNoProcsNoMem(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkQueueWriteDense  4233937  287.1 ns/op", "finepack")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if b.Procs != 0 || b.NsPerOp != 287.1 {
+		t.Fatalf("procs=%d ns=%g", b.Procs, b.NsPerOp)
+	}
+	if b.BytesPerOp != -1 || b.AllocsPerOp != -1 {
+		t.Fatalf("missing memstats should stay -1, got %g/%g", b.BytesPerOp, b.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tfinepack\t6.331s",
+		"goos: linux",
+		"BenchmarkShortLine 12",
+		"--- BENCH: BenchmarkFoo",
+		"BenchmarkBad notanumber 1 ns/op",
+	} {
+		if _, ok := parseBenchLine(line, ""); ok {
+			t.Errorf("parsed noise line %q", line)
+		}
+	}
+}

@@ -17,6 +17,9 @@ import (
 	"strconv"
 	"strings"
 
+	"runtime"
+	"runtime/pprof"
+
 	"finepack/internal/des"
 	"finepack/internal/experiments"
 	"finepack/internal/faults"
@@ -34,6 +37,9 @@ func main() {
 		ber       = flag.Float64("ber", 0, "per-link bit-error rate injected into every run (0 = ideal links)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injection random seed")
 		degrade   = flag.String("degrade", "", "persistent link degradation src:dst:fraction[@us], '*' endpoint wildcards (e.g. '0:1:0.5@10')")
+		parallel  = flag.Int("parallel", 0, "independent simulation runs to execute concurrently (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.BoolVar(&chart, "chart", false, "also render bar charts for fig9/fig11")
 	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
@@ -61,10 +67,44 @@ func main() {
 		workloads.Params{Scale: *scale, Iterations: *iters, Seed: *seed},
 		*gpus,
 	)
-	if err := run(suite, flag.Arg(0)); err != nil {
+	suite.Parallelism = *parallel
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "finepack-sim:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "finepack-sim:", err)
+			os.Exit(2)
+		}
+	}
+	err := run(suite, flag.Arg(0))
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		if werr := writeHeapProfile(*memProf); werr != nil {
+			fmt.Fprintln(os.Stderr, "finepack-sim:", werr)
+			os.Exit(2)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "finepack-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// writeHeapProfile snapshots the heap after a final GC so the profile
+// reflects live retained memory, not transient garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // parseDegrade parses a -degrade spec: src:dst:fraction, optionally

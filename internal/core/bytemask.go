@@ -54,7 +54,14 @@ type Run struct {
 // write queue entry may need to be split into multiple sub-packets if the
 // enabled bytes are not contiguous").
 func (m *ByteMask) Runs() []Run {
-	var runs []Run
+	return m.AppendRuns(nil)
+}
+
+// AppendRuns appends the mask's contiguous valid runs to dst and returns
+// the extended slice, letting hot flush paths reuse one scratch buffer
+// instead of allocating per entry.
+func (m *ByteMask) AppendRuns(dst []Run) []Run {
+	runs := dst
 	i := 0
 	for i < CacheLineBytes {
 		if !m.Get(i) {

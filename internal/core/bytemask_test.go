@@ -127,12 +127,14 @@ func TestOrInclusionExclusion(t *testing.T) {
 
 func TestStoreSegments(t *testing.T) {
 	// Fully within one line.
-	segs := storeSegments(Store{Addr: 256, Size: 64})
+	segArr, n := storeSegments(Store{Addr: 256, Size: 64})
+	segs := segArr[:n]
 	if len(segs) != 1 || segs[0].line != 256 || segs[0].from != 0 || segs[0].to != 64 {
 		t.Fatalf("segs = %+v", segs)
 	}
 	// Straddles a line boundary.
-	segs = storeSegments(Store{Addr: 120, Size: 16})
+	segArr, n = storeSegments(Store{Addr: 120, Size: 16})
+	segs = segArr[:n]
 	if len(segs) != 2 {
 		t.Fatalf("straddling store: %d segments, want 2", len(segs))
 	}
@@ -143,7 +145,8 @@ func TestStoreSegments(t *testing.T) {
 		t.Fatalf("seg1 = %+v", segs[1])
 	}
 	// A full aligned line.
-	segs = storeSegments(Store{Addr: 128, Size: 128})
+	segArr, n = storeSegments(Store{Addr: 128, Size: 128})
+	segs = segArr[:n]
 	if len(segs) != 1 || segs[0].to-segs[0].from != 128 {
 		t.Fatalf("full line segs = %+v", segs)
 	}
@@ -152,7 +155,8 @@ func TestStoreSegments(t *testing.T) {
 func TestStoreSegmentsCoverExactly(t *testing.T) {
 	f := func(addr uint32, size uint8) bool {
 		s := Store{Addr: uint64(addr), Size: int(size%128) + 1}
-		segs := storeSegments(s)
+		segArr, n := storeSegments(s)
+		segs := segArr[:n]
 		total := 0
 		next := s.Addr
 		for _, seg := range segs {

@@ -29,6 +29,17 @@ type Queue struct {
 	parts map[int]*partition
 	emit  func(*Packet)
 	stats QueueStats
+
+	// Freelists recycle the structures that churn on every window flush.
+	// Recycled windows keep their entry map (emptied) and order slice;
+	// recycled entries keep their data array — safe because the byte mask
+	// is reset and all reads are mask-gated. Emitted packets and their
+	// payload buffers are NOT recycled: they escape into the interconnect
+	// and destination-side de-packetizer with unknown lifetime.
+	freeWindows []*window
+	freeEntries []*lineEntry
+	runScratch  []Run
+	dstScratch  []int
 }
 
 // QueueStats aggregates the counters behind Figs 10 and 11.
@@ -138,25 +149,66 @@ type segment struct {
 }
 
 // storeSegments splits a store at 128B line boundaries. Stores out of L1
-// touch at most two lines (size ≤ 128B).
-func storeSegments(s Store) []segment {
-	var segs []segment
+// touch at most two lines (size ≤ 128B), so the result fits a fixed pair
+// and never touches the heap.
+func storeSegments(s Store) (segs [2]segment, n int) {
 	addr := s.Addr
 	remaining := s.Size
 	dataOff := 0
 	for remaining > 0 {
 		line := LineAddr(addr)
 		from := int(addr - line)
-		n := CacheLineBytes - from
-		if n > remaining {
-			n = remaining
+		take := CacheLineBytes - from
+		if take > remaining {
+			take = remaining
 		}
-		segs = append(segs, segment{line: line, from: from, to: from + n, dataOff: dataOff})
-		addr += uint64(n)
-		dataOff += n
-		remaining -= n
+		segs[n] = segment{line: line, from: from, to: from + take, dataOff: dataOff}
+		n++
+		addr += uint64(take)
+		dataOff += take
+		remaining -= take
 	}
-	return segs
+	return segs, n
+}
+
+// newWindow returns a ready-to-use window at base, recycled if possible.
+func (q *Queue) newWindow(base uint64) *window {
+	if n := len(q.freeWindows); n > 0 {
+		w := q.freeWindows[n-1]
+		q.freeWindows = q.freeWindows[:n-1]
+		w.base = base
+		return w
+	}
+	return &window{base: base, entries: make(map[uint64]*lineEntry)}
+}
+
+// newEntry returns a zero-mask entry for line, recycled if possible.
+func (q *Queue) newEntry(line uint64) *lineEntry {
+	if n := len(q.freeEntries); n > 0 {
+		e := q.freeEntries[n-1]
+		q.freeEntries = q.freeEntries[:n-1]
+		e.line = line
+		return e
+	}
+	return &lineEntry{line: line}
+}
+
+// releaseWindow empties a closed window onto the freelists.
+func (q *Queue) releaseWindow(w *window) {
+	for line, e := range w.entries {
+		q.releaseEntry(e)
+		delete(w.entries, line)
+	}
+	w.order = w.order[:0]
+	w.payloadUsed = 0
+	w.stores = 0
+	q.freeWindows = append(q.freeWindows, w)
+}
+
+func (q *Queue) releaseEntry(e *lineEntry) {
+	e.mask = ByteMask{}
+	e.cost = 0
+	q.freeEntries = append(q.freeEntries, e)
 }
 
 // findWindow returns the open window whose address range contains addr.
@@ -183,7 +235,8 @@ func (q *Queue) Write(s Store) error {
 	q.stats.BytesIn += uint64(s.Size)
 
 	p := q.part(s.Dst)
-	segs := storeSegments(s)
+	segArr, nseg := storeSegments(s)
+	segs := segArr[:nseg]
 
 	w := p.findWindow(q.cfg, s.Addr)
 	if w == nil {
@@ -192,7 +245,7 @@ func (q *Queue) Write(s Store) error {
 		if len(p.windows) >= q.cfg.maxOpenWindows() {
 			q.flushWindow(p, p.windows[0], CauseWindowMiss)
 		}
-		w = &window{base: q.cfg.WindowBase(s.Addr), entries: make(map[uint64]*lineEntry)}
+		w = q.newWindow(q.cfg.WindowBase(s.Addr))
 		p.windows = append(p.windows, w)
 	}
 
@@ -231,7 +284,7 @@ func (q *Queue) Write(s Store) error {
 	}
 	if w.payloadUsed+worst > q.cfg.MaxPayload {
 		q.flushWindow(p, w, CausePayloadFull)
-		w = &window{base: q.cfg.WindowBase(s.Addr), entries: make(map[uint64]*lineEntry)}
+		w = q.newWindow(q.cfg.WindowBase(s.Addr))
 		p.windows = append(p.windows, w)
 		newEntries = len(segs)
 	}
@@ -241,7 +294,7 @@ func (q *Queue) Write(s Store) error {
 		victim := p.windows[0]
 		q.flushWindow(p, victim, CauseEntriesFull)
 		if victim == w {
-			w = &window{base: q.cfg.WindowBase(s.Addr), entries: make(map[uint64]*lineEntry)}
+			w = q.newWindow(q.cfg.WindowBase(s.Addr))
 			p.windows = append(p.windows, w)
 			newEntries = len(segs)
 		}
@@ -259,7 +312,7 @@ func (q *Queue) Write(s Store) error {
 func (q *Queue) mergeSegment(p *partition, w *window, s Store, seg segment) {
 	e, ok := w.entries[seg.line]
 	if !ok {
-		e = &lineEntry{line: seg.line}
+		e = q.newEntry(seg.line)
 		w.entries[seg.line] = e
 		w.order = append(w.order, seg.line)
 		p.entries++
@@ -423,7 +476,7 @@ func (q *Queue) OpenWindows(dst int) int {
 }
 
 func (q *Queue) sortedDsts() []int {
-	dsts := make([]int, 0, len(q.parts))
+	dsts := q.dstScratch[:0]
 	for d := range q.parts {
 		dsts = append(dsts, d)
 	}
@@ -433,6 +486,7 @@ func (q *Queue) sortedDsts() []int {
 			dsts[j], dsts[j-1] = dsts[j-1], dsts[j]
 		}
 	}
+	q.dstScratch = dsts
 	return dsts
 }
 
@@ -445,7 +499,11 @@ func (q *Queue) flushEntry(p *partition, w *window, line uint64, cause FlushCaus
 		return
 	}
 	q.stats.Flushes[cause]++
-	for _, run := range e.mask.Runs() {
+	// Runs are copied to a local buffer before any emit: a 128B mask holds
+	// at most 64 runs, and emit callbacks must be free to reenter the
+	// queue without trampling shared scratch space.
+	var runsBuf [CacheLineBytes / 2]Run
+	for _, run := range e.mask.AppendRuns(runsBuf[:0]) {
 		data := make([]byte, run.Len)
 		copy(data, e.data[run.Start:run.Start+run.Len])
 		pkt := NewPlainPacket(q.cfg, p.dst, e.line+uint64(run.Start), data)
@@ -456,6 +514,7 @@ func (q *Queue) flushEntry(p *partition, w *window, line uint64, cause FlushCaus
 	}
 	w.payloadUsed -= e.cost
 	delete(w.entries, line)
+	q.releaseEntry(e)
 	p.entries--
 	for i, l := range w.order {
 		if l == line {
@@ -477,12 +536,20 @@ func (q *Queue) flushWindow(p *partition, w *window, cause FlushCause) {
 
 	pkt := &Packet{Dst: p.dst, BaseAddr: w.base, Cause: cause}
 	var fallbacks []*Packet
+	// One backing buffer carries every sub-packet's payload: payloadUsed
+	// bounds the window's enabled bytes, so a single allocation replaces
+	// one per run. Sub-slices are capacity-capped so no append through one
+	// can reach a neighbour. No emit happens until extraction is done, so
+	// the shared run scratch cannot be trampled by reentrant callbacks.
+	buf := make([]byte, 0, w.payloadUsed)
 	for _, line := range w.order {
 		e := w.entries[line]
-		for _, run := range e.mask.Runs() {
+		q.runScratch = e.mask.AppendRuns(q.runScratch[:0])
+		for _, run := range q.runScratch {
 			absolute := e.line + uint64(run.Start)
-			data := make([]byte, run.Len)
-			copy(data, e.data[run.Start:run.Start+run.Len])
+			start := len(buf)
+			buf = append(buf, e.data[run.Start:run.Start+run.Len]...)
+			data := buf[start:len(buf):len(buf)]
 			offset := absolute - w.base
 			if offset >= q.cfg.AddressableRange() {
 				fb := NewPlainPacket(q.cfg, p.dst, absolute, data)
@@ -513,11 +580,12 @@ func (q *Queue) flushWindow(p *partition, w *window, cause FlushCause) {
 	q.removeWindow(p, w)
 }
 
-// removeWindow unlinks a window from its partition.
+// removeWindow unlinks a window from its partition and recycles it.
 func (q *Queue) removeWindow(p *partition, w *window) {
 	for i, x := range p.windows {
 		if x == w {
 			p.windows = append(p.windows[:i], p.windows[i+1:]...)
+			q.releaseWindow(w)
 			return
 		}
 	}

@@ -56,6 +56,13 @@ func (s *Suite) sweepFinePack(label string, cfg sim.Config) (AblationRow, error)
 // future-work question of how far the SRAM can shrink (e.g. at high GPU
 // counts) before coalescing quality collapses.
 func (s *Suite) AblationQueueEntries() ([]AblationRow, error) {
+	var jobs []runJob
+	for _, entries := range []int{4, 8, 16, 32, 64, 128} {
+		cfg := s.Cfg
+		cfg.FinePack.QueueEntries = entries
+		jobs = append(jobs, s.suiteJobs(s.NumGPUs, cfg, sim.FinePack)...)
+	}
+	s.warmRuns(jobs)
 	var rows []AblationRow
 	for _, entries := range []int{4, 8, 16, 32, 64, 128} {
 		cfg := s.Cfg
@@ -72,6 +79,13 @@ func (s *Suite) AblationQueueEntries() ([]AblationRow, error) {
 // AblationOpenWindows sweeps the open-outer-transaction count per
 // destination (§IV-C's anti-thrashing alternative; the paper evaluates 1).
 func (s *Suite) AblationOpenWindows() ([]AblationRow, error) {
+	var jobs []runJob
+	for _, wins := range []int{1, 2, 4} {
+		cfg := s.Cfg
+		cfg.FinePack.MaxOpenWindows = wins
+		jobs = append(jobs, s.suiteJobs(s.NumGPUs, cfg, sim.FinePack)...)
+	}
+	s.warmRuns(jobs)
 	var rows []AblationRow
 	for _, wins := range []int{1, 2, 4} {
 		cfg := s.Cfg
@@ -105,6 +119,13 @@ func (s *Suite) AblationFlushTimeout() ([]AblationRow, error) {
 		{"50ns", 50 * des.Nanosecond},
 		{"500ns", 500 * des.Nanosecond},
 	}
+	var jobs []runJob
+	for _, p := range points {
+		cfg := s.Cfg
+		cfg.FlushTimeout = p.timeout
+		jobs = append(jobs, s.suiteJobs(s.NumGPUs, cfg, sim.FinePack)...)
+	}
+	s.warmRuns(jobs)
 	var rows []AblationRow
 	for _, p := range points {
 		cfg := s.Cfg

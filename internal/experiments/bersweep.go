@@ -54,6 +54,15 @@ func (s *Suite) BERSweep(bers []float64) ([]BERRow, error) {
 	if bers == nil {
 		bers = DefaultBERs()
 	}
+	baseCfg := s.Cfg
+	baseCfg.Faults.BER = 0
+	jobs := s.suiteJobs(s.NumGPUs, baseCfg, BERSweepParadigms()...)
+	for _, ber := range bers {
+		cfg := s.Cfg
+		cfg.Faults.BER = ber
+		jobs = append(jobs, s.suiteJobs(s.NumGPUs, cfg, BERSweepParadigms()...)...)
+	}
+	s.warmRuns(jobs)
 	// Error-free baselines per (workload, paradigm).
 	base := make(map[resultKey]*sim.Result) // reuse key type for convenience
 	baseline := func(name string, par sim.Paradigm) (*sim.Result, error) {

@@ -24,6 +24,9 @@ type DiagRow struct {
 
 // Diag runs every (workload, paradigm) pair and returns the raw numbers.
 func (s *Suite) Diag() ([]DiagRow, error) {
+	s.warmRuns(s.suiteJobs(s.NumGPUs, s.Cfg,
+		sim.P2P, sim.DMA, sim.FinePack, sim.WriteCombining,
+		sim.GPS, sim.UM, sim.RemoteRead, sim.Infinite))
 	var rows []DiagRow
 	for _, name := range s.Workloads() {
 		for _, par := range []sim.Paradigm{

@@ -3,10 +3,20 @@
 // artifact's rows or series from the simulator, and the companion *Table
 // helpers render them in the layout of the published chart. cmd/finepack-sim
 // and bench_test.go are thin wrappers over this package.
+//
+// Every run in the evaluation is an independent (workload, paradigm,
+// config) simulation, so the Suite fans them out across a bounded worker
+// pool before each figure assembles its rows serially from the cache.
+// Each per-run DES stays single-threaded (see the internal/des doc
+// comment); only whole runs execute concurrently, and rows are always
+// collected in workload/paradigm order from cached deterministic results,
+// never in completion order — parallel output is byte-identical to serial.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"finepack/internal/des"
 	"finepack/internal/pcie"
@@ -16,7 +26,9 @@ import (
 )
 
 // Suite carries the shared configuration and caches traces and simulation
-// results across experiments (Figs 9–12 reuse the same runs).
+// results across experiments (Figs 9–12 reuse the same runs). The caches
+// are safe for concurrent use and deduplicate in-flight work: two
+// goroutines asking for the same run share one execution.
 type Suite struct {
 	// Cfg is the system configuration (Table III defaults).
 	Cfg sim.Config
@@ -24,9 +36,29 @@ type Suite struct {
 	Params workloads.Params
 	// NumGPUs is the evaluated system size (4 in §V).
 	NumGPUs int
+	// Parallelism bounds the number of simulation runs in flight at once.
+	// Zero selects GOMAXPROCS; 1 forces fully serial execution.
+	Parallelism int
 
-	traces  map[traceKey]*trace.Trace
-	results map[resultKey]*sim.Result
+	mu      sync.Mutex
+	traces  map[traceKey]*traceCell
+	results map[resultKey]*resultCell
+}
+
+// traceCell and resultCell are singleflight slots: the first goroutine to
+// claim a key runs the work inside the sync.Once, everyone else blocks on
+// the same Once and reads the settled value. Errors settle too — the work
+// is deterministic, so retrying would only reproduce them.
+type traceCell struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+type resultCell struct {
+	once sync.Once
+	res  *sim.Result
+	err  error
 }
 
 type traceKey struct {
@@ -66,27 +98,52 @@ func New(cfg sim.Config, params workloads.Params, numGPUs int) *Suite {
 		Cfg:     cfg,
 		Params:  params,
 		NumGPUs: numGPUs,
-		traces:  make(map[traceKey]*trace.Trace),
-		results: make(map[resultKey]*sim.Result),
+		traces:  make(map[traceKey]*traceCell),
+		results: make(map[resultKey]*resultCell),
 	}
+}
+
+// parallelism resolves the effective worker count.
+func (s *Suite) parallelism() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ResetResults drops every cached simulation result while keeping the
+// generated traces, so benchmarks can measure simulation cost alone
+// against already-built inputs.
+func (s *Suite) ResetResults() {
+	s.mu.Lock()
+	s.results = make(map[resultKey]*resultCell)
+	s.mu.Unlock()
 }
 
 // Trace returns (generating and caching) the trace for a workload.
 func (s *Suite) Trace(name string, gpus int) (*trace.Trace, error) {
 	k := traceKey{name, gpus}
-	if t, ok := s.traces[k]; ok {
-		return t, nil
+	s.mu.Lock()
+	c, ok := s.traces[k]
+	if !ok {
+		c = &traceCell{}
+		s.traces[k] = c
 	}
-	w, err := workloads.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	t, err := w.Generate(gpus, s.Params)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: generating %s: %w", name, err)
-	}
-	s.traces[k] = t
-	return t, nil
+	s.mu.Unlock()
+	c.once.Do(func() {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			c.err = err
+			return
+		}
+		t, err := w.Generate(gpus, s.Params)
+		if err != nil {
+			c.err = fmt.Errorf("experiments: generating %s: %w", name, err)
+			return
+		}
+		c.tr = t
+	})
+	return c.tr, c.err
 }
 
 // Run returns (running and caching) one simulation result under the
@@ -110,19 +167,107 @@ func (s *Suite) runWith(name string, gpus int, par sim.Paradigm, cfg sim.Config)
 	if cfg.Bandwidth == 0 {
 		k.bandwidth = cfg.Gen.Bandwidth()
 	}
-	if r, ok := s.results[k]; ok {
-		return r, nil
+	s.mu.Lock()
+	c, ok := s.results[k]
+	if !ok {
+		c = &resultCell{}
+		s.results[k] = c
 	}
-	tr, err := s.Trace(name, gpus)
-	if err != nil {
-		return nil, err
+	s.mu.Unlock()
+	c.once.Do(func() {
+		tr, err := s.Trace(name, gpus)
+		if err != nil {
+			c.err = err
+			return
+		}
+		r, err := sim.Run(tr, par, cfg)
+		if err != nil {
+			c.err = fmt.Errorf("experiments: %s/%s: %w", name, par, err)
+			return
+		}
+		c.res = r
+	})
+	return c.res, c.err
+}
+
+// run is a runJob's closure-free description: one (workload, gpus,
+// paradigm, config) simulation.
+type runJob struct {
+	name string
+	gpus int
+	par  sim.Paradigm
+	cfg  sim.Config
+}
+
+// warmRuns fans the given runs out across the worker pool, populating the
+// result (and, transitively, trace) caches. Errors are deliberately
+// dropped here: the serial assembly loop that follows re-requests every
+// run from the cache and surfaces the identical, deterministic error at
+// the same row it would have hit serially.
+func (s *Suite) warmRuns(jobs []runJob) {
+	n := s.parallelism()
+	if n <= 1 || len(jobs) <= 1 {
+		return
 	}
-	r, err := sim.Run(tr, par, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s: %w", name, par, err)
+	if n > len(jobs) {
+		n = len(jobs)
 	}
-	s.results[k] = r
-	return r, nil
+	ch := make(chan runJob)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				_, _ = s.runWith(j.name, j.gpus, j.par, j.cfg)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// warmTraces fans out trace generation alone (Fig 4 needs no runs).
+func (s *Suite) warmTraces(gpus int) {
+	n := s.parallelism()
+	names := s.Workloads()
+	if n <= 1 || len(names) <= 1 {
+		return
+	}
+	if n > len(names) {
+		n = len(names)
+	}
+	ch := make(chan string)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range ch {
+				_, _ = s.Trace(name, gpus)
+			}
+		}()
+	}
+	for _, name := range names {
+		ch <- name
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// suiteJobs enumerates one run per workload for each given paradigm under
+// cfg — the fan-out unit shared by most figures.
+func (s *Suite) suiteJobs(gpus int, cfg sim.Config, pars ...sim.Paradigm) []runJob {
+	jobs := make([]runJob, 0, len(pars)*len(s.Workloads()))
+	for _, name := range s.Workloads() {
+		for _, par := range pars {
+			jobs = append(jobs, runJob{name: name, gpus: gpus, par: par, cfg: cfg})
+		}
+	}
+	return jobs
 }
 
 // withGen returns the suite config retargeted at a PCIe generation.

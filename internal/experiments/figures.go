@@ -70,6 +70,7 @@ type Fig4Row struct {
 
 // Fig4 regenerates the store-size mix egressing L1 per workload.
 func (s *Suite) Fig4() ([]Fig4Row, error) {
+	s.warmTraces(s.NumGPUs)
 	var rows []Fig4Row
 	for _, name := range s.Workloads() {
 		tr, err := s.Trace(name, s.NumGPUs)
@@ -119,6 +120,7 @@ type Fig9Row struct {
 
 // Fig9 regenerates the headline strong-scaling comparison.
 func (s *Suite) Fig9() ([]Fig9Row, map[sim.Paradigm]float64, error) {
+	s.warmRuns(s.suiteJobs(s.NumGPUs, s.Cfg, sim.Fig9Paradigms()...))
 	var rows []Fig9Row
 	sums := map[sim.Paradigm][]float64{}
 	for _, name := range s.Workloads() {
@@ -172,6 +174,7 @@ func Fig10Paradigms() []sim.Paradigm {
 
 // Fig10 regenerates the traffic breakdown.
 func (s *Suite) Fig10() ([]Fig10Row, error) {
+	s.warmRuns(s.suiteJobs(s.NumGPUs, s.Cfg, Fig10Paradigms()...))
 	var rows []Fig10Row
 	for _, name := range s.Workloads() {
 		dma, err := s.Run(name, sim.DMA)
@@ -226,6 +229,7 @@ type Fig11Row struct {
 
 // Fig11 regenerates the stores-aggregated-per-packet chart.
 func (s *Suite) Fig11() ([]Fig11Row, float64, error) {
+	s.warmRuns(s.suiteJobs(s.NumGPUs, s.Cfg, sim.FinePack))
 	var rows []Fig11Row
 	var xs []float64
 	for _, name := range s.Workloads() {
@@ -261,6 +265,13 @@ type Fig12Row struct {
 
 // Fig12 regenerates the sub-header sensitivity sweep.
 func (s *Suite) Fig12() ([]Fig12Row, map[int]float64, error) {
+	var jobs []runJob
+	for shb := 2; shb <= 6; shb++ {
+		cfg := s.Cfg
+		cfg.FinePack.SubheaderBytes = shb
+		jobs = append(jobs, s.suiteJobs(s.NumGPUs, cfg, sim.FinePack)...)
+	}
+	s.warmRuns(jobs)
 	var rows []Fig12Row
 	perSize := map[int][]float64{}
 	for _, name := range s.Workloads() {
@@ -308,6 +319,12 @@ type Fig13Row struct {
 // Fig13 regenerates the bandwidth sensitivity study: geomean speedup of
 // P2P, DMA and FinePack per PCIe generation, plus the infinite bound.
 func (s *Suite) Fig13() ([]Fig13Row, error) {
+	var jobs []runJob
+	for _, gen := range []pcie.Generation{pcie.Gen4, pcie.Gen5, pcie.Gen6} {
+		jobs = append(jobs, s.suiteJobs(s.NumGPUs, s.withGen(gen), sim.P2P, sim.DMA, sim.FinePack)...)
+	}
+	jobs = append(jobs, s.suiteJobs(s.NumGPUs, s.Cfg, sim.Infinite)...)
+	s.warmRuns(jobs)
 	var rows []Fig13Row
 	for _, gen := range []pcie.Generation{pcie.Gen4, pcie.Gen5, pcie.Gen6} {
 		cfg := s.withGen(gen)

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"finepack/internal/sim"
+	"finepack/internal/workloads"
+)
+
+// smallSuite keeps concurrency tests fast: the goal is interleaving, not
+// statistical fidelity.
+func smallSuite() *Suite {
+	return New(sim.DefaultConfig(), workloads.Params{Scale: 0.1, Iterations: 1, Seed: 7}, 4)
+}
+
+// TestSuiteConcurrentAccess hammers the singleflight caches from many
+// goroutines asking for overlapping traces and runs. Run under -race (CI
+// does), it verifies the locking discipline; the pointer comparisons
+// verify deduplication — every requester of a key must observe the one
+// settled execution, never a duplicate.
+func TestSuiteConcurrentAccess(t *testing.T) {
+	s := smallSuite()
+	s.Parallelism = 8
+	names := []string{"sssp", "ct", "jacobi"}
+	pars := []sim.Paradigm{sim.P2P, sim.FinePack}
+
+	const loops = 4
+	var wg sync.WaitGroup
+	results := make([][]*sim.Result, loops)
+	for g := 0; g < loops; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, name := range names {
+				if _, err := s.Trace(name, s.NumGPUs); err != nil {
+					t.Error(err)
+					return
+				}
+				for _, par := range pars {
+					res, err := s.Run(name, par)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results[g] = append(results[g], res)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for g := 1; g < loops; g++ {
+		if len(results[g]) != len(results[0]) {
+			t.Fatalf("goroutine %d saw %d results, want %d", g, len(results[g]), len(results[0]))
+		}
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Errorf("goroutine %d result %d is a distinct object: singleflight cache duplicated a run", g, i)
+			}
+		}
+	}
+}
+
+// TestTraceConcurrentDedup checks that a stampede of goroutines asking for
+// the same not-yet-generated trace shares one generation.
+func TestTraceConcurrentDedup(t *testing.T) {
+	s := smallSuite()
+	const stampede = 16
+	var wg sync.WaitGroup
+	traces := make([]any, stampede)
+	for g := 0; g < stampede; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr, err := s.Trace("hit", s.NumGPUs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[g] = tr
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < stampede; g++ {
+		if traces[g] != traces[0] {
+			t.Fatalf("goroutine %d got a distinct trace object", g)
+		}
+	}
+}
+
+// TestParallelReportMatchesSerial is the hard constraint of the parallel
+// engine: the full report generated with an 8-wide worker pool must be
+// byte-identical to the serial one. Rows are assembled in workload order
+// from cached deterministic results, never in completion order, so any
+// divergence here means ordering leaked through the cache.
+func TestParallelReportMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in -short mode")
+	}
+	serial := smallSuite()
+	serial.Parallelism = 1
+	var want bytes.Buffer
+	if err := serial.WriteReport(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	par := smallSuite()
+	par.Parallelism = 8
+	var got bytes.Buffer
+	if err := par.WriteReport(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		wl, gl := bytes.Split(want.Bytes(), []byte("\n")), bytes.Split(got.Bytes(), []byte("\n"))
+		for i := 0; i < len(wl) && i < len(gl); i++ {
+			if !bytes.Equal(wl[i], gl[i]) {
+				t.Fatalf("parallel report diverges from serial at line %d:\nserial:   %q\nparallel: %q", i+1, wl[i], gl[i])
+			}
+		}
+		t.Fatalf("parallel report length %d != serial %d", got.Len(), want.Len())
+	}
+}

@@ -19,6 +19,11 @@ type ScalingRow struct {
 // while the paradigms' interconnect efficiency decides how much of it
 // survives.
 func (s *Suite) Scaling() ([]ScalingRow, error) {
+	var jobs []runJob
+	for _, gpus := range []int{2, 4, 8, 16} {
+		jobs = append(jobs, s.suiteJobs(gpus, s.Cfg, sim.Fig9Paradigms()...)...)
+	}
+	s.warmRuns(jobs)
 	var rows []ScalingRow
 	for _, gpus := range []int{2, 4, 8, 16} {
 		row := ScalingRow{GPUs: gpus, Speedup: map[sim.Paradigm]float64{}}

@@ -91,7 +91,10 @@ type Network struct {
 	// Stats
 	PacketsSent uint64
 	BytesSent   uint64
-	perLink     map[string]uint64
+	// perLink counts bytes per endpoint pair, indexed src*NumGPUs+dst —
+	// a flat slice, not a formatted-string map, because Send is the
+	// fabric's hottest path and key formatting would allocate per packet.
+	perLink []uint64
 
 	// Reliability state, populated only when cfg.Faults is enabled
 	// (see replay.go). fi == nil selects the ideal, error-free path.
@@ -125,7 +128,7 @@ func New(sched *des.Scheduler, cfg Config) (*Network, error) {
 		cfg:     cfg,
 		sched:   sched,
 		trunks:  make(map[[2]int]*des.Server),
-		perLink: make(map[string]uint64),
+		perLink: make([]uint64, cfg.NumGPUs*cfg.NumGPUs),
 	}
 	if cfg.Faults.Enabled() {
 		fi, err := faults.NewInjector(cfg.Faults)
@@ -198,7 +201,7 @@ func (n *Network) Send(src, dst int, wireBytes int, done func()) {
 	}
 	n.PacketsSent++
 	n.BytesSent += uint64(wireBytes)
-	n.perLink[linkName(src, dst)] += uint64(wireBytes)
+	n.perLink[src*n.cfg.NumGPUs+dst] += uint64(wireBytes)
 
 	serialize := des.DurationForBytes(uint64(wireBytes), n.cfg.Bandwidth)
 	hopDelay := n.cfg.SwitchLatency + n.cfg.PropagationLatency
@@ -239,7 +242,10 @@ func (n *Network) Send(src, dst int, wireBytes int, done func()) {
 
 // LinkBytes returns bytes sent on the src→dst endpoint pair.
 func (n *Network) LinkBytes(src, dst int) uint64 {
-	return n.perLink[linkName(src, dst)]
+	if src < 0 || dst < 0 || src >= n.cfg.NumGPUs || dst >= n.cfg.NumGPUs {
+		return 0
+	}
+	return n.perLink[src*n.cfg.NumGPUs+dst]
 }
 
 // EgressUtilization returns the egress-port utilization for a GPU.

@@ -125,8 +125,10 @@ type runner struct {
 	res     *Result
 	engines []egress // store paradigms; nil entries for DMA/Infinite
 
-	// useful-byte tracking: unique bytes per (src,dst) per iteration.
-	trackers map[int]*memsystem.ByteTracker
+	// useful-byte tracking: unique bytes per (src,dst) per iteration,
+	// indexed src*NumGPUs+dst. A pre-sized flat slice: track() runs once
+	// per coalesced store, and map lookups there dominated profiles.
+	trackers []*memsystem.ByteTracker
 
 	// CheckData state.
 	refMem   map[int]*memsystem.Memory
@@ -151,7 +153,7 @@ func (r *runner) setup() error {
 	if !r.storeParadigm() {
 		return nil
 	}
-	r.trackers = make(map[int]*memsystem.ByteTracker)
+	r.trackers = make([]*memsystem.ByteTracker, r.tr.NumGPUs*r.tr.NumGPUs)
 	r.engines = make([]egress, r.tr.NumGPUs)
 
 	// Destination-side de-packetizer ingress buffers, shared by all
@@ -221,8 +223,10 @@ func (r *runner) startIteration(i int) {
 	// (barriers delimit epochs: a byte rewritten in a later iteration is
 	// separately useful there).
 	for _, t := range r.trackers {
-		r.res.UsefulBytes += t.Unique()
-		t.Reset()
+		if t != nil {
+			r.res.UsefulBytes += t.Unique()
+			t.Reset()
+		}
 	}
 	if i >= len(r.tr.Iterations) {
 		r.finished = true
@@ -536,8 +540,8 @@ func (r *runner) scheduleStores(g int, w trace.GPUWork, t0 des.Time, tc des.Time
 // track records a store's bytes in the per-(src,dst) unique-byte tracker.
 func (r *runner) track(src int, st core.Store) {
 	key := src*r.tr.NumGPUs + st.Dst
-	t, ok := r.trackers[key]
-	if !ok {
+	t := r.trackers[key]
+	if t == nil {
 		t = memsystem.NewByteTracker()
 		r.trackers[key] = t
 	}
