@@ -1,0 +1,62 @@
+// Command finepack-vet is the multichecker for the simulator's determinism
+// contract (DESIGN.md, "Determinism contract"). It runs the full
+// internal/analysis suite — wallclock, unseededrand, maporder,
+// goroutinefree, sprintfkey — over the named packages and exits non-zero
+// on any finding.
+//
+// Usage:
+//
+//	finepack-vet [-list] [packages]
+//
+// With no packages, ./... is checked. Findings print one per line as
+// file:line:col: message (analyzer). Suppress a deliberate violation with
+//
+//	//finepack:allow <analyzer> -- <justification>
+//
+// on or directly above the offending line; the justification is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"finepack/internal/analysis/driver"
+	"finepack/internal/analysis/suite"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: finepack-vet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range suite.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := driver.Run(driver.Config{
+		Patterns:  patterns,
+		Analyzers: suite.All(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finepack-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "finepack-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"finepack/internal/analysis/driver"
+	"finepack/internal/analysis/suite"
+)
+
+// TestKnownBadFiresEachAnalyzerExactlyOnce runs the full multichecker over
+// a fixture that violates every invariant once and asserts a one-to-one
+// mapping from analyzers to findings.
+func TestKnownBadFiresEachAnalyzerExactlyOnce(t *testing.T) {
+	findings, err := driver.Run(driver.Config{
+		Patterns:  []string{"./testdata/src/knownbad"},
+		Analyzers: suite.All(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[f.Analyzer]++
+		t.Logf("finding: %s", f)
+	}
+	for _, a := range suite.All() {
+		if counts[a.Name] != 1 {
+			t.Errorf("analyzer %s fired %d time(s) on knownbad, want exactly 1", a.Name, counts[a.Name])
+		}
+	}
+	if len(findings) != len(suite.All()) {
+		t.Errorf("got %d findings, want %d (one per analyzer)", len(findings), len(suite.All()))
+	}
+}
+
+// TestBinaryExitCode runs the real binary and checks the CLI contract:
+// exit 1 with one finding line per analyzer on the known-bad package.
+func TestBinaryExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run; skipped with -short")
+	}
+	cmd := exec.Command("go", "run", ".", "./testdata/src/knownbad")
+	out, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error (findings present), got err=%v, out=%q", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Errorf("exit code = %d, want 1 (stderr: %s)", code, ee.Stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != len(suite.All()) {
+		t.Errorf("printed %d finding lines, want %d:\n%s", len(lines), len(suite.All()), out)
+	}
+	for _, a := range suite.All() {
+		if !strings.Contains(string(out), "("+a.Name+")") {
+			t.Errorf("output lacks a finding tagged (%s):\n%s", a.Name, out)
+		}
+	}
+}
+
+// TestCleanTree asserts the shipped tree carries zero findings — the same
+// invocation `make lint` runs in CI. ./... skips testdata, so the fixture
+// violations above stay invisible here.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	findings, err := driver.Run(driver.Config{
+		Dir:       "../..",
+		Patterns:  []string{"./..."},
+		Analyzers: suite.All(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding on clean tree: %s", f)
+	}
+}

@@ -1,0 +1,36 @@
+// Package knownbad violates every analyzer in the determinism suite
+// exactly once. The end-to-end test asserts one finding per analyzer, so
+// keep each violation isolated: adding a second instance of any pattern
+// breaks TestKnownBadFiresEachAnalyzerExactlyOnce.
+package knownbad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// wallclock: host time in sim code.
+var started = time.Now()
+
+// unseededrand: a draw from the global RNG.
+var roll = rand.Intn(6)
+
+// maporder: float accumulation in map-iteration order.
+func Mean(samples map[string]float64) float64 {
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// goroutinefree: a goroutine in what must stay single-threaded code.
+func Spawn() {
+	go func() {}()
+}
+
+// sprintfkey: an fmt-built map key on an access path.
+func Lookup(m map[string]int, gpu, link int) int {
+	return m[fmt.Sprintf("%d-%d", gpu, link)]
+}

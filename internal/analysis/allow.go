@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression directive:
+//
+//	//finepack:allow <analyzer> -- <justification>
+//
+// A well-formed directive silences findings of the named analyzer on the
+// directive's own line and on the line immediately below it, so it works
+// both as a trailing comment and as a standalone line above the statement.
+// The justification is mandatory: an allow without one is itself a finding,
+// and it suppresses nothing.
+const AllowPrefix = "//finepack:allow"
+
+// DirectiveAnalyzer is the pseudo-analyzer name attached to findings about
+// the directives themselves (malformed, missing justification, unknown
+// analyzer name).
+const DirectiveAnalyzer = "allow-directive"
+
+// An Allow is one parsed //finepack:allow directive.
+type Allow struct {
+	Analyzer      string // analyzer being silenced
+	Justification string // required free text after "--"
+	File          string
+	Line          int
+	Pos           token.Pos
+}
+
+// Covers reports whether the directive suppresses a finding at file:line.
+func (a Allow) Covers(file string, line int) bool {
+	return a.File == file && (line == a.Line || line == a.Line+1)
+}
+
+// ParseAllows scans every comment in files for //finepack:allow directives.
+// known is the set of valid analyzer names; directives that are malformed,
+// lack a justification, or name an unknown analyzer are returned as
+// findings (pseudo-analyzer DirectiveAnalyzer) and excluded from the
+// returned allows.
+func ParseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (allows []Allow, bad []Finding) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //finepack:allowx — not ours.
+					continue
+				}
+				name, just, ok := cutJustification(rest)
+				switch {
+				case name == "":
+					bad = append(bad, Finding{
+						Analyzer: DirectiveAnalyzer,
+						Pos:      pos,
+						Message:  "malformed directive: want \"//finepack:allow <analyzer> -- <justification>\"",
+					})
+				case !ok || just == "":
+					bad = append(bad, Finding{
+						Analyzer: DirectiveAnalyzer,
+						Pos:      pos,
+						Message:  "allow directive for " + name + " is missing its justification (\"-- <why>\")",
+					})
+				case !known[name]:
+					bad = append(bad, Finding{
+						Analyzer: DirectiveAnalyzer,
+						Pos:      pos,
+						Message:  "allow directive names unknown analyzer " + name,
+					})
+				default:
+					allows = append(allows, Allow{
+						Analyzer:      name,
+						Justification: just,
+						File:          pos.Filename,
+						Line:          pos.Line,
+						Pos:           c.Pos(),
+					})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// cutJustification splits " wallclock -- reason" into ("wallclock",
+// "reason", true). ok is false when the "--" separator is absent or
+// anything but a single analyzer name precedes it.
+func cutJustification(rest string) (name, justification string, ok bool) {
+	head, tail, found := strings.Cut(rest, "--")
+	fields := strings.Fields(head)
+	if len(fields) > 0 {
+		name = fields[0]
+	}
+	if !found || len(fields) != 1 {
+		return name, "", false
+	}
+	return name, strings.TrimSpace(tail), true
+}

@@ -1,0 +1,78 @@
+// Package analysis is a deliberately small, stdlib-only reimplementation of
+// the golang.org/x/tools/go/analysis surface that finepack-vet needs. The
+// repo vendors no third-party modules (and must build offline), so rather
+// than pinning x/tools we keep an API-compatible subset in-tree: an Analyzer
+// runs over one type-checked package at a time and reports position-tagged
+// diagnostics. If the module ever grows a real x/tools dependency, the
+// analyzers in the sibling packages port over by changing imports only.
+//
+// The suite exists to machine-check the simulator's determinism contract
+// (see DESIGN.md, "Determinism contract"): byte-identical golden reports,
+// parallel==serial experiment output, and seeded fault/workload streams all
+// assume sim code never reads the wall clock, never draws from the global
+// RNG, and never lets map iteration order leak into observable output.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //finepack:allow directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Applies reports whether the analyzer should run on the package with
+	// the given import path. A nil Applies runs everywhere. Fixture
+	// packages (under testdata/ or outside this module) are always
+	// analyzed regardless of Applies; see Scope.
+	Applies func(pkgPath string) bool
+
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records a diagnostic against the pass's package.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Finding is a resolved diagnostic: position translated through the
+// FileSet and tagged with the analyzer that produced it. This is the unit
+// the driver prints and the tests assert on.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}

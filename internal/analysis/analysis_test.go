@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []Allow, []Finding) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows, bad := ParseAllows(fset, []*ast.File{f}, map[string]bool{"wallclock": true, "maporder": true})
+	return fset, allows, bad
+}
+
+func TestParseAllows(t *testing.T) {
+	src := `package p
+
+//finepack:allow wallclock -- profiling harness needs host time
+var a int
+
+var b int //finepack:allow maporder -- report rows sorted by caller
+
+//finepack:allow wallclock
+var c int
+
+//finepack:allow nosuchanalyzer -- because
+var d int
+
+//finepack:allowance wallclock -- not a directive at all
+var e int
+`
+	_, allows, bad := parseSrc(t, src)
+
+	if len(allows) != 2 {
+		t.Fatalf("got %d well-formed allows, want 2: %+v", len(allows), allows)
+	}
+	if allows[0].Analyzer != "wallclock" || allows[0].Line != 3 {
+		t.Errorf("allow[0] = %+v, want wallclock at line 3", allows[0])
+	}
+	if allows[1].Analyzer != "maporder" || allows[1].Line != 6 {
+		t.Errorf("allow[1] = %+v, want maporder at line 6", allows[1])
+	}
+	if allows[0].Justification == "" || allows[1].Justification == "" {
+		t.Error("justifications must be captured")
+	}
+
+	if len(bad) != 2 {
+		t.Fatalf("got %d directive findings, want 2: %+v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0].Message, "missing its justification") {
+		t.Errorf("bad[0] = %q, want missing-justification", bad[0].Message)
+	}
+	if !strings.Contains(bad[1].Message, "unknown analyzer") {
+		t.Errorf("bad[1] = %q, want unknown-analyzer", bad[1].Message)
+	}
+	for _, f := range bad {
+		if f.Analyzer != DirectiveAnalyzer {
+			t.Errorf("directive finding tagged %q, want %q", f.Analyzer, DirectiveAnalyzer)
+		}
+	}
+}
+
+func TestAllowCovers(t *testing.T) {
+	a := Allow{File: "x.go", Line: 10}
+	for _, tc := range []struct {
+		file string
+		line int
+		want bool
+	}{
+		{"x.go", 10, true},  // trailing comment on the flagged line
+		{"x.go", 11, true},  // standalone directive above the flagged line
+		{"x.go", 12, false}, // two lines down: not covered
+		{"x.go", 9, false},  // directives never apply upward
+		{"y.go", 10, false}, // other file
+	} {
+		if got := a.Covers(tc.file, tc.line); got != tc.want {
+			t.Errorf("Covers(%s:%d) = %v, want %v", tc.file, tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestScope(t *testing.T) {
+	internal := InternalOnly()
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"finepack/internal/des", true},
+		{"finepack/internal/analysis/wallclock", true},
+		{"finepack/cmd/finepack-sim", false},
+		{"finepack/examples/quickstart", false},
+		{"finepack", false},
+		// fixtures are always in scope
+		{"finepack/cmd/finepack-vet/testdata/src/knownbad", true},
+		{"finepack/internal/analysis/wallclock/testdata/src/a", true},
+		{"example.com/other/module", true},
+	} {
+		if got := internal(tc.path); got != tc.want {
+			t.Errorf("InternalOnly()(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+
+	pkgs := Packages("finepack/internal/des")
+	if !pkgs("finepack/internal/des") {
+		t.Error("Packages must match listed path")
+	}
+	if pkgs("finepack/internal/experiments") {
+		t.Error("Packages must not match unlisted path")
+	}
+	if !pkgs("other.module/x") {
+		t.Error("Packages must always match fixtures")
+	}
+}
+
+func TestSortFindings(t *testing.T) {
+	pos := func(file string, line, col int) token.Position {
+		return token.Position{Filename: file, Line: line, Column: col}
+	}
+	fs := []Finding{
+		{Analyzer: "b", Pos: pos("b.go", 1, 1)},
+		{Analyzer: "b", Pos: pos("a.go", 2, 1)},
+		{Analyzer: "a", Pos: pos("a.go", 2, 1)},
+		{Analyzer: "a", Pos: pos("a.go", 1, 5)},
+	}
+	SortFindings(fs)
+	want := []string{"a:a.go:1", "a:a.go:2", "b:a.go:2", "b:b.go:1"}
+	for i, f := range fs {
+		got := f.Analyzer + ":" + f.Pos.Filename + ":" + itoa(f.Pos.Line)
+		if got != want[i] {
+			t.Errorf("fs[%d] = %s, want %s", i, got, want[i])
+		}
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }

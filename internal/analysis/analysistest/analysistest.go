@@ -1,0 +1,150 @@
+// Package analysistest runs one analyzer over a fixture package and checks
+// its findings against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <analyzer>/testdata/src/<name>/ — inside the module
+// but under testdata, so `go build ./...` ignores them while `go list` can
+// still load them by explicit path. A line expecting findings carries
+//
+//	code // want "regexp" "another regexp"
+//
+// with one Go-quoted regexp per expected finding on that line. Lines
+// without a want comment must produce no findings.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"finepack/internal/analysis"
+	"finepack/internal/analysis/driver"
+	"finepack/internal/analysis/suite"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run analyzes each fixture package under testdata/src and reports any
+// mismatch between findings and want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		findings, err := driver.Run(driver.Config{
+			Dir:        dir,
+			Patterns:   []string{"."},
+			Analyzers:  []*analysis.Analyzer{a},
+			KnownNames: suite.Names(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		check(t, dir, findings)
+	}
+}
+
+// check matches findings against the fixture's want comments line by line.
+func check(t *testing.T, dir string, findings []analysis.Finding) {
+	t.Helper()
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[string][]analysis.Finding)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		got[key] = append(got[key], f)
+	}
+
+	keys := make(map[string]bool)
+	for k := range wants {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	order := make([]string, 0, len(keys))
+	for k := range keys {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		ws, fs := wants[key], got[key]
+		if len(ws) != len(fs) {
+			t.Errorf("%s: %s: want %d finding(s), got %d: %v", dir, key, len(ws), len(fs), messages(fs))
+			continue
+		}
+	nextWant:
+		for _, w := range ws {
+			for i, f := range fs {
+				if w.MatchString(f.Message) {
+					fs = append(fs[:i], fs[i+1:]...)
+					continue nextWant
+				}
+			}
+			t.Errorf("%s: %s: no finding matches want %q among %v", dir, key, w, messages(fs))
+		}
+	}
+}
+
+// parseWants extracts want regexps from every fixture file, keyed by
+// "file.go:line".
+func parseWants(dir string) (map[string][]*regexp.Regexp, error) {
+	fset := token.NewFileSet()
+	parsed, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse fixtures in %s: %w", dir, err)
+	}
+	byName := make(map[string]*ast.File)
+	for _, pkg := range parsed {
+		for filename, file := range pkg.Files {
+			byName[filename] = file
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	wants := make(map[string][]*regexp.Regexp)
+	for _, filename := range names {
+		for _, cg := range byName[filename].Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", filepath.Base(filename), fset.Position(c.Pos()).Line)
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want string %s: %w", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %w", key, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func messages(fs []analysis.Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Analyzer + ": " + f.Message
+	}
+	return out
+}

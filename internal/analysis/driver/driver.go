@@ -1,0 +1,148 @@
+// Package driver loads Go packages offline and runs finepack-vet analyzers
+// over them.
+//
+// Loading shells out to `go list -export -deps -json`, which yields, for
+// every target package and every transitive dependency, the file list plus
+// a build-cache path to compiled export data. Target packages are then
+// parsed with go/parser and type-checked with go/types, importing
+// dependencies through the gc export-data importer — no network, no
+// GOPATH layout, and no third-party loader required.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"finepack/internal/analysis"
+)
+
+// Config describes one driver invocation.
+type Config struct {
+	// Dir is the working directory for `go list`; empty means the
+	// process's current directory. Patterns are resolved relative to it.
+	Dir string
+
+	// Patterns are `go list` package patterns, e.g. "./...".
+	Patterns []string
+
+	// Analyzers to run over each matched package.
+	Analyzers []*analysis.Analyzer
+
+	// KnownNames validates //finepack:allow directives. Empty defaults to
+	// the names of Analyzers; pass the full suite's names when running a
+	// subset so directives for other analyzers don't read as unknown.
+	KnownNames map[string]bool
+}
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// Run loads every package matched by cfg.Patterns, runs the analyzers, and
+// returns the findings sorted by position. A non-empty findings slice is
+// not an error; err reports load or type-check failures only.
+func Run(cfg Config) ([]analysis.Finding, error) {
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = []string{"./..."}
+	}
+	known := cfg.KnownNames
+	if len(known) == 0 {
+		known = make(map[string]bool, len(cfg.Analyzers))
+		for _, a := range cfg.Analyzers {
+			known[a.Name] = true
+		}
+	}
+
+	targets, exports, err := load(cfg.Dir, cfg.Patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	var all []analysis.Finding
+	for _, t := range targets {
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
+		}
+		fs, err := analysis.RunPackage(fset, files, pkg, info, cfg.Analyzers, known)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	analysis.SortFindings(all)
+	return all, nil
+}
+
+// load runs `go list -export -deps -json` and splits the result into target
+// packages (to be analyzed) and an importpath→exportfile map covering every
+// dependency.
+func load(dir string, patterns []string) (targets []listPkg, exports map[string]string, err error) {
+	args := []string{"list", "-export", "-deps", "-json=Dir,ImportPath,Export,GoFiles,DepOnly"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	exports = make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	return targets, exports, nil
+}

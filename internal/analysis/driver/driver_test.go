@@ -1,0 +1,68 @@
+package driver_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"finepack/internal/analysis"
+	"finepack/internal/analysis/driver"
+	"finepack/internal/analysis/suite"
+	"finepack/internal/analysis/wallclock"
+)
+
+func TestRunReportsLoadErrors(t *testing.T) {
+	_, err := driver.Run(driver.Config{
+		Patterns:  []string{"./no/such/package"},
+		Analyzers: suite.All(),
+	})
+	if err == nil {
+		t.Fatal("want error for nonexistent package pattern")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error should name the failing stage, got: %v", err)
+	}
+}
+
+// TestRunIsDeterministic runs the same analysis twice and requires
+// byte-identical findings — the driver is itself bound by the contract it
+// enforces.
+func TestRunIsDeterministic(t *testing.T) {
+	cfg := driver.Config{
+		Dir:        "../wallclock/testdata/src/a",
+		Patterns:   []string{"."},
+		Analyzers:  suite.All(),
+		KnownNames: suite.Names(),
+	}
+	first, err := driver.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("fixture must yield findings")
+	}
+	second, err := driver.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("findings differ across runs:\n%v\n%v", first, second)
+	}
+}
+
+// TestScopedAnalyzerSkipsOutOfScopePackages: wallclock must not fire on
+// cmd/ packages even though cmd/benchjson stamps reports with time.Now.
+func TestScopedAnalyzerSkipsOutOfScopePackages(t *testing.T) {
+	findings, err := driver.Run(driver.Config{
+		Dir:        "../../..",
+		Patterns:   []string{"./cmd/benchjson"},
+		Analyzers:  []*analysis.Analyzer{wallclock.Analyzer},
+		KnownNames: suite.Names(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("wallclock fired outside internal/: %v", findings)
+	}
+}

@@ -1,0 +1,58 @@
+// Package goroutinefree keeps the per-run simulator single-threaded.
+//
+// Each simulation run is a sequential discrete-event program by design:
+// determinism comes from the DES scheduler's total event order, not from
+// synchronization. Concurrency lives in exactly one place — the
+// internal/experiments worker pool, which runs whole (still serial)
+// simulations in parallel. Inside the sim packages themselves, goroutines,
+// channels, select, and sync.WaitGroup are contract violations.
+package goroutinefree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"finepack/internal/analysis"
+)
+
+// SingleThreaded lists the packages bound by the contract.
+var SingleThreaded = []string{
+	"finepack/internal/des",
+	"finepack/internal/core",
+	"finepack/internal/gpusim",
+	"finepack/internal/interconnect",
+	"finepack/internal/sim",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:    "goroutinefree",
+	Doc:     "forbid go statements, channel operations, select, and sync.WaitGroup in single-threaded simulator packages",
+	Applies: analysis.Packages(SingleThreaded...),
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in single-threaded simulator package; concurrency belongs in internal/experiments")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send in single-threaded simulator package")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive in single-threaded simulator package")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select statement in single-threaded simulator package")
+		case *ast.ChanType:
+			pass.Reportf(n.Pos(), "channel type in single-threaded simulator package")
+		case *ast.SelectorExpr:
+			if tn, ok := pass.TypesInfo.Uses[n.Sel].(*types.TypeName); ok &&
+				tn.Pkg() != nil && tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup" {
+				pass.Reportf(n.Pos(), "sync.WaitGroup in single-threaded simulator package; concurrency belongs in internal/experiments")
+			}
+		}
+	})
+	return nil
+}

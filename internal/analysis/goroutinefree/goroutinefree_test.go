@@ -1,0 +1,12 @@
+package goroutinefree_test
+
+import (
+	"testing"
+
+	"finepack/internal/analysis/analysistest"
+	"finepack/internal/analysis/goroutinefree"
+)
+
+func TestGoroutineFree(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinefree.Analyzer, "a")
+}

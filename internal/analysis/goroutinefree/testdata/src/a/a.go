@@ -1,0 +1,35 @@
+// Package a is a goroutinefree fixture: concurrency primitives fire;
+// mutexes and plain sequential code stay silent.
+package a
+
+import "sync"
+
+func bad() {
+	go func() {}() // want "go statement in single-threaded simulator package"
+
+	var wg sync.WaitGroup // want "sync.WaitGroup in single-threaded simulator package"
+	wg.Wait()
+
+	ch := make(chan int) // want "channel type in single-threaded simulator package"
+	ch <- 1              // want "channel send in single-threaded simulator package"
+	<-ch                 // want "channel receive in single-threaded simulator package"
+
+	select {} // want "select statement in single-threaded simulator package"
+}
+
+// Compliant: mutual exclusion is allowed (sync.Once, sync.Mutex guard
+// caches); only cross-goroutine coordination is banned.
+func good() int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	events := []int{3, 1, 2}
+	total := 0
+	for _, e := range events {
+		total += e
+	}
+	return total
+}
+
+//finepack:allow goroutinefree -- fixture demonstrating the escape hatch
+var done = make(chan struct{})

@@ -1,0 +1,28 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// Preorder calls fn for every node in the files whose concrete type matches
+// one of the example nodeTypes (e.g. (*ast.CallExpr)(nil)). With no
+// nodeTypes, fn sees every node. Traversal is source order, which keeps
+// diagnostic order deterministic.
+func Preorder(files []*ast.File, fn func(ast.Node), nodeTypes ...ast.Node) {
+	want := make(map[reflect.Type]bool, len(nodeTypes))
+	for _, t := range nodeTypes {
+		want[reflect.TypeOf(t)] = true
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if len(want) == 0 || want[reflect.TypeOf(n)] {
+				fn(n)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,284 @@
+// Package maporder flags map iteration whose body lets Go's randomized
+// iteration order become observable.
+//
+// This is the bug class the parallel==serial report guarantee (DESIGN.md
+// §7) had to be hand-audited for: ranging over a map while appending to a
+// slice, writing output, scheduling DES events, or accumulating a
+// floating-point sum makes the result depend on iteration order. The
+// idiomatic fix — collect keys, sort, iterate the sorted slice — is
+// recognized: an append inside the loop is fine when the destination is
+// passed to a sort.* or slices.Sort* call after the loop.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"finepack/internal/analysis"
+)
+
+// schedulerMethods are DES scheduling entry points; calling one per map
+// entry enqueues events in randomized order. Matched by method name on any
+// type named "Scheduler" so fixtures need not import internal/des.
+var schedulerMethods = map[string]bool{
+	"At":       true,
+	"After":    true,
+	"Schedule": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:    "maporder",
+	Doc:     "flag map iteration that appends, writes output, schedules events, or accumulates floats without a deterministic sort",
+	Applies: analysis.InternalOnly(),
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		if !isMap(pass, rs.X) {
+			return
+		}
+		if d, ok := firstViolation(pass, rs); ok {
+			pass.Report(d)
+		}
+	}, (*ast.RangeStmt)(nil))
+	return nil
+}
+
+func isMap(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isM := tv.Type.Underlying().(*types.Map)
+	return isM
+}
+
+// firstViolation scans the loop body in source order and returns the first
+// order-dependent effect. Nested map ranges are skipped; Preorder visits
+// them on their own.
+func firstViolation(pass *analysis.Pass, rs *ast.RangeStmt) (analysis.Diagnostic, bool) {
+	var diag analysis.Diagnostic
+	found := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs && isMap(pass, inner.X) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if d, ok := checkAssign(pass, rs, n); ok {
+				diag, found = d, true
+			}
+		case *ast.CallExpr:
+			if d, ok := checkCall(pass, n); ok {
+				diag, found = d, true
+			}
+		}
+		return !found
+	})
+	return diag, found
+}
+
+// checkAssign flags order-dependent accumulation: float op-assignment, and
+// append whose destination is never sorted after the loop.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt) (analysis.Diagnostic, bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 && isFloat(pass, as.Lhs[0]) {
+			return analysis.Diagnostic{
+				Pos:     as.Pos(),
+				Message: "floating-point accumulation over map iteration is order-dependent; iterate sorted keys",
+			}, true
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+				continue
+			}
+			dest := rootObject(pass, as.Lhs[minInt(i, len(as.Lhs)-1)])
+			if dest != nil && sortedAfter(pass, rs, dest) {
+				continue
+			}
+			name := "slice"
+			if dest != nil {
+				name = dest.Name()
+			}
+			return analysis.Diagnostic{
+				Pos:     call.Pos(),
+				Message: "append to " + name + " in map-iteration order; sort " + name + " after the loop or iterate sorted keys",
+			}, true
+		}
+	}
+	return analysis.Diagnostic{}, false
+}
+
+// checkCall flags output written or DES events scheduled per map entry.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) (analysis.Diagnostic, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return analysis.Diagnostic{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return analysis.Diagnostic{}, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && sig != nil && sig.Recv() == nil &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return analysis.Diagnostic{
+			Pos:     call.Pos(),
+			Message: "fmt." + fn.Name() + " inside map iteration emits output in randomized order; iterate sorted keys",
+		}, true
+	}
+	if sig != nil && sig.Recv() != nil {
+		if strings.HasPrefix(fn.Name(), "Write") && isOutputSink(sig.Recv().Type()) {
+			return analysis.Diagnostic{
+				Pos:     call.Pos(),
+				Message: fn.Name() + " inside map iteration writes output in randomized order; iterate sorted keys",
+			}, true
+		}
+		if schedulerMethods[fn.Name()] && isSchedulerRecv(sig.Recv().Type()) {
+			return analysis.Diagnostic{
+				Pos:     call.Pos(),
+				Message: "scheduling DES events in map-iteration order is nondeterministic; iterate sorted keys",
+			}, true
+		}
+	}
+	return analysis.Diagnostic{}, false
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort* call
+// after the range loop in the same file — the collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, rs *ast.RangeStmt, obj types.Object) bool {
+	for _, f := range pass.Files {
+		if f.End() < rs.End() {
+			continue
+		}
+		sorted := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sorted {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < rs.End() {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "sort" && !(path == "slices" && strings.HasPrefix(fn.Name(), "Sort")) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsObject(pass, arg, obj) {
+					sorted = true
+				}
+			}
+			return !sorted
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsObject(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func rootObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if o := pass.TypesInfo.Uses[e]; o != nil {
+				return o
+			}
+			return pass.TypesInfo.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isFloat(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// outputSinkPkgs are packages whose Write* methods emit to an ordered
+// stream; Write* methods elsewhere (e.g. a map-backed Memory.Write) are
+// order-independent and not flagged.
+var outputSinkPkgs = map[string]bool{
+	"bytes":   true,
+	"strings": true,
+	"bufio":   true,
+	"io":      true,
+	"os":      true,
+}
+
+// isOutputSink reports whether t (or *t) is an ordered byte/rune sink such
+// as bytes.Buffer, strings.Builder, bufio.Writer, io.Writer, or os.File.
+func isOutputSink(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && outputSinkPkgs[n.Obj().Pkg().Path()]
+}
+
+// isSchedulerRecv reports whether t (or *t) is a named type called
+// "Scheduler".
+func isSchedulerRecv(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Scheduler"
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"finepack/internal/analysis/analysistest"
+	"finepack/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
+}

@@ -1,0 +1,103 @@
+// Package a is a maporder fixture: observable map-iteration order fires;
+// the collect-then-sort idiom and order-independent bodies stay silent.
+package a
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys in map-iteration order"
+	}
+	return keys
+}
+
+// Compliant: the canonical fix — collect, sort, then use.
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Compliant: slices.Sort counts too.
+func appendSortedSlices(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation over map iteration"
+	}
+	return sum
+}
+
+// Compliant: integer accumulation commutes exactly.
+func intAccum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func printLoop(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "fmt.Println inside map iteration emits output in randomized order"
+	}
+}
+
+func buildString(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "WriteString inside map iteration writes output in randomized order"
+	}
+	return sb.String()
+}
+
+// Scheduler stands in for des.Scheduler; matching is by method name on any
+// type named Scheduler so fixtures stay dependency-free.
+type Scheduler struct{}
+
+func (s *Scheduler) At(t int, fn func()) {}
+
+func schedule(s *Scheduler, m map[int]int) {
+	for _, v := range m {
+		s.At(v, func() {}) // want "scheduling DES events in map-iteration order"
+	}
+}
+
+// Compliant: building another map is order-independent.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Compliant: ranging over a slice may do anything.
+func sliceLoop(s []string) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+
+func suppressed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //finepack:allow maporder -- debug dump, order genuinely irrelevant
+	}
+}

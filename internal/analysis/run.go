@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RunPackage runs every applicable analyzer over one type-checked package,
+// applies //finepack:allow suppression, and returns the surviving findings
+// sorted by position. knownNames is the full suite's analyzer-name set,
+// used to validate directives even when only a subset of analyzers runs
+// (as analysistest does).
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, knownNames map[string]bool) ([]Finding, error) {
+	allows, findings := ParseAllows(fset, files, knownNames)
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.Path()) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			for _, al := range allows {
+				if al.Analyzer == name && al.Covers(pos.Filename, pos.Line) {
+					return
+				}
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, analyzer, message so
+// driver output is deterministic regardless of analyzer registration order.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import "strings"
+
+// ModulePath is this module's path as it appears in import paths.
+const ModulePath = "finepack"
+
+// IsFixture reports whether pkgPath names a test fixture: a package outside
+// this module, or any package under a testdata directory. Fixtures are
+// always analyzed so that analyzer tests exercise scoped analyzers without
+// having to fake module paths.
+func IsFixture(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, ModulePath+"/") && pkgPath != ModulePath {
+		return true
+	}
+	return strings.Contains(pkgPath, "/testdata/") || strings.HasSuffix(pkgPath, "/testdata")
+}
+
+// Scope wraps an in-module predicate into an Analyzer.Applies function:
+// fixtures are always in scope, everything else defers to inScope.
+func Scope(inScope func(pkgPath string) bool) func(pkgPath string) bool {
+	return func(pkgPath string) bool {
+		return IsFixture(pkgPath) || inScope(pkgPath)
+	}
+}
+
+// InternalOnly scopes an analyzer to finepack/internal/... — the simulator
+// proper. cmd/ and examples/ are host-side tooling where wall clocks and
+// ad-hoc formatting are legitimate.
+func InternalOnly() func(pkgPath string) bool {
+	return Scope(func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, ModulePath+"/internal/")
+	})
+}
+
+// Packages scopes an analyzer to an exact set of import paths.
+func Packages(paths ...string) func(pkgPath string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return Scope(func(pkgPath string) bool { return set[pkgPath] })
+}

@@ -1,0 +1,82 @@
+// Package sprintfkey flags fmt.Sprintf-built map keys.
+//
+// Building a map key with fmt.Sprintf allocates a string on every lookup —
+// the pattern PR 2 removed from interconnect's perLink and sim's trackers
+// (QueueWriteDense went from 1 to 0 allocs/op when the Sprintf keys became
+// slice indices). This analyzer keeps the pattern from growing back: use a
+// comparable struct key or a precomputed index instead.
+package sprintfkey
+
+import (
+	"go/ast"
+	"go/types"
+
+	"finepack/internal/analysis"
+)
+
+// keyBuilders are fmt functions that return a freshly allocated string.
+var keyBuilders = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:    "sprintfkey",
+	Doc:     "flag fmt.Sprintf-constructed map keys; use a comparable struct key or precomputed index",
+	Applies: analysis.InternalOnly(),
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		idx := n.(*ast.IndexExpr)
+		if !isMap(pass, idx.X) {
+			return
+		}
+		if call, ok := sprintCall(pass, idx.Index); ok {
+			pass.Reportf(call.Pos(), "fmt-built map key allocates on every access; use a comparable struct key or precomputed index")
+		}
+	}, (*ast.IndexExpr)(nil))
+
+	// delete(m, fmt.Sprintf(...)) has no IndexExpr; catch it separately.
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "delete" || len(call.Args) != 2 {
+			return
+		}
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+			return
+		}
+		if inner, ok := sprintCall(pass, call.Args[1]); ok {
+			pass.Reportf(inner.Pos(), "fmt-built map key allocates on every delete; use a comparable struct key or precomputed index")
+		}
+	}, (*ast.CallExpr)(nil))
+	return nil
+}
+
+func sprintCall(pass *analysis.Pass, expr ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || !keyBuilders[fn.Name()] {
+		return nil, false
+	}
+	return call, true
+}
+
+func isMap(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isM := tv.Type.Underlying().(*types.Map)
+	return isM
+}

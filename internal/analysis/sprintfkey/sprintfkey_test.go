@@ -1,0 +1,12 @@
+package sprintfkey_test
+
+import (
+	"testing"
+
+	"finepack/internal/analysis/analysistest"
+	"finepack/internal/analysis/sprintfkey"
+)
+
+func TestSprintfKey(t *testing.T) {
+	analysistest.Run(t, "testdata", sprintfkey.Analyzer, "a")
+}

@@ -1,0 +1,39 @@
+// Package a is a sprintfkey fixture: fmt-built map keys fire; struct keys,
+// precomputed strings, and slice indexing stay silent.
+package a
+
+import "fmt"
+
+func bad(m map[string]int, gpu, link int) int {
+	m[fmt.Sprintf("%d-%d", gpu, link)] = 1 // want "fmt-built map key allocates on every access"
+	v := m[fmt.Sprint(gpu)]                // want "fmt-built map key allocates on every access"
+	delete(m, fmt.Sprintf("l%d", link))    // want "fmt-built map key allocates on every delete"
+	return v
+}
+
+type linkKey struct{ gpu, link int }
+
+// Compliant: a comparable struct key costs zero allocations.
+func good(m map[linkKey]int, gpu, link int) int {
+	m[linkKey{gpu, link}] = 1
+	return m[linkKey{gpu, link}]
+}
+
+// Compliant: a key built once outside the hot path, then reused.
+func goodPrecomputed(m map[string]int, gpu int) int {
+	key := fmt.Sprintf("gpu%d", gpu)
+	total := 0
+	for i := 0; i < 100; i++ {
+		total += m[key]
+	}
+	return total
+}
+
+// Compliant: slice indexing is not a map access.
+func goodSlice(s []int, i int) int {
+	return s[i]
+}
+
+func suppressed(m map[string]int, id int) int {
+	return m[fmt.Sprintf("%d", id)] //finepack:allow sprintfkey -- cold path, runs once per report
+}

@@ -1,0 +1,33 @@
+// Package suite registers the full finepack-vet analyzer set. cmd/finepack-vet
+// and the test harness both draw from here so the set of valid
+// //finepack:allow names has exactly one definition.
+package suite
+
+import (
+	"finepack/internal/analysis"
+	"finepack/internal/analysis/goroutinefree"
+	"finepack/internal/analysis/maporder"
+	"finepack/internal/analysis/sprintfkey"
+	"finepack/internal/analysis/unseededrand"
+	"finepack/internal/analysis/wallclock"
+)
+
+// All returns every analyzer in the determinism suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		goroutinefree.Analyzer,
+		maporder.Analyzer,
+		sprintfkey.Analyzer,
+		unseededrand.Analyzer,
+		wallclock.Analyzer,
+	}
+}
+
+// Names returns the valid //finepack:allow analyzer-name set.
+func Names() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}

@@ -1,0 +1,33 @@
+// Package a is an unseededrand fixture: global math/rand functions and
+// constant- or time-seeded sources fire; config-seeded *rand.Rand streams
+// stay silent.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want "package-level rand.Intn draws from the global RNG"
+	_ = rand.Float64()                 // want "package-level rand.Float64 draws from the global RNG"
+	rand.Shuffle(3, func(i, j int) {}) // want "package-level rand.Shuffle draws from the global RNG"
+	rand.Seed(99)                      // want "package-level rand.Seed draws from the global RNG"
+	_ = rand.NewSource(0)              // want "rand.NewSource with constant seed 0 hides the seed from config"
+	_ = rand.New(rand.NewSource(       // no finding on the outer constructor: the inner call reports
+		time.Now().UnixNano())) // want "rand.NewSource seeded from the wall clock is unreproducible"
+}
+
+// Compliant: the RNG is an explicit *rand.Rand built from a seed the
+// caller threads through config.
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) + int(rng.Int63n(4))
+}
+
+func goodDerived(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 31))
+}
+
+//finepack:allow unseededrand -- fixture demonstrating the escape hatch
+var suppressed = rand.Intn(2)

@@ -1,0 +1,116 @@
+// Package unseededrand forbids randomness that is not derived from a
+// config-carried seed.
+//
+// Every stochastic component in the simulator (workload generators, fault
+// streams) draws from an explicit *rand.Rand or splitmix64 stream whose
+// seed travels through Config, so a run is reproducible from its config
+// alone. Three patterns break that: package-level math/rand functions
+// (global shared state, process-lifetime seeding), rand.NewSource with a
+// constant literal seed (the seed hides from config and from the report),
+// and sources seeded from the wall clock.
+package unseededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"finepack/internal/analysis"
+)
+
+// randPkgs are the package paths whose package-level functions share global
+// RNG state.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// wallclockSeeds are time-package functions that make a seed
+// host-dependent.
+var wallclockSeeds = map[string]bool{
+	"Now":      true,
+	"UnixNano": true,
+	"Unix":     true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:    "unseededrand",
+	Doc:     "ban global math/rand functions and constant- or time-seeded sources; every RNG must be built from a config-carried seed",
+	Applies: analysis.InternalOnly(),
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // methods on *rand.Rand are exactly what we want people to use
+		}
+		if strings.HasPrefix(fn.Name(), "New") {
+			return // constructors; their seed arguments are checked below
+		}
+		pass.Reportf(sel.Pos(), "package-level %s.%s draws from the global RNG; use a *rand.Rand built from a config-carried seed", fn.Pkg().Name(), fn.Name())
+	}, (*ast.SelectorExpr)(nil))
+
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] || !strings.HasPrefix(fn.Name(), "New") {
+			return
+		}
+		for _, arg := range call.Args {
+			if isRandConstructorCall(pass, arg) {
+				continue // e.g. rand.New(rand.NewSource(x)): the inner call reports
+			}
+			if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+				pass.Reportf(arg.Pos(), "%s.%s with constant seed %s hides the seed from config; thread it through Config", fn.Pkg().Name(), fn.Name(), tv.Value)
+				continue
+			}
+			if timeSeeded(pass, arg) {
+				pass.Reportf(arg.Pos(), "%s.%s seeded from the wall clock is unreproducible; thread a seed through Config", fn.Pkg().Name(), fn.Name())
+			}
+		}
+	}, (*ast.CallExpr)(nil))
+	return nil
+}
+
+// isRandConstructorCall reports whether expr is itself a call to a
+// math/rand New* constructor; its arguments are checked when the inner call
+// is visited, so the outer call must not re-report them.
+func isRandConstructorCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && randPkgs[fn.Pkg().Path()] && strings.HasPrefix(fn.Name(), "New")
+}
+
+// timeSeeded reports whether expr mentions a wall-clock time function
+// (time.Now().UnixNano() and friends).
+func timeSeeded(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallclockSeeds[fn.Name()] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package unseededrand_test
+
+import (
+	"testing"
+
+	"finepack/internal/analysis/analysistest"
+	"finepack/internal/analysis/unseededrand"
+)
+
+func TestUnseededRand(t *testing.T) {
+	analysistest.Run(t, "testdata", unseededrand.Analyzer, "a")
+}

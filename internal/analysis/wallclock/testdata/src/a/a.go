@@ -1,0 +1,37 @@
+// Package a is a wallclock fixture: wall-clock reads fire, scheduler-free
+// time arithmetic stays silent, and //finepack:allow suppresses.
+package a
+
+import "time"
+
+var start = time.Now() // want "time.Now reads the host wall clock"
+
+func elapsed() time.Duration {
+	return time.Since(start) // want "time.Since reads the host wall clock"
+}
+
+func tick() {
+	_ = time.Tick(time.Second) // want "time.Tick reads the host wall clock"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until reads the host wall clock"
+}
+
+// Compliant: durations, constructed instants, and formatting never read
+// the host clock.
+func compliant() time.Duration {
+	epoch := time.Unix(0, 0)
+	_ = epoch.Format(time.RFC3339)
+	return 5 * time.Millisecond
+}
+
+//finepack:allow wallclock -- profiling harness deliberately measures host time
+var profStart = time.Now()
+
+func benchClock() time.Time {
+	return time.Now() //finepack:allow wallclock -- bench plumbing, not sim state
+}
+
+//finepack:allow wallclock // want "missing its justification"
+var unjustified = time.Now() // want "time.Now reads the host wall clock"

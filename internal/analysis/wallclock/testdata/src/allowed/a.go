@@ -1,0 +1,7 @@
+// Package allowed exercises wallclock.AllowedFiles: the same call fires in
+// a.go but not in harness.go once that basename is allowlisted.
+package allowed
+
+import "time"
+
+var t0 = time.Now() // want "time.Now reads the host wall clock"

@@ -1,0 +1,6 @@
+package allowed
+
+import "time"
+
+// harness.go is allowlisted by the test; this call must not fire.
+var harnessStart = time.Now()

@@ -1,0 +1,54 @@
+// Package wallclock forbids wall-clock reads inside the simulator.
+//
+// Simulated time advances only through the DES scheduler (des.Scheduler.Now
+// / At / After). A time.Now() in sim code couples results to the host
+// machine, which silently breaks golden-test byte-identity and the
+// parallel==serial guarantee. Host-side tooling (cmd/, examples/) is out of
+// scope, and genuine harness plumbing inside internal/ can be exempted via
+// AllowedFiles or a //finepack:allow wallclock directive.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"finepack/internal/analysis"
+)
+
+// banned is the set of time-package functions whose results depend on the
+// host wall clock.
+var banned = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Tick":  true,
+}
+
+// AllowedFiles lists file basenames (e.g. "profile.go") exempt from the
+// check: profiling and benchmark harness plumbing that legitimately
+// measures host time. Empty by default; prefer //finepack:allow for
+// one-off exemptions so the justification sits next to the call.
+var AllowedFiles = map[string]bool{}
+
+var Analyzer = &analysis.Analyzer{
+	Name:    "wallclock",
+	Doc:     "forbid time.Now/Since/Until/Tick in simulator code; simulated time must come from the DES scheduler",
+	Applies: analysis.InternalOnly(),
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+			return
+		}
+		if AllowedFiles[filepath.Base(pass.Fset.Position(sel.Pos()).Filename)] {
+			return
+		}
+		pass.Reportf(sel.Pos(), "time.%s reads the host wall clock; simulated time must come from des.Scheduler", fn.Name())
+	}, (*ast.SelectorExpr)(nil))
+	return nil
+}

@@ -1,0 +1,18 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"finepack/internal/analysis/analysistest"
+	"finepack/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "a")
+}
+
+func TestAllowedFiles(t *testing.T) {
+	wallclock.AllowedFiles["harness.go"] = true
+	defer delete(wallclock.AllowedFiles, "harness.go")
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "allowed")
+}

@@ -9,6 +9,7 @@ package baseline
 
 import (
 	"fmt"
+	"slices"
 
 	"finepack/internal/core"
 )
@@ -136,11 +137,7 @@ func (w *WriteCombiner) FlushAll() {
 	for d := range w.parts {
 		dsts = append(dsts, d)
 	}
-	for i := 1; i < len(dsts); i++ {
-		for j := i; j > 0 && dsts[j] < dsts[j-1]; j-- {
-			dsts[j], dsts[j-1] = dsts[j-1], dsts[j]
-		}
-	}
+	slices.Sort(dsts)
 	for _, d := range dsts {
 		w.flushPartition(d, w.parts[d])
 	}

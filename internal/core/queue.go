@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"slices"
 )
 
 // Queue is the FinePack remote write queue (Fig 7/8): a dedicated SRAM
@@ -480,12 +481,7 @@ func (q *Queue) sortedDsts() []int {
 	for d := range q.parts {
 		dsts = append(dsts, d)
 	}
-	// Insertion sort: destination counts are tiny (≤15).
-	for i := 1; i < len(dsts); i++ {
-		for j := i; j > 0 && dsts[j] < dsts[j-1]; j-- {
-			dsts[j], dsts[j-1] = dsts[j-1], dsts[j]
-		}
-	}
+	slices.Sort(dsts)
 	q.dstScratch = dsts
 	return dsts
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"slices"
+
 	"finepack/internal/baseline"
 	"finepack/internal/core"
 	"finepack/internal/des"
@@ -264,11 +266,7 @@ func (e *umEgress) flush(done func()) {
 	for d := range e.pageOrder {
 		dsts = append(dsts, d)
 	}
-	for i := 1; i < len(dsts); i++ {
-		for j := i; j > 0 && dsts[j] < dsts[j-1]; j-- {
-			dsts[j], dsts[j-1] = dsts[j-1], dsts[j]
-		}
-	}
+	slices.Sort(dsts)
 	for _, dst := range dsts {
 		for _, page := range e.pageOrder[dst] {
 			_ = page

@@ -80,13 +80,21 @@ func (h *SizeHistogram) MeanSize() float64 {
 	if h.total == 0 {
 		return 0
 	}
+	// Iterate buckets in sorted order so the summation order is fixed.
+	// (The products are exact small integers, so any order yields the
+	// same float64 — but the determinism contract is checked, not argued.)
+	buckets := make([]int, 0, len(h.counts))
+	for b := range h.counts {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
 	var sum float64
-	for b, c := range h.counts {
+	for _, b := range buckets {
 		sz := b
 		if b == -1 {
 			sz = 256
 		}
-		sum += float64(sz) * float64(c)
+		sum += float64(sz) * float64(h.counts[b])
 	}
 	return sum / float64(h.total)
 }
