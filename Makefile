@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-smoke vet lint fmt ci fuzz-smoke figures report clean
+.PHONY: all build test test-short bench bench-smoke vet lint fmt ci fuzz-smoke trace-smoke figures report clean
 
 all: build vet lint test
 
@@ -12,9 +12,22 @@ ci: build vet fmt lint
 	go test -race -timeout 1800s ./...
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) trace-smoke
 
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecodePacket -fuzztime=10s ./internal/core
+
+# End-to-end observability smoke: one tiny instrumented run through the
+# CLI. The observe verb validates its own artifacts before writing (the
+# trace must parse as a trace-event array, the metrics must round-trip
+# through the exposition parser byte-identically), so a zero exit status
+# here certifies well-formed output.
+trace-smoke:
+	mkdir -p .smoke
+	go run ./cmd/finepack-sim -scale 0.05 -iters 1 \
+		-trace-json .smoke/trace.json -metrics-out .smoke/metrics.prom \
+		-timeline-svg .smoke/timeline.svg observe
+	rm -rf .smoke
 
 build:
 	go build ./...

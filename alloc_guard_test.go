@@ -1,0 +1,63 @@
+package finepack_test
+
+import (
+	"testing"
+
+	"finepack/internal/core"
+	"finepack/internal/gpusim"
+)
+
+// TestObsDisabledQueueWriteAllocFree pins the allocation contract the
+// observability hooks must not erode: with no recorder attached, the dense
+// remote-write-queue hot path stays allocation-free per store, exactly as
+// BenchmarkQueueWriteDense established before internal/obs existed. A
+// regression here means an instrumentation site put work on the disabled
+// path.
+func TestObsDisabledQueueWriteAllocFree(t *testing.T) {
+	q, err := core.NewQueue(core.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	var werr error
+	allocs := testing.AllocsPerRun(8192, func() {
+		if err := q.Write(core.Store{Dst: 1, Addr: uint64(i%4096) * 8, Size: 8}); err != nil {
+			werr = err
+		}
+		i++
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if allocs != 0 {
+		t.Fatalf("obs-disabled dense queue write allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestObsDisabledCoalesceAllocParity checks the observed coalescing entry
+// point costs nothing extra when no observer is attached: CoalesceObserved
+// with a nil observer must allocate exactly what plain Coalesce does.
+func TestObsDisabledCoalesceAllocParity(t *testing.T) {
+	ws := gpusim.WarpStore{Dst: 1, ElemSize: 8}
+	for i := 0; i < gpusim.WarpSize; i++ {
+		ws.Addrs = append(ws.Addrs, uint64(i)*4096)
+	}
+	var cerr error
+	plain := testing.AllocsPerRun(2048, func() {
+		if _, err := gpusim.Coalesce(ws); err != nil {
+			cerr = err
+		}
+	})
+	observed := testing.AllocsPerRun(2048, func() {
+		if _, err := gpusim.CoalesceObserved(ws, nil); err != nil {
+			cerr = err
+		}
+	})
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if observed != plain {
+		t.Fatalf("CoalesceObserved(nil) allocates %.1f allocs/op, plain Coalesce %.1f — nil-observer path must be free",
+			observed, plain)
+	}
+}

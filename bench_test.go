@@ -22,6 +22,7 @@ import (
 	"finepack/internal/des"
 	"finepack/internal/experiments"
 	"finepack/internal/gpusim"
+	"finepack/internal/obs"
 	"finepack/internal/sim"
 	"finepack/internal/workloads"
 )
@@ -440,5 +441,28 @@ func BenchmarkEndToEndSSSP(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.Speedup(), "speedup-x")
+	}
+}
+
+// BenchmarkEndToEndSSSPObserved is the same run with a live observability
+// recorder attached: the delta against BenchmarkEndToEndSSSP is the full
+// cost of tracing, metrics, and sampling on the enabled path.
+func BenchmarkEndToEndSSSPObserved(b *testing.B) {
+	w := workloads.NewSSSP()
+	tr, err := w.Generate(4, benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := obs.New(obs.Config{})
+		res, err := sim.RunObserved(tr, sim.FinePack, cfg, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup(), "speedup-x")
+		b.ReportMetric(float64(rec.EventCount()), "trace-events")
 	}
 }

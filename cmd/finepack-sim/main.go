@@ -4,7 +4,7 @@
 //	finepack-sim [flags] <experiment>
 //
 // Experiments: fig2 fig4 fig9 fig10 fig11 fig12 fig13 tab2 alt-design wc
-// gps scale16 ber-sweep all
+// gps scale16 ber-sweep observe all
 package main
 
 import (
@@ -45,6 +45,7 @@ func main() {
 	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	flag.BoolVar(&csvOut, "csv", false, "emit CSV instead of tables")
 	flag.StringVar(&svgDir, "svg", "", "also write figure SVGs into this directory")
+	registerObserveFlags()
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -164,6 +165,9 @@ experiments:
   um          UM page-migration / remote-read baselines (§II-A)
   scaling     strong-scaling curve: geomean speedup at 2/4/8/16 GPUs
   ber-sweep   robustness crossover: slowdown & replays vs link bit-error rate
+  observe     one instrumented run; write -trace-json / -metrics-out /
+              -timeline-svg artifacts (workload/paradigm via -trace-workload,
+              -trace-paradigm)
   report      one self-contained markdown report with every experiment
   diag        raw per-run quantities for every workload and paradigm
   all         everything above
@@ -194,6 +198,7 @@ func run(s *experiments.Suite, name string) error {
 		"um":         showUM,
 		"scaling":    showScaling,
 		"ber-sweep":  showBERSweep,
+		"observe":    showObserve,
 		"report":     showReport,
 	}
 	if name == "all" {

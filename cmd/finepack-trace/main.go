@@ -10,9 +10,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"finepack/internal/obs"
 	"finepack/internal/sim"
 	"finepack/internal/stats"
 	"finepack/internal/trace"
@@ -61,8 +63,10 @@ commands:
   hist      <file>  print the store-size histogram (Fig 4 view)
   describe  <file>  print paradigm-determining characteristics (sizes,
                     redundancy, intensity, pattern coverage)
-  replay    <file> [-paradigm name]  simulate the trace (default: all
-                    paradigms) and print timing/traffic results
+  replay    [-paradigm name] [-trace-json f] [-metrics-out f] <file>
+                    simulate the trace (default: all paradigms) and print
+                    timing/traffic results; the obs flags record one
+                    instrumented run (they require -paradigm)
   json      <file>  export the trace as JSON
 `, strings.Join(workloads.Names(), " "))
 }
@@ -132,11 +136,17 @@ func info(tr *trace.Trace) error {
 func replay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	par := fs.String("paradigm", "", "paradigm to replay (default: all)")
+	traceJSON := fs.String("trace-json", "", "write a Chrome/Perfetto trace-event JSON file (requires -paradigm)")
+	metricsOut := fs.String("metrics-out", "", "write a Prometheus text-exposition metrics file (requires -paradigm)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay expects one trace file")
+	}
+	observing := *traceJSON != "" || *metricsOut != ""
+	if observing && *par == "" {
+		return fmt.Errorf("-trace-json/-metrics-out record a single run; pick one with -paradigm")
 	}
 	tr, err := trace.LoadFile(fs.Arg(0))
 	if err != nil {
@@ -157,15 +167,44 @@ func replay(args []string) error {
 	t := stats.NewTable(fmt.Sprintf("replay of %s (%d GPUs)", tr.Name, tr.NumGPUs),
 		"paradigm", "time", "speedup", "wire bytes", "packets")
 	for _, p := range paradigms {
-		res, err := sim.Run(tr, p, cfg)
+		var rec *obs.Recorder
+		if observing {
+			rec = obs.New(obs.Config{})
+		}
+		res, err := sim.RunObserved(tr, p, cfg, rec)
 		if err != nil {
 			return err
 		}
 		t.AddRow(p.String(), res.Time.String(),
 			fmt.Sprintf("%.2fx", res.Speedup()), res.WireBytes, res.Packets)
+		if *traceJSON != "" {
+			if err := writeArtifact(*traceJSON, rec.WriteTrace); err != nil {
+				return err
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeArtifact(*metricsOut, rec.WriteMetrics); err != nil {
+				return err
+			}
+		}
 	}
 	t.Render(os.Stdout)
 	return nil
+}
+
+// writeArtifact streams one observability artifact into a freshly created
+// file.
+func writeArtifact(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+	return f.Sync()
 }
 
 func describe(tr *trace.Trace) error {

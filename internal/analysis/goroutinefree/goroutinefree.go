@@ -23,6 +23,7 @@ var SingleThreaded = []string{
 	"finepack/internal/gpusim",
 	"finepack/internal/interconnect",
 	"finepack/internal/sim",
+	"finepack/internal/obs",
 }
 
 var Analyzer = &analysis.Analyzer{

@@ -442,6 +442,19 @@ func (q *Queue) PendingStores(dst int) int {
 	return n
 }
 
+// PendingStoresTotal returns the stores buffered across all destinations —
+// the queue-occupancy figure sampled by the observability layer. The map
+// range only accumulates an int, so the total is order-independent.
+func (q *Queue) PendingStoresTotal() int {
+	n := 0
+	for _, p := range q.parts {
+		for _, w := range p.windows {
+			n += w.stores
+		}
+	}
+	return n
+}
+
 // PendingBytes returns the enabled bytes currently buffered for dst.
 func (q *Queue) PendingBytes(dst int) int {
 	p, ok := q.parts[dst]

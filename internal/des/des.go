@@ -101,6 +101,16 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Probe observes scheduler execution for the observability layer. It is
+// deliberately minimal — one call per fired event — so the hot loop pays a
+// single nil check when no probe is attached. Implementations must not
+// schedule events or mutate model state: the probe is a read-only tap.
+type Probe interface {
+	// EventFired is called after the clock advances to the event's
+	// timestamp, immediately before its callback runs.
+	EventFired(at Time)
+}
+
 // Scheduler owns the simulated clock and event queue.
 // The zero value is not usable; call NewScheduler.
 type Scheduler struct {
@@ -111,6 +121,7 @@ type Scheduler struct {
 	inRun  bool
 	maxT   Time
 	halted bool
+	probe  Probe
 	slab   []Event // bump allocator for events (see newEvent)
 }
 
@@ -139,6 +150,9 @@ func (s *Scheduler) newEvent(t Time, fn func()) *Event {
 func NewScheduler() *Scheduler {
 	return &Scheduler{queue: make(eventHeap, 0, 1024)}
 }
+
+// SetProbe attaches (or with nil, detaches) an execution probe.
+func (s *Scheduler) SetProbe(p Probe) { s.probe = p }
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -226,6 +240,9 @@ func (s *Scheduler) run(deadline Time, budget uint64) (Time, error) {
 		heap.Pop(&s.queue)
 		s.now = next.At
 		s.fired++
+		if s.probe != nil {
+			s.probe.EventFired(next.At)
+		}
 		fn := next.Fn
 		// Drop the callback before running it: the event lives on in its
 		// slab until the whole block is garbage, and holding the closure

@@ -109,6 +109,10 @@ func (p *TokenPool) Acquire(n int, cont func()) {
 	p.dispatch()
 }
 
+// Waiters returns the number of acquirers currently queued for credits —
+// the instantaneous credit-stall depth sampled by the observability layer.
+func (p *TokenPool) Waiters() int { return len(p.waiters) }
+
 // Release returns n credits to the pool and wakes eligible waiters.
 func (p *TokenPool) Release(n int) {
 	p.credits += n

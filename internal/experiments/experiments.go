@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"finepack/internal/des"
+	"finepack/internal/obs"
 	"finepack/internal/pcie"
 	"finepack/internal/sim"
 	"finepack/internal/trace"
@@ -188,6 +189,29 @@ func (s *Suite) runWith(name string, gpus int, par sim.Paradigm, cfg sim.Config)
 		c.res = r
 	})
 	return c.res, c.err
+}
+
+// ObservedRun executes one simulation with a fresh observability recorder
+// attached and returns both the result and the recorder holding the run's
+// trace, metrics, and sampled series.
+//
+// Every call builds its own Recorder — recorders are single-run,
+// single-threaded sinks, so parallel ObservedRun calls never share one
+// (see parallel_test.go's race hammer). The trace cache is shared as
+// usual; the result cache is bypassed: a cached result would come without
+// the artifacts the caller is asking for, and observed runs are one-off
+// diagnostics, not figure inputs worth caching.
+func (s *Suite) ObservedRun(name string, par sim.Paradigm, oc obs.Config) (*sim.Result, *obs.Recorder, error) {
+	tr, err := s.Trace(name, s.NumGPUs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := obs.New(oc)
+	res, err := sim.RunObserved(tr, par, s.Cfg, rec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s/%s: %w", name, par, err)
+	}
+	return res, rec, nil
 }
 
 // run is a runJob's closure-free description: one (workload, gpus,

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"finepack/internal/des"
+	"finepack/internal/obs"
 	"finepack/internal/sim"
 	"finepack/internal/workloads"
 )
@@ -124,4 +126,63 @@ func TestParallelReportMatchesSerial(t *testing.T) {
 		}
 		t.Fatalf("parallel report length %d != serial %d", got.Len(), want.Len())
 	}
+}
+
+// TestObservedParallelRunsOwnSinks hammers tracing-enabled parallel
+// execution: concurrent ObservedRun calls across overlapping (workload,
+// paradigm) pairs must never share a recorder. Run under -race (CI does),
+// it catches any sink shared across runs; the byte comparison against a
+// serial rendering of the same run proves each goroutine got a complete,
+// deterministic artifact rather than an interleaved one.
+func TestObservedParallelRunsOwnSinks(t *testing.T) {
+	s := smallSuite()
+	jobs := []struct {
+		name string
+		par  sim.Paradigm
+	}{
+		{"sssp", sim.FinePack},
+		{"sssp", sim.P2P},
+		{"jacobi", sim.FinePack},
+		{"ct", sim.FinePack},
+	}
+	oc := obs.Config{SampleEvery: 2 * des.Microsecond, MaxEvents: 1 << 14}
+
+	// Serial reference artifacts, one per job.
+	want := make([][]byte, len(jobs))
+	for i, j := range jobs {
+		_, rec, err := s.ObservedRun(j.name, j.par, oc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = buf.Bytes()
+	}
+
+	const loops = 4
+	var wg sync.WaitGroup
+	for g := 0; g < loops; g++ {
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, name string, par sim.Paradigm) {
+				defer wg.Done()
+				_, rec, err := s.ObservedRun(name, par, oc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var buf bytes.Buffer
+				if err := rec.WriteTrace(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(buf.Bytes(), want[i]) {
+					t.Errorf("%s/%v: parallel observed trace diverged from serial", name, par)
+				}
+			}(i, j.name, j.par)
+		}
+	}
+	wg.Wait()
 }

@@ -1,0 +1,33 @@
+package gpusim
+
+import "finepack/internal/core"
+
+// StoreObserver receives per-warp coalescing outcomes for the
+// observability layer. Defined here so this package stays free of the obs
+// dependency; *obs.Recorder satisfies it structurally.
+type StoreObserver interface {
+	// WarpCoalesced reports one warp store: its destination GPU, active
+	// lane count, and the number of memory transactions it coalesced into.
+	WarpCoalesced(dst, lanes, transactions int)
+}
+
+// CoalesceObserved is Coalesce plus observer notification. A nil observer
+// costs one branch; errors are reported to the caller, never observed.
+func CoalesceObserved(w WarpStore, o StoreObserver) ([]core.Store, error) {
+	out, err := Coalesce(w)
+	if err == nil && o != nil {
+		o.WarpCoalesced(w.Dst, len(w.Addrs), len(out))
+	}
+	return out, err
+}
+
+// ExpandObserved is Expand plus observer notification: an atomic warp op
+// expands to one transaction per lane, which the observer sees with
+// transactions == lanes.
+func ExpandObserved(w WarpStore, o StoreObserver) ([]core.Store, error) {
+	out, err := Expand(w)
+	if err == nil && o != nil {
+		o.WarpCoalesced(w.Dst, len(w.Addrs), len(out))
+	}
+	return out, err
+}

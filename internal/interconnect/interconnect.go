@@ -114,6 +114,10 @@ type Network struct {
 	RecoveredStalls uint64
 	linkErrors      map[string]uint64
 	resets          []Reset
+
+	// obs, when non-nil, receives delivery/replay/reset events
+	// (see observer.go).
+	obs Observer
 }
 
 // New builds the network on the given scheduler.
@@ -217,12 +221,16 @@ func (n *Network) Send(src, dst int, wireBytes int, done func()) {
 		return
 	}
 
+	start := n.sched.Now()
 	n.credits[dst].Acquire(credits, func() {
 		n.egress[src].Request(serialize, func() {
 			afterTrunk := func() {
 				n.sched.After(hopDelay, func() {
 					n.ingress[dst].Request(serialize, func() {
 						n.credits[dst].Release(credits)
+						if n.obs != nil {
+							n.obs.MessageDelivered(src, dst, wireBytes, start, n.sched.Now())
+						}
 						if done != nil {
 							done()
 						}

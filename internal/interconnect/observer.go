@@ -1,0 +1,39 @@
+package interconnect
+
+import "finepack/internal/des"
+
+// Observer receives fabric-level events for the observability layer. The
+// interface is defined here (not in internal/obs) so this package stays
+// free of the obs dependency; *obs.Recorder satisfies it structurally.
+//
+// Callbacks run inside DES event callbacks and must not schedule events or
+// mutate fabric state.
+type Observer interface {
+	// MessageDelivered fires when the last byte of a message reaches the
+	// destination ingress port. start is the Send call time, so the span
+	// covers credit stalls, serialization, and (on the fault path) every
+	// replay attempt.
+	MessageDelivered(src, dst, wireBytes int, start, end des.Time)
+	// ReplayScheduled fires when an attempt is Nak'd (corruption or dead
+	// link) and a retransmission is queued; try counts prior attempts.
+	ReplayScheduled(src, dst, wireBytes, try int, at des.Time)
+	// LinkReset fires when the credit watchdog retires dead links with a
+	// link-level reset.
+	LinkReset(at des.Time, links int)
+}
+
+// SetObserver attaches (or with nil, detaches) a fabric observer. Callers
+// holding a possibly-nil concrete pointer must guard the call — assigning
+// a typed nil would defeat the n.obs != nil fast path.
+func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// EgressBusy returns the cumulative busy time of a GPU's egress port.
+// Deltas between samples give windowed link utilization.
+func (n *Network) EgressBusy(gpu int) des.Time { return n.egress[gpu].Busy }
+
+// IngressBusy returns the cumulative busy time of a GPU's ingress port.
+func (n *Network) IngressBusy(gpu int) des.Time { return n.ingress[gpu].Busy }
+
+// CreditWaiters returns the senders currently stalled on credits toward
+// dst.
+func (n *Network) CreditWaiters(dst int) int { return n.credits[dst].Waiters() }

@@ -44,6 +44,7 @@ type Reset struct {
 func (n *Network) sendReliable(src, dst, wireBytes, credits int, done func()) {
 	n.inFlight++
 	n.armWatchdog()
+	start := n.sched.Now()
 	n.credits[dst].Acquire(credits, func() {
 		n.replaySlots[src].Acquire(1, func() {
 			n.attempt(src, dst, wireBytes, 0, func() {
@@ -51,6 +52,9 @@ func (n *Network) sendReliable(src, dst, wireBytes, credits int, done func()) {
 				n.credits[dst].Release(credits)
 				n.deliveries++
 				n.inFlight--
+				if n.obs != nil {
+					n.obs.MessageDelivered(src, dst, wireBytes, start, n.sched.Now())
+				}
 				if done != nil {
 					done()
 				}
@@ -68,6 +72,9 @@ func (n *Network) attempt(src, dst, wireBytes, try int, acked func()) {
 		n.Replays++
 		n.ReplayedBytes += uint64(wireBytes)
 		n.linkErrors[linkName(src, dst)]++
+		if n.obs != nil {
+			n.obs.ReplayScheduled(src, dst, wireBytes, try, n.sched.Now())
+		}
 		n.sched.After(n.backoff(try), func() {
 			n.attempt(src, dst, wireBytes, try+1, acked)
 		})
@@ -142,6 +149,9 @@ func (n *Network) watchdogTick() {
 		if retired := n.fi.RetrainDown(n.sched.Now()); retired > 0 {
 			n.RecoveredStalls++
 			n.resets = append(n.resets, Reset{At: n.sched.Now(), Links: retired})
+			if n.obs != nil {
+				n.obs.LinkReset(n.sched.Now(), retired)
+			}
 		}
 	}
 	n.armWatchdog()

@@ -1,0 +1,465 @@
+// Package obs is the simulator's deterministic observability layer: a
+// span/event tracer, a metrics registry, and sampled time series, all keyed
+// exclusively by simulated time (des.Time).
+//
+// Determinism rules (see DESIGN.md §9):
+//
+//   - No wall-clock reads, no goroutines, no map iteration on any output
+//     path. Two runs with the same seed produce byte-identical trace and
+//     metrics files.
+//   - Track and series identifiers are assigned in first-use order, which is
+//     deterministic because the DES kernel is single-threaded.
+//   - Timestamps are exported as exact decimal microseconds derived from
+//     picoseconds with integer arithmetic — no float formatting on the
+//     trace path.
+//
+// Nil-sink contract: every Recorder method is safe on a nil receiver and
+// returns immediately, so instrumentation sites compile to a pointer test
+// when observability is off. Consumer packages must keep the *Recorder as a
+// concrete pointer (or guard interface assignment with a nil check) so a
+// typed nil never sneaks into a non-nil interface.
+package obs
+
+import (
+	"fmt"
+
+	"finepack/internal/des"
+)
+
+// Config sizes a Recorder. The zero value selects the defaults below.
+type Config struct {
+	// SampleEvery is the sim-time sampling period for utilization, queue
+	// depth and credit-stall series. Default 1µs.
+	SampleEvery des.Time
+	// MaxEvents caps the trace event buffer; past it events are counted as
+	// dropped rather than recorded, bounding memory on long runs.
+	// Default 1<<20.
+	MaxEvents int
+}
+
+const (
+	defaultSampleEvery = des.Microsecond
+	defaultMaxEvents   = 1 << 20
+)
+
+func (c Config) withDefaults() Config {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = defaultSampleEvery
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = defaultMaxEvents
+	}
+	return c
+}
+
+// Track kinds. A track maps to one Perfetto thread lane.
+type trackKind uint8
+
+const (
+	trackLink    trackKind = iota // a=src, b=dst
+	trackCompute                  // a=gpu
+	trackQueue                    // a=gpu
+	trackFaults                   // fabric-wide fault lane
+	trackCounter                  // a=series index
+)
+
+// trackKey is a comparable composite key so track lookup never builds a
+// formatted string (finepack-vet's sprintfkey rule).
+type trackKey struct {
+	kind trackKind
+	a, b int32
+}
+
+// Trace phases (Chrome trace-event "ph" values).
+const (
+	phSpan    byte = 'X' // complete span with duration
+	phInstant byte = 'i' // instantaneous marker
+	phCounter byte = 'C' // counter sample
+)
+
+type argKind uint8
+
+const (
+	argNone argKind = iota
+	argInt
+	argStr
+	argFloat
+)
+
+// arg is one trace-event argument. The fixed-size array in event keeps the
+// record flat: appending an event never allocates beyond slice growth.
+type arg struct {
+	key  string
+	kind argKind
+	i    int64
+	f    float64
+	s    string
+}
+
+type event struct {
+	name  string
+	ph    byte
+	track int32
+	ts    des.Time
+	dur   des.Time // spans only
+	args  [3]arg
+}
+
+// Series is a sampled sim-time series (one value per sampling tick).
+type Series struct {
+	Name string
+	T    []des.Time
+	V    []float64
+
+	kind seriesKind
+}
+
+type seriesKind uint8
+
+const (
+	seriesEgress seriesKind = iota
+	seriesIngress
+	seriesQueue
+	seriesCredit
+	seriesSched
+)
+
+type seriesKey struct {
+	kind seriesKind
+	idx  int32
+}
+
+// Recorder collects spans, instants, counter samples and metrics for one
+// simulation run. It is not safe for concurrent use: parallel experiment
+// runs must each own their own Recorder.
+type Recorder struct {
+	cfg Config
+	reg *Registry
+
+	events  []event
+	dropped uint64
+
+	trackIdx   map[trackKey]int32
+	trackNames []string
+
+	seriesIdx map[seriesKey]int32
+	series    []*Series
+
+	schedEvents uint64
+
+	hWire        *Histogram
+	hFlushStores *Histogram
+	hWarpTx      *Histogram
+	hComputeUs   *Histogram
+}
+
+// New returns a Recorder with cfg's defaults applied.
+func New(cfg Config) *Recorder {
+	r := &Recorder{
+		cfg:       cfg.withDefaults(),
+		reg:       NewRegistry(),
+		trackIdx:  make(map[trackKey]int32),
+		seriesIdx: make(map[seriesKey]int32),
+	}
+	r.hWire = r.reg.Histogram("finepack_message_wire_bytes",
+		"Wire size of delivered messages in bytes.",
+		[]float64{32, 64, 128, 256, 512, 1024, 2048, 4096})
+	r.hFlushStores = r.reg.Histogram("finepack_flush_stores_merged",
+		"Stores merged into each emitted packet.",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	r.hWarpTx = r.reg.Histogram("finepack_warp_transactions",
+		"Memory transactions per coalesced warp store.",
+		[]float64{1, 2, 4, 8, 16, 32})
+	r.hComputeUs = r.reg.Histogram("finepack_compute_phase_us",
+		"Per-GPU compute phase duration in microseconds.",
+		[]float64{1, 10, 100, 1000, 10000})
+	return r
+}
+
+// Enabled reports whether the recorder is live. A nil Recorder is the
+// disabled sink.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SampleEvery returns the configured sampling period (the default period on
+// a nil Recorder, so callers can schedule unconditionally).
+func (r *Recorder) SampleEvery() des.Time {
+	if r == nil {
+		return defaultSampleEvery
+	}
+	return r.cfg.SampleEvery
+}
+
+// DroppedEvents returns the number of trace events discarded because the
+// MaxEvents cap was reached.
+func (r *Recorder) DroppedEvents() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Metrics returns the recorder's registry with derived counters synced.
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	r.sync()
+	return r.reg
+}
+
+// track interns a lane, assigning IDs in first-use order.
+func (r *Recorder) track(kind trackKind, a, b int32) int32 {
+	k := trackKey{kind: kind, a: a, b: b}
+	if id, ok := r.trackIdx[k]; ok {
+		return id
+	}
+	var name string
+	switch kind {
+	case trackLink:
+		name = fmt.Sprintf("link %d->%d", a, b)
+	case trackCompute:
+		name = fmt.Sprintf("gpu %d compute", a)
+	case trackQueue:
+		name = fmt.Sprintf("gpu %d queue", a)
+	case trackFaults:
+		name = "fabric faults"
+	case trackCounter:
+		name = r.series[a].Name
+	}
+	id := int32(len(r.trackNames))
+	r.trackIdx[k] = id
+	r.trackNames = append(r.trackNames, name)
+	return id
+}
+
+func (r *Recorder) addEvent(e event) {
+	if len(r.events) >= r.cfg.MaxEvents {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// EventFired implements the DES scheduler probe: it counts fired events
+// without recording a trace entry (a per-event entry would dwarf the run).
+func (r *Recorder) EventFired(at des.Time) {
+	if r == nil {
+		return
+	}
+	r.schedEvents++
+}
+
+// MessageDelivered records a completed link transfer as an occupancy span
+// on the src→dst lane.
+func (r *Recorder) MessageDelivered(src, dst, wireBytes int, start, end des.Time) {
+	if r == nil {
+		return
+	}
+	e := event{name: "msg", ph: phSpan, track: r.track(trackLink, int32(src), int32(dst)), ts: start, dur: end - start}
+	e.args[0] = arg{key: "wire_bytes", kind: argInt, i: int64(wireBytes)}
+	r.addEvent(e)
+	r.reg.Counter("finepack_messages_delivered_total",
+		"Messages fully delivered, per link.",
+		Label{"src", itoa(src)}, Label{"dst", itoa(dst)}).Inc()
+	r.reg.Counter("finepack_link_bytes_total",
+		"Wire bytes delivered, per link.",
+		Label{"src", itoa(src)}, Label{"dst", itoa(dst)}).Add(uint64(wireBytes))
+	r.hWire.Observe(float64(wireBytes))
+}
+
+// ReplayScheduled records a Nak-triggered (or watchdog-triggered) replay
+// attempt as an instant on the link lane.
+func (r *Recorder) ReplayScheduled(src, dst, wireBytes, try int, at des.Time) {
+	if r == nil {
+		return
+	}
+	e := event{name: "replay", ph: phInstant, track: r.track(trackLink, int32(src), int32(dst)), ts: at}
+	e.args[0] = arg{key: "try", kind: argInt, i: int64(try)}
+	e.args[1] = arg{key: "wire_bytes", kind: argInt, i: int64(wireBytes)}
+	r.addEvent(e)
+	r.reg.Counter("finepack_replays_total",
+		"Replay attempts scheduled after a Nak or watchdog timeout, per link.",
+		Label{"src", itoa(src)}, Label{"dst", itoa(dst)}).Inc()
+}
+
+// LinkReset records a fabric-level link reset episode.
+func (r *Recorder) LinkReset(at des.Time, links int) {
+	if r == nil {
+		return
+	}
+	e := event{name: "link_reset", ph: phInstant, track: r.track(trackFaults, 0, 0), ts: at}
+	e.args[0] = arg{key: "links", kind: argInt, i: int64(links)}
+	r.addEvent(e)
+	r.reg.Counter("finepack_link_resets_total",
+		"Link reset episodes declared by the replay watchdog.").Inc()
+}
+
+// ComputePhase records one GPU's compute phase for an iteration as a span.
+func (r *Recorder) ComputePhase(gpu, iter int, start, end des.Time) {
+	if r == nil {
+		return
+	}
+	e := event{name: "compute", ph: phSpan, track: r.track(trackCompute, int32(gpu), 0), ts: start, dur: end - start}
+	e.args[0] = arg{key: "iter", kind: argInt, i: int64(iter)}
+	r.addEvent(e)
+	r.reg.Counter("finepack_compute_phases_total",
+		"Compute phases executed, per GPU.",
+		Label{"gpu", itoa(gpu)}).Inc()
+	r.hComputeUs.Observe((end - start).Micros())
+}
+
+// PacketEmitted records a packet leaving a GPU's egress queue — for
+// FinePack, a queue flush with its trigger reason.
+func (r *Recorder) PacketEmitted(src, dst int, cause string, stores, subs, wireBytes int, at des.Time) {
+	if r == nil {
+		return
+	}
+	e := event{name: "flush", ph: phInstant, track: r.track(trackQueue, int32(src), 0), ts: at}
+	e.args[0] = arg{key: "cause", kind: argStr, s: cause}
+	e.args[1] = arg{key: "stores", kind: argInt, i: int64(stores)}
+	e.args[2] = arg{key: "wire_bytes", kind: argInt, i: int64(wireBytes)}
+	r.addEvent(e)
+	_ = subs
+	r.reg.Counter("finepack_queue_flushes_total",
+		"Packets emitted per GPU egress queue, by flush trigger.",
+		Label{"gpu", itoa(src)}, Label{"cause", cause}).Inc()
+	r.hFlushStores.Observe(float64(stores))
+}
+
+// WarpCoalesced records the coalescing outcome of one warp store. Warps are
+// too numerous to trace individually, so this feeds metrics only.
+func (r *Recorder) WarpCoalesced(dst, lanes, transactions int) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("finepack_warps_total",
+		"Warp stores coalesced.").Inc()
+	r.reg.Counter("finepack_store_lanes_total",
+		"Active lanes across all coalesced warp stores.").Add(uint64(lanes))
+	r.hWarpTx.Observe(float64(transactions))
+}
+
+// SampleEgressUtilization records one egress-link utilization sample.
+func (r *Recorder) SampleEgressUtilization(gpu int, at des.Time, util float64) {
+	if r == nil {
+		return
+	}
+	r.sample(seriesEgress, int32(gpu), at, util)
+}
+
+// SampleIngressUtilization records one ingress-link utilization sample.
+func (r *Recorder) SampleIngressUtilization(gpu int, at des.Time, util float64) {
+	if r == nil {
+		return
+	}
+	r.sample(seriesIngress, int32(gpu), at, util)
+}
+
+// SampleQueueDepth records one egress-queue pending-store sample.
+func (r *Recorder) SampleQueueDepth(gpu int, at des.Time, depth int) {
+	if r == nil {
+		return
+	}
+	r.sample(seriesQueue, int32(gpu), at, float64(depth))
+}
+
+// SampleCreditStalls records the number of senders stalled on credits
+// toward dst.
+func (r *Recorder) SampleCreditStalls(dst int, at des.Time, waiters int) {
+	if r == nil {
+		return
+	}
+	r.sample(seriesCredit, int32(dst), at, float64(waiters))
+}
+
+// SampleSchedulerEvents records the cumulative DES events fired.
+func (r *Recorder) SampleSchedulerEvents(at des.Time, fired uint64) {
+	if r == nil {
+		return
+	}
+	r.sample(seriesSched, 0, at, float64(fired))
+}
+
+func (r *Recorder) sample(kind seriesKind, idx int32, at des.Time, v float64) {
+	s, sid := r.getSeries(kind, idx)
+	s.T = append(s.T, at)
+	s.V = append(s.V, v)
+	e := event{name: s.Name, ph: phCounter, track: r.track(trackCounter, sid, 0), ts: at}
+	e.args[0] = arg{key: "value", kind: argFloat, f: v}
+	r.addEvent(e)
+	r.gauge(kind, idx).Set(v)
+}
+
+func (r *Recorder) getSeries(kind seriesKind, idx int32) (*Series, int32) {
+	k := seriesKey{kind: kind, idx: idx}
+	if i, ok := r.seriesIdx[k]; ok {
+		return r.series[i], i
+	}
+	var name string
+	switch kind {
+	case seriesEgress:
+		name = fmt.Sprintf("egress util gpu %d", idx)
+	case seriesIngress:
+		name = fmt.Sprintf("ingress util gpu %d", idx)
+	case seriesQueue:
+		name = fmt.Sprintf("queue depth gpu %d", idx)
+	case seriesCredit:
+		name = fmt.Sprintf("credit waiters dst %d", idx)
+	case seriesSched:
+		name = "sched events fired"
+	}
+	s := &Series{Name: name, kind: kind}
+	i := int32(len(r.series))
+	r.seriesIdx[k] = i
+	r.series = append(r.series, s)
+	return s, i
+}
+
+func (r *Recorder) gauge(kind seriesKind, idx int32) *Gauge {
+	switch kind {
+	case seriesEgress:
+		return r.reg.Gauge("finepack_link_egress_utilization",
+			"Latest sampled egress-link utilization, per GPU.",
+			Label{"gpu", itoa(int(idx))})
+	case seriesIngress:
+		return r.reg.Gauge("finepack_link_ingress_utilization",
+			"Latest sampled ingress-link utilization, per GPU.",
+			Label{"gpu", itoa(int(idx))})
+	case seriesQueue:
+		return r.reg.Gauge("finepack_queue_pending_stores",
+			"Latest sampled pending stores in the egress queue, per GPU.",
+			Label{"gpu", itoa(int(idx))})
+	case seriesCredit:
+		return r.reg.Gauge("finepack_credit_stall_waiters",
+			"Latest sampled count of senders stalled on credits, per destination.",
+			Label{"dst", itoa(int(idx))})
+	default:
+		return r.reg.Gauge("finepack_sched_events_fired",
+			"Latest sampled cumulative DES events fired.")
+	}
+}
+
+// SeriesList returns every sampled series in first-use order.
+func (r *Recorder) SeriesList() []*Series {
+	if r == nil {
+		return nil
+	}
+	return r.series
+}
+
+// EventCount returns the number of trace events recorded so far.
+func (r *Recorder) EventCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// sync folds plain counters held on the Recorder into registry metrics so
+// every export path sees them.
+func (r *Recorder) sync() {
+	r.reg.Counter("finepack_sched_events_total",
+		"DES scheduler events fired.").set(r.schedEvents)
+	r.reg.Counter("finepack_trace_dropped_events_total",
+		"Trace events discarded because the MaxEvents cap was reached.").set(r.dropped)
+}

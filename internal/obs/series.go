@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"finepack/internal/svgchart"
+)
+
+// WriteTimelineSVG renders the sampled egress-link utilization series as a
+// multi-line timeline chart (one line per GPU, x in microseconds of sim
+// time).
+func (r *Recorder) WriteTimelineSVG(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: WriteTimelineSVG on disabled recorder")
+	}
+	var (
+		names []string
+		vals  [][]float64
+		x     []float64
+	)
+	for _, s := range r.series {
+		if s.kind != seriesEgress {
+			continue
+		}
+		if x == nil {
+			x = make([]float64, len(s.T))
+			for i, t := range s.T {
+				x[i] = t.Micros()
+			}
+		} else if len(s.T) != len(x) {
+			return fmt.Errorf("obs: egress series %q has %d samples, want %d", s.Name, len(s.T), len(x))
+		}
+		names = append(names, s.Name)
+		vals = append(vals, s.V)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("obs: no egress utilization samples recorded")
+	}
+	chart := &svgchart.XYLines{
+		Chart:  svgchart.Chart{Title: "Egress link utilization over time", YLabel: "utilization"},
+		XLabel: "sim time (us)",
+		X:      x,
+		Series: names,
+		Values: vals,
+	}
+	return chart.Render(w)
+}

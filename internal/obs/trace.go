@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"finepack/internal/des"
+)
+
+// WriteTrace writes the recorded events as a Chrome/Perfetto trace-event
+// JSON array: one metadata record naming the process, one per track
+// (thread) lane, then every event in record order. Timestamps are exact
+// decimal microseconds computed from picoseconds with integer arithmetic,
+// so equal-seed runs serialize byte-identically.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: WriteTrace on disabled recorder")
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"finepack-sim"}}`)
+	for id, name := range r.trackNames {
+		fmt.Fprintf(bw, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":%s}}",
+			id+1, jstr(name))
+	}
+	for i := range r.events {
+		bw.WriteString(",\n")
+		writeEvent(bw, &r.events[i])
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+func writeEvent(bw *bufio.Writer, e *event) {
+	fmt.Fprintf(bw, `{"name":%s,"ph":"%c","pid":0,"tid":%d,"ts":`, jstr(e.name), e.ph, e.track+1)
+	writeMicros(bw, e.ts)
+	switch e.ph {
+	case phSpan:
+		bw.WriteString(`,"dur":`)
+		writeMicros(bw, e.dur)
+	case phInstant:
+		bw.WriteString(`,"s":"t"`)
+	}
+	n := 0
+	for _, a := range e.args {
+		if a.kind != argNone {
+			n++
+		}
+	}
+	if n > 0 {
+		bw.WriteString(`,"args":{`)
+		first := true
+		for _, a := range e.args {
+			if a.kind == argNone {
+				continue
+			}
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(jstr(a.key))
+			bw.WriteByte(':')
+			switch a.kind {
+			case argInt:
+				fmt.Fprintf(bw, "%d", a.i)
+			case argFloat:
+				bw.WriteString(formatFloat(a.f))
+			case argStr:
+				bw.WriteString(jstr(a.s))
+			}
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// writeMicros renders t as microseconds with six fractional digits using
+// only integer arithmetic — a valid JSON number with no float rounding.
+func writeMicros(bw *bufio.Writer, t des.Time) {
+	us := uint64(t) / uint64(des.Microsecond)
+	frac := uint64(t) % uint64(des.Microsecond)
+	fmt.Fprintf(bw, "%d.%06d", us, frac)
+}
+
+// jstr renders s as a JSON string literal.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshalling a string cannot fail; keep the output valid anyway.
+		return `""`
+	}
+	return string(b)
+}

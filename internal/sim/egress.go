@@ -7,6 +7,7 @@ import (
 	"finepack/internal/core"
 	"finepack/internal/des"
 	"finepack/internal/interconnect"
+	"finepack/internal/obs"
 )
 
 // egress is a per-GPU transport engine for the store-based paradigms: it
@@ -22,6 +23,11 @@ type egress interface {
 	flush(done func())
 	// accumulate folds the engine's traffic counters into the result.
 	accumulate(r *Result)
+	// pendingStores returns the instantaneous buffered-store depth for
+	// the observability sampler. Engines without a coalescing buffer
+	// (or whose buffer tracks pages, not stores) report their natural
+	// occupancy figure; pass-through engines report zero.
+	pendingStores() int
 }
 
 // sender tracks in-flight packets from one GPU and implements the
@@ -34,6 +40,9 @@ type sender struct {
 	src         int
 	outstanding int
 	pendingDone func()
+	// obs, when non-nil, records each emitted packet (flush instant with
+	// its trigger cause) for the observability layer.
+	obs *obs.Recorder
 	// ingest consumes a delivered packet at the destination and calls
 	// its completion callback once the disaggregated stores have drained
 	// into the local memory system. Nil skips ingress modeling.
@@ -41,6 +50,10 @@ type sender struct {
 }
 
 func (s *sender) send(p *core.Packet) {
+	if s.obs != nil {
+		s.obs.PacketEmitted(s.src, p.Dst, p.Cause.String(),
+			p.StoresMerged, len(p.Subs), p.WireBytes, s.sched.Now())
+	}
 	s.outstanding++
 	s.net.Send(s.src, p.Dst, p.WireBytes, func() {
 		if s.ingest != nil {
@@ -112,6 +125,8 @@ func (e *p2pEgress) flush(done func()) { e.s.drain(done) }
 
 func (e *p2pEgress) accumulate(r *Result) { r.DataBytes += e.bytesOut }
 
+func (e *p2pEgress) pendingStores() int { return 0 }
+
 // fpEgress routes stores through the FinePack remote write queue. An
 // optional inactivity timeout flushes the queue when no store has arrived
 // for the configured window (§IV-B's latency mitigation: "the queue can be
@@ -167,6 +182,8 @@ func (e *fpEgress) accumulate(r *Result) {
 	r.fpStoresPackedSum += st.StoresPerPacketSum
 }
 
+func (e *fpEgress) pendingStores() int { return e.q.PendingStoresTotal() }
+
 // wcEgress is the write-combining-alone ablation.
 type wcEgress struct {
 	cfg core.Config
@@ -204,6 +221,8 @@ func (e *wcEgress) flush(done func()) {
 }
 
 func (e *wcEgress) accumulate(r *Result) { r.DataBytes += e.wc.Stats().DataBytes }
+
+func (e *wcEgress) pendingStores() int { return 0 }
 
 // umEgress models Unified-Memory page migration: stores record which pages
 // of the home copy were produced for each consumer; at the synchronization
@@ -292,6 +311,17 @@ func (e *umEgress) accumulate(r *Result) {
 	r.UMPagesMigrated += e.PagesMigrated
 }
 
+// pendingStores reports dirty pages awaiting migration — UM's occupancy
+// figure (it buffers page sets, not stores). Int accumulation over the map
+// is order-independent.
+func (e *umEgress) pendingStores() int {
+	n := 0
+	for _, pages := range e.pageOrder {
+		n += len(pages)
+	}
+	return n
+}
+
 // gpsEgress is the GPS-like comparator: write combining plus subscription
 // elision.
 type gpsEgress struct {
@@ -333,3 +363,5 @@ func (e *gpsEgress) accumulate(r *Result) {
 	sentPackets := e.g.Stats().Packets - e.g.ElidedPackets
 	r.DataBytes += sentPackets * core.CacheLineBytes
 }
+
+func (e *gpsEgress) pendingStores() int { return 0 }

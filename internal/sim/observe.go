@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"finepack/internal/des"
+	"finepack/internal/obs"
+	"finepack/internal/trace"
+)
+
+// RunObserved is Run with an attached observability recorder. rec may be
+// nil, which selects the plain disabled path: no probe, no observer, no
+// sampler — byte-identical behavior and allocation counts to Run.
+//
+// The recorder only taps read-only state (port busy time, queue depth,
+// credit waiters), so an observed run produces the same Result as an
+// unobserved one; only the sampler's own events are added to the schedule.
+func RunObserved(tr *trace.Trace, par Paradigm, cfg Config, rec *obs.Recorder) (*Result, error) {
+	return run(tr, par, cfg, rec)
+}
+
+// attachObservability wires the recorder into the scheduler, fabric, and
+// warp-coalescing paths. Interface fields are only assigned when rec is
+// non-nil so a typed nil never defeats the observers' nil fast paths.
+func (r *runner) attachObservability(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	r.obsRec = rec
+	r.warpObs = rec
+	r.sched.SetProbe(rec)
+	r.net.SetObserver(rec)
+}
+
+// startSampler begins deterministic sim-time sampling of link utilization,
+// queue occupancy, and credit-stall depth. Each tick reschedules itself
+// only while model events remain pending, so sampling never keeps a
+// finished run alive.
+func (r *runner) startSampler() {
+	if r.obsRec == nil {
+		return
+	}
+	s := &sampler{
+		r:           r,
+		every:       r.obsRec.SampleEvery(),
+		prevEgress:  make([]des.Time, r.tr.NumGPUs),
+		prevIngress: make([]des.Time, r.tr.NumGPUs),
+	}
+	r.sched.After(s.every, s.tick)
+}
+
+// sampler holds the previous-tick port busy totals so each sample reports
+// windowed (not cumulative) utilization.
+type sampler struct {
+	r           *runner
+	every       des.Time
+	prevEgress  []des.Time
+	prevIngress []des.Time
+}
+
+func (s *sampler) tick() {
+	r := s.r
+	now := r.sched.Now()
+	interval := float64(s.every)
+	for g := 0; g < r.tr.NumGPUs; g++ {
+		eb := r.net.EgressBusy(g)
+		r.obsRec.SampleEgressUtilization(g, now, float64(eb-s.prevEgress[g])/interval)
+		s.prevEgress[g] = eb
+		ib := r.net.IngressBusy(g)
+		r.obsRec.SampleIngressUtilization(g, now, float64(ib-s.prevIngress[g])/interval)
+		s.prevIngress[g] = ib
+		depth := 0
+		if len(r.engines) > g && r.engines[g] != nil {
+			depth = r.engines[g].pendingStores()
+		}
+		r.obsRec.SampleQueueDepth(g, now, depth)
+		r.obsRec.SampleCreditStalls(g, now, r.net.CreditWaiters(g))
+	}
+	r.obsRec.SampleSchedulerEvents(now, r.sched.Fired())
+	if r.sched.Pending() > 0 {
+		r.sched.After(s.every, s.tick)
+	}
+}

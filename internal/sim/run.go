@@ -8,6 +8,7 @@ import (
 	"finepack/internal/gpusim"
 	"finepack/internal/interconnect"
 	"finepack/internal/memsystem"
+	"finepack/internal/obs"
 	"finepack/internal/trace"
 )
 
@@ -27,6 +28,12 @@ func SingleGPUTime(tr *trace.Trace, cfg Config) des.Time {
 
 // Run replays a trace under one paradigm and returns the measured result.
 func Run(tr *trace.Trace, par Paradigm, cfg Config) (*Result, error) {
+	return run(tr, par, cfg, nil)
+}
+
+// run is the shared body of Run and RunObserved (observe.go); rec nil
+// means observability off.
+func run(tr *trace.Trace, par Paradigm, cfg Config, rec *obs.Recorder) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,9 +82,11 @@ func Run(tr *trace.Trace, par Paradigm, cfg Config) (*Result, error) {
 			r.actMem[g] = memsystem.NewMemory()
 		}
 	}
+	r.attachObservability(rec)
 	if err := r.setup(); err != nil {
 		return nil, err
 	}
+	r.startSampler()
 	r.startIteration(0)
 	budget := cfg.EventBudget
 	if budget == 0 {
@@ -139,6 +148,12 @@ type runner struct {
 	endTime   des.Time
 	dmaTLPs   uint64
 	readCache map[int][][]int
+
+	// Observability (nil when disabled). obsRec is the concrete recorder;
+	// warpObs is the same recorder as a gpusim observer, assigned only
+	// when non-nil so the disabled path passes a nil interface.
+	obsRec  *obs.Recorder
+	warpObs gpusim.StoreObserver
 }
 
 func (r *runner) storeParadigm() bool {
@@ -168,7 +183,7 @@ func (r *runner) setup() error {
 		}
 	}
 	for g := 0; g < r.tr.NumGPUs; g++ {
-		s := &sender{sched: r.sched, net: r.net, src: g}
+		s := &sender{sched: r.sched, net: r.net, src: g, obs: r.obsRec}
 		if ingress != nil {
 			s.ingest = func(p *core.Packet, done func()) {
 				stores := core.Depacketize(p)
@@ -272,6 +287,9 @@ func (r *runner) startIteration(i int) {
 		for g := 0; g < r.tr.NumGPUs; g++ {
 			w := it.PerGPU[g]
 			tc := r.cfg.Compute.Duration(w.ComputeOps)
+			if r.obsRec != nil {
+				r.obsRec.ComputePhase(g, i, t0, t0+tc)
+			}
 			r.scheduleStores(g, w, t0, tc,
 				func() { // kernel end (flush initiated)
 					if t := r.sched.Now() + r.cfg.BarrierLatency; t > barrierAt {
@@ -301,6 +319,10 @@ func (r *runner) startIteration(i int) {
 		}
 	}
 	for g := 0; g < r.tr.NumGPUs; g++ {
+		if r.obsRec != nil {
+			tc := r.cfg.Compute.Duration(it.PerGPU[g].ComputeOps)
+			r.obsRec.ComputePhase(g, i, t0, t0+tc)
+		}
 		if r.par == RemoteRead {
 			r.scheduleReads(g, i, t0, gpuDone)
 			continue
@@ -494,7 +516,7 @@ func (r *runner) scheduleStores(g int, w trace.GPUWork, t0 des.Time, tc des.Time
 				if ws.Atomic {
 					// Atomics bypass L1 coalescing: one transaction
 					// per lane (§IV-C).
-					txs, err := gpusim.Expand(ws)
+					txs, err := gpusim.ExpandObserved(ws, r.warpObs)
 					if err != nil {
 						fail(err)
 						return
@@ -512,7 +534,7 @@ func (r *runner) scheduleStores(g int, w trace.GPUWork, t0 des.Time, tc des.Time
 					}
 					continue
 				}
-				txs, err := gpusim.Coalesce(ws)
+				txs, err := gpusim.CoalesceObserved(ws, r.warpObs)
 				if err != nil {
 					fail(err)
 					return

@@ -1,0 +1,98 @@
+package stats
+
+import "fmt"
+
+// FixedHistogram tallies float observations into fixed, caller-chosen
+// upper-bound buckets plus an implicit overflow bucket — the general-purpose
+// sibling of SizeHistogram (whose buckets are pinned to the paper's Fig-4
+// byte sizes). The bucket set is fixed at construction so concurrent-free,
+// allocation-free observation stays possible on hot paths, and so two
+// histograms with the same bounds merge and render deterministically.
+type FixedHistogram struct {
+	bounds []float64 // ascending upper bounds
+	counts []uint64  // len(bounds)+1; last is the overflow bucket
+	sum    float64
+	total  uint64
+}
+
+// NewFixedHistogram returns an empty histogram over the given ascending
+// upper bounds. It panics on an empty or unsorted bound set: bucket layout
+// is a construction-time decision, and a silent fallback would make two
+// supposedly-identical histograms unmergeable.
+func NewFixedHistogram(bounds ...float64) *FixedHistogram {
+	if len(bounds) == 0 {
+		panic("stats: FixedHistogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: FixedHistogram bounds not ascending at %d (%v <= %v)",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &FixedHistogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one observation of value v.
+func (h *FixedHistogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			h.sum += v
+			h.total++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+	h.sum += v
+	h.total++
+}
+
+// Bounds returns the bucket upper bounds (ascending, excluding overflow).
+func (h *FixedHistogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Count returns the observation count of bucket i; i == len(Bounds())
+// addresses the overflow bucket.
+func (h *FixedHistogram) Count(i int) uint64 { return h.counts[i] }
+
+// Cumulative returns the count of observations ≤ bound i (the Prometheus
+// "le" semantics); i == len(Bounds()) returns Total.
+func (h *FixedHistogram) Cumulative(i int) uint64 {
+	var c uint64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		c += h.counts[j]
+	}
+	return c
+}
+
+// Sum returns the sum of observed values.
+func (h *FixedHistogram) Sum() float64 { return h.sum }
+
+// Total returns the number of observations.
+func (h *FixedHistogram) Total() uint64 { return h.total }
+
+// Merge adds every observation of other into h. The bucket layouts must
+// match.
+func (h *FixedHistogram) Merge(other *FixedHistogram) error {
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("stats: merging histograms with %d vs %d buckets",
+			len(h.bounds), len(other.bounds))
+	}
+	for i, b := range h.bounds {
+		if other.bounds[i] != b {
+			return fmt.Errorf("stats: merging histograms with different bound %d: %v vs %v",
+				i, b, other.bounds[i])
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.sum += other.sum
+	h.total += other.total
+	return nil
+}

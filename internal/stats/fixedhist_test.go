@@ -1,0 +1,64 @@
+package stats
+
+import "testing"
+
+func TestFixedHistogramBasics(t *testing.T) {
+	h := NewFixedHistogram(1, 2, 4, 8)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 9, 100} {
+		h.Observe(v)
+	}
+	if got := h.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	wantCounts := []uint64{2, 1, 1, 0, 2}
+	for i, want := range wantCounts {
+		if got := h.Count(i); got != want {
+			t.Errorf("Count(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := h.Cumulative(2); got != 4 {
+		t.Errorf("Cumulative(2) = %d, want 4", got)
+	}
+	if got := h.Cumulative(4); got != 6 {
+		t.Errorf("Cumulative(overflow) = %d, want 6", got)
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+3+9+100; got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestFixedHistogramMerge(t *testing.T) {
+	a := NewFixedHistogram(10, 20)
+	b := NewFixedHistogram(10, 20)
+	a.Observe(5)
+	b.Observe(15)
+	b.Observe(25)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 3 || a.Count(0) != 1 || a.Count(1) != 1 || a.Count(2) != 1 {
+		t.Fatalf("merge mismatch: total=%d counts=%d,%d,%d",
+			a.Total(), a.Count(0), a.Count(1), a.Count(2))
+	}
+	c := NewFixedHistogram(10, 30)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge accepted mismatched bounds")
+	}
+	d := NewFixedHistogram(10)
+	if err := a.Merge(d); err == nil {
+		t.Fatal("merge accepted mismatched bucket count")
+	}
+}
+
+func TestFixedHistogramBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFixedHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewFixedHistogram(bounds...)
+		}()
+	}
+}

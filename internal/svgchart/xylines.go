@@ -1,0 +1,85 @@
+package svgchart
+
+import (
+	"fmt"
+	"io"
+)
+
+// XYLines is a numeric-x multi-series line chart: unlike Lines, whose x
+// positions are evenly spaced categories, XYLines places every point at its
+// true x coordinate — the layout for sampled time series such as the
+// observability subsystem's link-utilization timelines.
+type XYLines struct {
+	Chart
+	XLabel string
+	// X holds the shared ascending x coordinates.
+	X []float64
+	// Series names each line; Values[s][i] is series s at X[i].
+	Series []string
+	Values [][]float64
+}
+
+// Render writes the SVG.
+func (l *XYLines) Render(w io.Writer) error {
+	if len(l.X) == 0 || len(l.Series) == 0 {
+		return fmt.Errorf("svgchart: empty chart")
+	}
+	for s := range l.Values {
+		if len(l.Values[s]) != len(l.X) {
+			return fmt.Errorf("svgchart: series %d has %d values for %d x positions",
+				s, len(l.Values[s]), len(l.X))
+		}
+	}
+	for i := 1; i < len(l.X); i++ {
+		if l.X[i] < l.X[i-1] {
+			return fmt.Errorf("svgchart: x positions not ascending at %d", i)
+		}
+	}
+	x0, y0, x1, y1 := l.header(w)
+	maxV := 0.0
+	for _, vs := range l.Values {
+		for _, v := range vs {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	maxV = niceMax(maxV)
+	toY := l.yAxis(w, x0, y0, x1, y1, maxV)
+	legend(w, x0, l.Series)
+
+	minX, maxX := l.X[0], l.X[len(l.X)-1]
+	spanX := maxX - minX
+	if spanX <= 0 {
+		spanX = 1
+	}
+	toX := func(v float64) float64 {
+		return float64(x0) + (v-minX)/spanX*float64(x1-x0)
+	}
+	for s := range l.Series {
+		fmt.Fprintf(w, `<polyline points="`)
+		for i, v := range l.Values[s] {
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%.1f,%.1f", toX(l.X[i]), toY(v))
+		}
+		fmt.Fprintf(w, `" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			palette[s%len(palette)])
+	}
+	// X ticks at ~5 even positions along the data range.
+	for i := 0; i <= axisTickTarget; i++ {
+		v := minX + spanX*float64(i)/axisTickTarget
+		x := toX(v)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, y1, x, y1+4)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, y1+18, esc(trimFloat(v)))
+	}
+	if l.XLabel != "" {
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			(x0+x1)/2, y1+36, esc(l.XLabel))
+	}
+	fmt.Fprintln(w, "</svg>")
+	return nil
+}
