@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-smoke vet lint fmt ci fuzz-smoke trace-smoke figures report clean
+.PHONY: all build test test-short bench bench-smoke vet lint fmt ci fuzz-smoke trace-smoke serve-smoke figures report clean
 
 all: build vet lint test
 
@@ -13,6 +13,7 @@ ci: build vet fmt lint
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) serve-smoke
 
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecodePacket -fuzztime=10s ./internal/core
@@ -28,6 +29,15 @@ trace-smoke:
 		-trace-json .smoke/trace.json -metrics-out .smoke/metrics.prom \
 		-timeline-svg .smoke/timeline.svg observe
 	rm -rf .smoke
+
+# End-to-end daemon smoke: boot finepackd on a loopback port, poll
+# /readyz, submit a small job, diff its metrics artifact against the
+# checked-in golden, prove a duplicate submission dedups to zero extra
+# executions, and drain. Self-contained (no curl); regenerate the golden
+# with `go run ./cmd/finepackd -smoke -smoke-update` after intentional
+# simulator changes.
+serve-smoke:
+	go run ./cmd/finepackd -smoke
 
 build:
 	go build ./...

@@ -13,6 +13,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -46,8 +47,30 @@ type Report struct {
 
 var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?$`)
 
+// dateOverride pins the report's date stamp (YYYY-MM-DD). Local runs
+// default to the wall clock; reproducible pipelines (CI, golden diffs)
+// pass an explicit date so the same input always yields the same bytes.
+var dateOverride = flag.String("date", "", "date stamp for the report (YYYY-MM-DD; default: today)")
+
+// reportDate resolves the stamp, validating an explicit override.
+func reportDate(override string) (string, error) {
+	if override == "" {
+		return time.Now().Format("2006-01-02"), nil
+	}
+	if _, err := time.Parse("2006-01-02", override); err != nil {
+		return "", fmt.Errorf("benchjson: bad -date %q: want YYYY-MM-DD", override)
+	}
+	return override, nil
+}
+
 func main() {
-	rep := Report{Date: time.Now().Format("2006-01-02")}
+	flag.Parse()
+	date, err := reportDate(*dateOverride)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := Report{Date: date}
 	var pkg string
 	failed := false
 

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	b, ok := parseBenchLine(
@@ -48,5 +51,25 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 		if _, ok := parseBenchLine(line, ""); ok {
 			t.Errorf("parsed noise line %q", line)
 		}
+	}
+}
+
+func TestReportDate(t *testing.T) {
+	if got, err := reportDate("2026-08-05"); err != nil || got != "2026-08-05" {
+		t.Fatalf("reportDate override = (%q, %v)", got, err)
+	}
+	if _, err := reportDate("08/05/2026"); err == nil {
+		t.Fatal("malformed -date accepted")
+	}
+	if _, err := reportDate("2026-13-40"); err == nil {
+		t.Fatal("impossible -date accepted")
+	}
+	// Default stamps with the wall clock in the canonical layout.
+	got, err := reportDate("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, perr := time.Parse("2006-01-02", got); perr != nil {
+		t.Fatalf("default date %q not YYYY-MM-DD", got)
 	}
 }

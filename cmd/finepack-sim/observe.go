@@ -11,8 +11,8 @@ import (
 	"finepack/internal/des"
 	"finepack/internal/experiments"
 	"finepack/internal/obs"
+	"finepack/internal/serve"
 	"finepack/internal/sim"
-	"finepack/internal/stats"
 )
 
 // Observability flags for the "observe" verb: one instrumented run whose
@@ -51,15 +51,10 @@ func showObserve(s *experiments.Suite) error {
 	if err != nil {
 		return err
 	}
-	t := stats.NewTable(fmt.Sprintf("observed run: %s / %s", obsWorkload, par),
-		"quantity", "value")
-	t.AddRow("sim time", res.Time.String())
-	t.AddRow("wire bytes", res.WireBytes)
-	t.AddRow("packets", res.Packets)
-	t.AddRow("trace events", rec.EventCount())
-	t.AddRow("dropped events", rec.DroppedEvents())
-	t.AddRow("sampled series", len(rec.SeriesList()))
-	if err := render(t); err != nil {
+	// The summary table definition is shared with the finepackd daemon
+	// (serve.ObserveTable), keeping CLI output and the service's report
+	// artifact byte-identical by construction.
+	if err := render(serve.ObserveTable(obsWorkload, par, res, rec)); err != nil {
 		return err
 	}
 	if traceJSON != "" {

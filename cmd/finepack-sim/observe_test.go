@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"finepack/internal/experiments"
+	"finepack/internal/pcie"
+	"finepack/internal/serve"
+	"finepack/internal/sim"
+	"finepack/internal/workloads"
+)
+
+// TestObserveMatchesDaemonArtifacts is the CLI side of the
+// determinism-through-the-service-boundary contract: `finepack-sim
+// observe` artifact files and the finepackd daemon's artifact endpoints
+// must produce byte-identical output for the same configuration.
+func TestObserveMatchesDaemonArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed CLI paths skipped in -short mode")
+	}
+
+	// CLI side: observe the cheapest run, writing all three artifact
+	// files.
+	dir := t.TempDir()
+	obsWorkload, obsParadigm, obsSampleUs = "sssp", "finepack", 0
+	traceJSON = filepath.Join(dir, "trace.json")
+	metricsOut = filepath.Join(dir, "metrics.prom")
+	timelineSVG = filepath.Join(dir, "timeline.svg")
+	defer func() {
+		obsWorkload, obsParadigm, obsSampleUs = "sssp", "finepack", 0
+		traceJSON, metricsOut, timelineSVG = "", "", ""
+	}()
+	params := workloads.Params{Scale: 0.05, Iterations: 1, Seed: 1}
+	cfg := sim.DefaultConfig()
+	cfg.Gen = pcie.Gen4
+	s := experiments.New(cfg, params, 2)
+	if err := showObserve(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon side: the same configuration as a job.
+	m := serve.NewMetrics()
+	runner := serve.NewSuiteRunner(1, m.Executed)
+	engine := serve.NewEngine(serve.EngineConfig{Runner: runner.Run})
+	defer engine.Drain()
+	ts := httptest.NewServer(serve.NewServer(engine, m))
+	defer ts.Close()
+
+	body := []byte(`{"workload":"sssp","gpus":2,"scale":0.05,"iters":1}`)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	job, ok := engine.Get(st.ID)
+	if !ok {
+		t.Fatalf("job %s not found", st.ID)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon job did not finish")
+	}
+
+	for _, c := range []struct {
+		file     string
+		artifact string
+	}{
+		{traceJSON, "trace"},
+		{metricsOut, "metrics"},
+		{timelineSVG, "timeline"},
+	} {
+		cli, err := os.ReadFile(c.file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/artifacts/" + c.artifact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemon, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", c.artifact, r.StatusCode, daemon)
+		}
+		if !bytes.Equal(cli, daemon) {
+			t.Fatalf("%s: CLI file (%d bytes) differs from daemon artifact (%d bytes)",
+				c.artifact, len(cli), len(daemon))
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command finepackd serves FinePack simulations over HTTP: a
+// simulation-as-a-service daemon whose job engine content-addresses each
+// request, executes it exactly once on a bounded worker pool, and serves
+// byte-identical artifacts for identical submissions (see DESIGN.md §10).
+//
+//	finepackd -addr 127.0.0.1:8080
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"workload":"sssp"}'
+//
+// finepackd is host-layer code under the two-layer determinism contract
+// (DESIGN.md §8): wall clocks, sockets, and goroutines live here; the
+// simulations it runs stay single-threaded and deterministic inside
+// internal/experiments.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"finepack/internal/serve"
+)
+
+var (
+	addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job executions")
+	queueLen    = flag.Int("queue", 16, "max jobs admitted but not yet running")
+	jobTimeout  = flag.Duration("job-timeout", 10*time.Minute, "default per-job wall-clock bound (0 = unbounded)")
+	parallelism = flag.Int("parallelism", 0, "per-job simulation worker pool (0 = GOMAXPROCS)")
+	smoke       = flag.Bool("smoke", false, "run the self-contained smoke check and exit")
+	smokeUpdate = flag.Bool("smoke-update", false, "with -smoke: rewrite the golden artifact instead of diffing")
+	smokeGolden = flag.String("smoke-golden", "cmd/finepackd/testdata/smoke_metrics.prom", "with -smoke: golden metrics artifact path")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "finepackd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *smoke {
+		return runSmoke(*smokeGolden, *smokeUpdate)
+	}
+
+	srv, engine := newStack(*workers, *queueLen, *jobTimeout, *parallelism)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	fmt.Fprintln(os.Stderr, "finepackd: listening on", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: readiness flips to 503 the moment Drain begins, new
+	// submissions are refused, admitted jobs complete, then the listener
+	// shuts down.
+	fmt.Fprintln(os.Stderr, "finepackd: draining")
+	engine.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		return err
+	}
+	return <-errc
+}
+
+// newStack wires the production metric/runner/engine/server stack.
+func newStack(workers, queueLen int, jobTimeout time.Duration, parallelism int) (*serve.Server, *serve.Engine) {
+	m := serve.NewMetrics()
+	runner := serve.NewSuiteRunner(parallelism, m.Executed)
+	engine := serve.NewEngine(serve.EngineConfig{
+		Workers:        workers,
+		QueueLen:       queueLen,
+		DefaultTimeout: jobTimeout,
+		Runner:         runner.Run,
+		OnFinish:       m.Finished,
+	})
+	return serve.NewServer(engine, m), engine
+}

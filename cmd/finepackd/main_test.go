@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSmokeAgainstGolden runs the full smoke check in-process against the
+// checked-in golden — the same check `make serve-smoke` runs in CI.
+func TestSmokeAgainstGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed smoke skipped in -short mode")
+	}
+	if err := runSmoke(filepath.Join("testdata", "smoke_metrics.prom"), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSmokeUpdateWritesGolden checks the -smoke-update path produces the
+// byte-identical golden (i.e. the checked-in file is current).
+func TestSmokeUpdateWritesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed smoke skipped in -short mode")
+	}
+	tmp := filepath.Join(t.TempDir(), "smoke_metrics.prom")
+	if err := runSmoke(tmp, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "smoke_metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("freshly generated golden differs from checked-in copy (%d vs %d bytes) — rerun `go run ./cmd/finepackd -smoke -smoke-update`",
+			len(got), len(want))
+	}
+}

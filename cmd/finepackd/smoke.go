@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// smokeSpec is the job the smoke check submits: the cheapest observable
+// run, small enough for CI yet exercising the full submit → execute →
+// artifact path.
+const smokeSpec = `{"workload":"sssp","gpus":2,"scale":0.05,"iters":1}`
+
+// runSmoke is the self-contained CI smoke check (`make serve-smoke`): it
+// boots a real daemon on a loopback port, polls readiness, submits a
+// small job, diffs the metrics artifact against the checked-in golden,
+// proves resubmission dedups to zero extra executions, and drains. No
+// external tooling (curl, jq) is needed, so the check runs in the
+// offline build environment.
+func runSmoke(goldenPath string, update bool) error {
+	srv, engine := newStack(2, 8, 5*time.Minute, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		engine.Drain()
+		_ = httpSrv.Close()
+	}()
+
+	// Readiness gate, as a deployment would poll it.
+	if err := pollReady(base + "/readyz"); err != nil {
+		return err
+	}
+
+	// Submit: first time creates (202).
+	st, code, err := submit(base, smokeSpec)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusAccepted {
+		return fmt.Errorf("smoke: submit status %d, want 202", code)
+	}
+	if err := waitDone(base, st.ID, 5*time.Minute); err != nil {
+		return err
+	}
+
+	// The metrics artifact is the golden: Prometheus text is stable,
+	// line-oriented, and diffs legibly when determinism breaks.
+	got, err := fetch(base + "/v1/jobs/" + st.ID + "/artifacts/metrics")
+	if err != nil {
+		return err
+	}
+	if update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("smoke: updated", goldenPath)
+		return nil
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("smoke: reading golden (run with -smoke-update to create): %w", err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("smoke: metrics artifact differs from %s (%d vs %d bytes) — determinism through the service boundary is broken",
+			goldenPath, len(got), len(want))
+	}
+
+	// Resubmission dedups: 200, same job, still exactly one execution.
+	st2, code, err := submit(base, smokeSpec)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || st2.ID != st.ID {
+		return fmt.Errorf("smoke: resubmit = (%d, %s), want (200, %s)", code, st2.ID, st.ID)
+	}
+	if got := srv.Metrics().Executions(); got != 1 {
+		return fmt.Errorf("smoke: %d executions after duplicate submit, want 1", got)
+	}
+	fmt.Println("smoke: ok —", st.ID, "executed once, artifact matches", goldenPath)
+	return nil
+}
+
+type smokeStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+func pollReady(url string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("smoke: %s not ready: %v", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func submit(base, spec string) (smokeStatus, int, error) {
+	var st smokeStatus
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		return st, 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, resp.StatusCode, fmt.Errorf("smoke: decoding submit response: %w", err)
+	}
+	return st, resp.StatusCode, nil
+}
+
+func waitDone(base, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var st smokeStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("smoke: job %s ended %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("smoke: job %s still %s after %s", id, st.State, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("smoke: GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}

@@ -2,10 +2,17 @@
 //
 // Each simulation run is a sequential discrete-event program by design:
 // determinism comes from the DES scheduler's total event order, not from
-// synchronization. Concurrency lives in exactly one place — the
-// internal/experiments worker pool, which runs whole (still serial)
-// simulations in parallel. Inside the sim packages themselves, goroutines,
-// channels, select, and sync.WaitGroup are contract violations.
+// synchronization. Concurrency lives above the runs — the
+// internal/experiments worker pool and the internal/serve job engine run
+// whole (still serial) simulations in parallel. Inside the sim packages
+// themselves, goroutines, channels, select, and sync.WaitGroup are
+// contract violations.
+//
+// The scope is an explicit allowlist; it must stay disjoint from
+// analysis.HostLayer (asserted by TestSingleThreadedDisjointFromHostLayer)
+// so the two-layer contract of DESIGN.md §8 cannot drift: a package is
+// either simulator layer (single-threaded, wall-clock-free) or host layer
+// (free to use both), never half of each.
 package goroutinefree
 
 import (

@@ -3,10 +3,29 @@ package goroutinefree_test
 import (
 	"testing"
 
+	"finepack/internal/analysis"
 	"finepack/internal/analysis/analysistest"
 	"finepack/internal/analysis/goroutinefree"
 )
 
 func TestGoroutineFree(t *testing.T) {
 	analysistest.Run(t, "testdata", goroutinefree.Analyzer, "a")
+}
+
+// TestSingleThreadedDisjointFromHostLayer pins the two-layer contract: no
+// package may be both bound to the single-threaded allowlist and exempted
+// as host layer. If internal/serve (or a future daemon package) ever lands
+// in SingleThreaded, or a simulator package in HostLayer, this fails.
+func TestSingleThreadedDisjointFromHostLayer(t *testing.T) {
+	for _, pkg := range goroutinefree.SingleThreaded {
+		if analysis.IsHostLayer(pkg) {
+			t.Errorf("%q is both in goroutinefree.SingleThreaded and in the host layer", pkg)
+		}
+		if !goroutinefree.Analyzer.Applies(pkg) {
+			t.Errorf("goroutinefree no longer applies to its own allowlist entry %q", pkg)
+		}
+	}
+	if goroutinefree.Analyzer.Applies("finepack/internal/serve") {
+		t.Error("goroutinefree applies to host-layer package finepack/internal/serve")
+	}
 }

@@ -33,6 +33,46 @@ func InternalOnly() func(pkgPath string) bool {
 	})
 }
 
+// HostLayer lists the in-module internal packages that sit on the host
+// side of the two-layer determinism contract (DESIGN.md §8): service
+// plumbing that legitimately reads wall clocks and spawns goroutines
+// because it never executes inside a simulation run. Each entry exempts
+// the named package and everything under it. cmd/... and examples/...
+// are host layer by construction and need no entry here.
+//
+// This list — not scattered //finepack:allow lines — is where a package
+// crosses the boundary: adding one is a reviewed architectural decision.
+var HostLayer = []string{
+	ModulePath + "/internal/serve",
+}
+
+// IsHostLayer reports whether pkgPath belongs to the host layer: any
+// cmd/... or examples/... package, or a package rooted at an entry of
+// HostLayer.
+func IsHostLayer(pkgPath string) bool {
+	if strings.HasPrefix(pkgPath, ModulePath+"/cmd/") ||
+		strings.HasPrefix(pkgPath, ModulePath+"/examples/") {
+		return true
+	}
+	for _, root := range HostLayer {
+		if pkgPath == root || strings.HasPrefix(pkgPath, root+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// SimulatorInternal scopes an analyzer to the simulator layer:
+// finepack/internal/... minus the HostLayer packages. Analyzers that
+// forbid host-time or concurrency primitives (wallclock, goroutinefree)
+// use this; analyzers enforcing plain hygiene (maporder, sprintfkey,
+// unseededrand) stay on InternalOnly and cover the host layer too.
+func SimulatorInternal() func(pkgPath string) bool {
+	return Scope(func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, ModulePath+"/internal/") && !IsHostLayer(pkgPath)
+	})
+}
+
 // Packages scopes an analyzer to an exact set of import paths.
 func Packages(paths ...string) func(pkgPath string) bool {
 	set := make(map[string]bool, len(paths))

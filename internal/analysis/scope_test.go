@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+func TestIsHostLayer(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"finepack/cmd/finepackd", true},
+		{"finepack/cmd/finepack-sim", true},
+		{"finepack/examples/jacobi", true},
+		{"finepack/internal/serve", true},
+		{"finepack/internal/serve/sub", true},
+		{"finepack/internal/servehelpers", false}, // prefix must match a path segment
+		{"finepack/internal/sim", false},
+		{"finepack/internal/obs", false},
+		{"finepack/internal/experiments", false},
+		{"finepack", false},
+	}
+	for _, c := range cases {
+		if got := IsHostLayer(c.pkg); got != c.want {
+			t.Errorf("IsHostLayer(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestSimulatorInternalScope pins the two-layer contract at the scope
+// level: the simulator packages stay in scope (the analyzers still fire
+// there), the host layer and cmd/ do not, and fixtures are always
+// analyzed so analyzer tests keep working.
+func TestSimulatorInternalScope(t *testing.T) {
+	applies := SimulatorInternal()
+	for _, pkg := range []string{
+		"finepack/internal/des",
+		"finepack/internal/sim",
+		"finepack/internal/obs",
+		"finepack/internal/interconnect",
+		"finepack/internal/experiments",
+	} {
+		if !applies(pkg) {
+			t.Errorf("SimulatorInternal excludes %q; simulator layer must stay in scope", pkg)
+		}
+	}
+	for _, pkg := range []string{
+		"finepack/internal/serve",
+		"finepack/cmd/finepackd",
+		"finepack/examples/jacobi",
+	} {
+		if applies(pkg) {
+			t.Errorf("SimulatorInternal includes host-layer package %q", pkg)
+		}
+	}
+	// Fixtures (out-of-module or under testdata) are always analyzed.
+	if !applies("a") {
+		t.Error("SimulatorInternal must keep analyzing fixture packages")
+	}
+	if !applies("finepack/internal/serve/testdata/x") {
+		t.Error("SimulatorInternal must keep analyzing testdata packages")
+	}
+}

@@ -3,9 +3,12 @@
 // Simulated time advances only through the DES scheduler (des.Scheduler.Now
 // / At / After). A time.Now() in sim code couples results to the host
 // machine, which silently breaks golden-test byte-identity and the
-// parallel==serial guarantee. Host-side tooling (cmd/, examples/) is out of
-// scope, and genuine harness plumbing inside internal/ can be exempted via
-// AllowedFiles or a //finepack:allow wallclock directive.
+// parallel==serial guarantee. The host layer (cmd/, examples/, and the
+// analysis.HostLayer packages such as internal/serve) is out of scope —
+// daemons legitimately read wall clocks for HTTP deadlines and Retry-After
+// arithmetic — and genuine harness plumbing inside the simulator layer can
+// still be exempted via AllowedFiles or a //finepack:allow wallclock
+// directive.
 package wallclock
 
 import (
@@ -34,7 +37,7 @@ var AllowedFiles = map[string]bool{}
 var Analyzer = &analysis.Analyzer{
 	Name:    "wallclock",
 	Doc:     "forbid time.Now/Since/Until/Tick in simulator code; simulated time must come from the DES scheduler",
-	Applies: analysis.InternalOnly(),
+	Applies: analysis.SimulatorInternal(),
 	Run:     run,
 }
 

@@ -11,6 +11,33 @@ func TestWallclock(t *testing.T) {
 	analysistest.Run(t, "testdata", wallclock.Analyzer, "a")
 }
 
+// TestScopeTracksHostLayer proves the analyzer still fires inside the
+// simulator packages after the host-layer carve-out: internal/sim et al.
+// remain in scope, while internal/serve and the binaries are exempt in the
+// scope itself rather than via scattered //finepack:allow lines.
+func TestScopeTracksHostLayer(t *testing.T) {
+	for _, pkg := range []string{
+		"finepack/internal/sim",
+		"finepack/internal/des",
+		"finepack/internal/obs",
+		"finepack/internal/interconnect",
+		"finepack/internal/experiments",
+	} {
+		if !wallclock.Analyzer.Applies(pkg) {
+			t.Errorf("wallclock no longer applies to %q; the determinism contract lost coverage", pkg)
+		}
+	}
+	for _, pkg := range []string{
+		"finepack/internal/serve",
+		"finepack/cmd/finepackd",
+		"finepack/cmd/finepack-sim",
+	} {
+		if wallclock.Analyzer.Applies(pkg) {
+			t.Errorf("wallclock applies to host-layer package %q", pkg)
+		}
+	}
+}
+
 func TestAllowedFiles(t *testing.T) {
 	wallclock.AllowedFiles["harness.go"] = true
 	defer delete(wallclock.AllowedFiles, "harness.go")

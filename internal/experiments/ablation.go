@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"finepack/internal/core"
@@ -62,7 +63,7 @@ func (s *Suite) AblationQueueEntries() ([]AblationRow, error) {
 		cfg.FinePack.QueueEntries = entries
 		jobs = append(jobs, s.suiteJobs(s.NumGPUs, cfg, sim.FinePack)...)
 	}
-	s.warmRuns(jobs)
+	s.warmRuns(context.Background(), jobs)
 	var rows []AblationRow
 	for _, entries := range []int{4, 8, 16, 32, 64, 128} {
 		cfg := s.Cfg
@@ -85,7 +86,7 @@ func (s *Suite) AblationOpenWindows() ([]AblationRow, error) {
 		cfg.FinePack.MaxOpenWindows = wins
 		jobs = append(jobs, s.suiteJobs(s.NumGPUs, cfg, sim.FinePack)...)
 	}
-	s.warmRuns(jobs)
+	s.warmRuns(context.Background(), jobs)
 	var rows []AblationRow
 	for _, wins := range []int{1, 2, 4} {
 		cfg := s.Cfg
@@ -125,7 +126,7 @@ func (s *Suite) AblationFlushTimeout() ([]AblationRow, error) {
 		cfg.FlushTimeout = p.timeout
 		jobs = append(jobs, s.suiteJobs(s.NumGPUs, cfg, sim.FinePack)...)
 	}
-	s.warmRuns(jobs)
+	s.warmRuns(context.Background(), jobs)
 	var rows []AblationRow
 	for _, p := range points {
 		cfg := s.Cfg

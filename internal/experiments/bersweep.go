@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -62,7 +63,7 @@ func (s *Suite) BERSweep(bers []float64) ([]BERRow, error) {
 		cfg.Faults.BER = ber
 		jobs = append(jobs, s.suiteJobs(s.NumGPUs, cfg, BERSweepParadigms()...)...)
 	}
-	s.warmRuns(jobs)
+	s.warmRuns(context.Background(), jobs)
 	// Error-free baselines per (workload, paradigm).
 	base := make(map[resultKey]*sim.Result) // reuse key type for convenience
 	baseline := func(name string, par sim.Paradigm) (*sim.Result, error) {

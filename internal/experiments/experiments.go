@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -150,6 +151,18 @@ func (s *Suite) Trace(name string, gpus int) (*trace.Trace, error) {
 // Run returns (running and caching) one simulation result under the
 // suite's configuration.
 func (s *Suite) Run(name string, par sim.Paradigm) (*sim.Result, error) {
+	return s.RunContext(context.Background(), name, par)
+}
+
+// RunContext is Run with cooperative cancellation. The context is checked
+// before the run starts — a simulation, once started, always completes,
+// because determinism makes a partial run worthless — so a canceled or
+// deadline-expired caller aborts between runs instead of silently
+// completing the whole sweep.
+func (s *Suite) RunContext(ctx context.Context, name string, par sim.Paradigm) (*sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.runWith(name, s.NumGPUs, par, s.Cfg)
 }
 
@@ -202,8 +215,23 @@ func (s *Suite) runWith(name string, gpus int, par sim.Paradigm, cfg sim.Config)
 // the artifacts the caller is asking for, and observed runs are one-off
 // diagnostics, not figure inputs worth caching.
 func (s *Suite) ObservedRun(name string, par sim.Paradigm, oc obs.Config) (*sim.Result, *obs.Recorder, error) {
+	return s.ObservedRunContext(context.Background(), name, par, oc)
+}
+
+// ObservedRunContext is ObservedRun with cooperative cancellation: the
+// context is checked before trace generation and again before the
+// simulation starts, so a canceled or deadline-expired job aborts between
+// those stages rather than completing silently. The run itself, once
+// started, always completes (see RunContext).
+func (s *Suite) ObservedRunContext(ctx context.Context, name string, par sim.Paradigm, oc obs.Config) (*sim.Result, *obs.Recorder, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	tr, err := s.Trace(name, s.NumGPUs)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	rec := obs.New(oc)
@@ -228,7 +256,13 @@ type runJob struct {
 // dropped here: the serial assembly loop that follows re-requests every
 // run from the cache and surfaces the identical, deterministic error at
 // the same row it would have hit serially.
-func (s *Suite) warmRuns(jobs []runJob) {
+//
+// Cancellation is cooperative and sits between runs: once ctx is done the
+// feeder stops handing out jobs and every worker skips whatever it still
+// receives, so an expired deadline abandons the remaining sweep instead of
+// silently completing it. Runs already in flight finish — a deterministic
+// run is only useful whole.
+func (s *Suite) warmRuns(ctx context.Context, jobs []runJob) {
 	n := s.parallelism()
 	if n <= 1 || len(jobs) <= 1 {
 		return
@@ -243,11 +277,17 @@ func (s *Suite) warmRuns(jobs []runJob) {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
+				if ctx.Err() != nil {
+					continue
+				}
 				_, _ = s.runWith(j.name, j.gpus, j.par, j.cfg)
 			}
 		}()
 	}
 	for _, j := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
 		ch <- j
 	}
 	close(ch)
@@ -255,7 +295,7 @@ func (s *Suite) warmRuns(jobs []runJob) {
 }
 
 // warmTraces fans out trace generation alone (Fig 4 needs no runs).
-func (s *Suite) warmTraces(gpus int) {
+func (s *Suite) warmTraces(ctx context.Context, gpus int) {
 	n := s.parallelism()
 	names := s.Workloads()
 	if n <= 1 || len(names) <= 1 {
@@ -271,11 +311,17 @@ func (s *Suite) warmTraces(gpus int) {
 		go func() {
 			defer wg.Done()
 			for name := range ch {
+				if ctx.Err() != nil {
+					continue
+				}
 				_, _ = s.Trace(name, gpus)
 			}
 		}()
 	}
 	for _, name := range names {
+		if ctx.Err() != nil {
+			break
+		}
 		ch <- name
 	}
 	close(ch)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -10,6 +11,16 @@ import (
 // WriteReport runs every experiment and writes one self-contained markdown
 // report: the reproducibility artifact `finepack-sim report` produces.
 func (s *Suite) WriteReport(w io.Writer) error {
+	return s.WriteReportContext(context.Background(), w)
+}
+
+// WriteReportContext is WriteReport with cooperative cancellation: the
+// context is checked before every section, so a canceled or
+// deadline-expired caller (a drained daemon job, a user hitting ^C)
+// aborts between experiment sweeps instead of completing the remaining
+// figures silently. The emitted bytes are identical to WriteReport's for
+// an uncanceled context.
+func (s *Suite) WriteReportContext(ctx context.Context, w io.Writer) error {
 	fmt.Fprintf(w, "# FinePack experiment report\n\n")
 	fmt.Fprintf(w, "System: %d GPUs, %s (%.0f GB/s/dir), FinePack %dB sub-headers, %d-entry partitions.\n",
 		s.NumGPUs, s.Cfg.Gen, s.Cfg.Gen.Bandwidth()/1e9,
@@ -17,135 +28,148 @@ func (s *Suite) WriteReport(w io.Writer) error {
 	fmt.Fprintf(w, "Workloads at scale %.2f, %d iterations, seed %d.\n\n",
 		s.Params.Scale, s.Params.Iterations, s.Params.Seed)
 
-	section := func(title string, table *stats.Table, err error) error {
-		if err != nil {
-			return fmt.Errorf("report: %s: %w", title, err)
-		}
-		fmt.Fprintf(w, "## %s\n\n```\n", title)
-		table.Render(w)
-		fmt.Fprintf(w, "```\n\n")
-		return nil
+	// Each section closure runs one experiment sweep and returns its
+	// rendered table; the loop below is the only writer, so section order
+	// — and therefore output bytes — cannot drift from the serial path.
+	type section struct {
+		title string
+		table func() (*stats.Table, error)
+	}
+	sections := []section{
+		{"Fig 2 — goodput vs transfer size", func() (*stats.Table, error) {
+			return Fig2Table(Fig2()), nil
+		}},
+		{"Fig 4 — store sizes egressing L1", func() (*stats.Table, error) {
+			rows, err := s.Fig4()
+			if err != nil {
+				return nil, err
+			}
+			return Fig4Table(rows), nil
+		}},
+		{"Fig 9 — 4-GPU strong scaling", func() (*stats.Table, error) {
+			rows, geo, err := s.Fig9()
+			if err != nil {
+				return nil, err
+			}
+			return Fig9Table(rows, geo), nil
+		}},
+		{"Fig 10 — wire-byte breakdown", func() (*stats.Table, error) {
+			rows, err := s.Fig10()
+			if err != nil {
+				return nil, err
+			}
+			return Fig10Table(rows), nil
+		}},
+		{"Fig 11 — stores per packet", func() (*stats.Table, error) {
+			rows, mean, err := s.Fig11()
+			if err != nil {
+				return nil, err
+			}
+			return Fig11Table(rows, mean), nil
+		}},
+		{"Fig 12 — sub-header sensitivity", func() (*stats.Table, error) {
+			rows, geo, err := s.Fig12()
+			if err != nil {
+				return nil, err
+			}
+			return Fig12Table(rows, geo), nil
+		}},
+		{"Fig 13 — bandwidth sensitivity", func() (*stats.Table, error) {
+			rows, err := s.Fig13()
+			if err != nil {
+				return nil, err
+			}
+			return Fig13Table(rows), nil
+		}},
+		{"Table II — sub-header tradeoff", func() (*stats.Table, error) {
+			return Tab2Table(), nil
+		}},
+		{"§VI-B — config-packet alternate design", func() (*stats.Table, error) {
+			rows, err := s.AltDesign()
+			if err != nil {
+				return nil, err
+			}
+			return AltDesignTable(rows), nil
+		}},
+		{"§VI-A — write combining alone", func() (*stats.Table, error) {
+			rows, overall, err := s.WCCompare()
+			if err != nil {
+				return nil, err
+			}
+			return WCTable(rows, overall), nil
+		}},
+		{"§VI-B — GPS-like comparator", func() (*stats.Table, error) {
+			rows, ratio, err := s.GPSCompare()
+			if err != nil {
+				return nil, err
+			}
+			return GPSTable(rows, ratio), nil
+		}},
+		{"§VI-B — 16 GPUs on PCIe 6.0", func() (*stats.Table, error) {
+			res, err := s.Scale16()
+			if err != nil {
+				return nil, err
+			}
+			return Scale16Table(res), nil
+		}},
+		{"§II-A — UM / remote-read baselines", func() (*stats.Table, error) {
+			rows, err := s.UMCompare()
+			if err != nil {
+				return nil, err
+			}
+			return UMTable(rows), nil
+		}},
+		{"Overlap decomposition", func() (*stats.Table, error) {
+			rows, err := s.Overlap()
+			if err != nil {
+				return nil, err
+			}
+			return OverlapTable(rows), nil
+		}},
+		{"Ablation — queue entries", func() (*stats.Table, error) {
+			rows, err := s.AblationQueueEntries()
+			if err != nil {
+				return nil, err
+			}
+			return AblationTable("", rows), nil
+		}},
+		{"Ablation — open windows", func() (*stats.Table, error) {
+			rows, err := s.AblationOpenWindows()
+			if err != nil {
+				return nil, err
+			}
+			return AblationTable("", rows), nil
+		}},
+		{"Ablation — flush timeout", func() (*stats.Table, error) {
+			rows, err := s.AblationFlushTimeout()
+			if err != nil {
+				return nil, err
+			}
+			return AblationTable("", rows), nil
+		}},
+		{"§IV-C — FinePack on a flit-based link", func() (*stats.Table, error) {
+			return NVLinkFinePackTable(NVLinkFinePack()), nil
+		}},
+		{"Strong scaling 2–16 GPUs", func() (*stats.Table, error) {
+			rows, err := s.Scaling()
+			if err != nil {
+				return nil, err
+			}
+			return ScalingTable(rows), nil
+		}},
 	}
 
-	points := Fig2()
-	if err := section("Fig 2 — goodput vs transfer size", Fig2Table(points), nil); err != nil {
-		return err
+	for _, sec := range sections {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("report: canceled before %q: %w", sec.title, err)
+		}
+		t, err := sec.table()
+		if err != nil {
+			return fmt.Errorf("report: %s: %w", sec.title, err)
+		}
+		fmt.Fprintf(w, "## %s\n\n```\n", sec.title)
+		t.Render(w)
+		fmt.Fprintf(w, "```\n\n")
 	}
-	f4, err := s.Fig4()
-	if err == nil {
-		err = section("Fig 4 — store sizes egressing L1", Fig4Table(f4), nil)
-	}
-	if err != nil {
-		return err
-	}
-	f9, geo, err := s.Fig9()
-	if err == nil {
-		err = section("Fig 9 — 4-GPU strong scaling", Fig9Table(f9, geo), nil)
-	}
-	if err != nil {
-		return err
-	}
-	f10, err := s.Fig10()
-	if err == nil {
-		err = section("Fig 10 — wire-byte breakdown", Fig10Table(f10), nil)
-	}
-	if err != nil {
-		return err
-	}
-	f11, mean, err := s.Fig11()
-	if err == nil {
-		err = section("Fig 11 — stores per packet", Fig11Table(f11, mean), nil)
-	}
-	if err != nil {
-		return err
-	}
-	f12, geo12, err := s.Fig12()
-	if err == nil {
-		err = section("Fig 12 — sub-header sensitivity", Fig12Table(f12, geo12), nil)
-	}
-	if err != nil {
-		return err
-	}
-	f13, err := s.Fig13()
-	if err == nil {
-		err = section("Fig 13 — bandwidth sensitivity", Fig13Table(f13), nil)
-	}
-	if err != nil {
-		return err
-	}
-	if err := section("Table II — sub-header tradeoff", Tab2Table(), nil); err != nil {
-		return err
-	}
-	alt, err := s.AltDesign()
-	if err == nil {
-		err = section("§VI-B — config-packet alternate design", AltDesignTable(alt), nil)
-	}
-	if err != nil {
-		return err
-	}
-	wcRows, overall, err := s.WCCompare()
-	if err == nil {
-		err = section("§VI-A — write combining alone", WCTable(wcRows, overall), nil)
-	}
-	if err != nil {
-		return err
-	}
-	gpsRows, ratio, err := s.GPSCompare()
-	if err == nil {
-		err = section("§VI-B — GPS-like comparator", GPSTable(gpsRows, ratio), nil)
-	}
-	if err != nil {
-		return err
-	}
-	s16, err := s.Scale16()
-	if err == nil {
-		err = section("§VI-B — 16 GPUs on PCIe 6.0", Scale16Table(s16), nil)
-	}
-	if err != nil {
-		return err
-	}
-	umRows, err := s.UMCompare()
-	if err == nil {
-		err = section("§II-A — UM / remote-read baselines", UMTable(umRows), nil)
-	}
-	if err != nil {
-		return err
-	}
-	ovRows, err := s.Overlap()
-	if err == nil {
-		err = section("Overlap decomposition", OverlapTable(ovRows), nil)
-	}
-	if err != nil {
-		return err
-	}
-	entries, err := s.AblationQueueEntries()
-	if err == nil {
-		err = section("Ablation — queue entries", AblationTable("", entries), nil)
-	}
-	if err != nil {
-		return err
-	}
-	windows, err := s.AblationOpenWindows()
-	if err == nil {
-		err = section("Ablation — open windows", AblationTable("", windows), nil)
-	}
-	if err != nil {
-		return err
-	}
-	timeouts, err := s.AblationFlushTimeout()
-	if err == nil {
-		err = section("Ablation — flush timeout", AblationTable("", timeouts), nil)
-	}
-	if err != nil {
-		return err
-	}
-	if err := section("§IV-C — FinePack on a flit-based link",
-		NVLinkFinePackTable(NVLinkFinePack()), nil); err != nil {
-		return err
-	}
-	scal, err := s.Scaling()
-	if err == nil {
-		err = section("Strong scaling 2–16 GPUs", ScalingTable(scal), nil)
-	}
-	return err
+	return nil
 }

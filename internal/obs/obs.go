@@ -35,6 +35,13 @@ type Config struct {
 	// dropped rather than recorded, bounding memory on long runs.
 	// Default 1<<20.
 	MaxEvents int
+	// Progress, when non-nil, is invoked once per sampler tick with the
+	// current simulated time and the cumulative DES events fired. It runs
+	// on the simulation's goroutine and must return quickly without
+	// blocking; the serve layer uses it to stream job progress without
+	// the deterministic core ever knowing a service exists. It has no
+	// effect on the recorded artifacts.
+	Progress func(at des.Time, events uint64)
 }
 
 const (
@@ -372,12 +379,17 @@ func (r *Recorder) SampleCreditStalls(dst int, at des.Time, waiters int) {
 	r.sample(seriesCredit, int32(dst), at, float64(waiters))
 }
 
-// SampleSchedulerEvents records the cumulative DES events fired.
+// SampleSchedulerEvents records the cumulative DES events fired. As the
+// last sample of each tick it also drives the Progress callback, giving
+// external observers a sim-time heartbeat exactly once per tick.
 func (r *Recorder) SampleSchedulerEvents(at des.Time, fired uint64) {
 	if r == nil {
 		return
 	}
 	r.sample(seriesSched, 0, at, float64(fired))
+	if r.cfg.Progress != nil {
+		r.cfg.Progress(at, fired)
+	}
 }
 
 func (r *Recorder) sample(kind seriesKind, idx int32, at des.Time, v float64) {

@@ -254,3 +254,50 @@ func TestRegistryDedupesHandles(t *testing.T) {
 	}()
 	reg.Gauge("c_total", "h")
 }
+
+// TestProgressCallback pins the progress tap: invoked once per
+// SampleSchedulerEvents call with the exact (time, fired) pair, never on
+// other samples, and absent by default. The callback must also leave the
+// recorded artifacts untouched — it is a pure tap for the serve layer.
+func TestProgressCallback(t *testing.T) {
+	type beat struct {
+		at     des.Time
+		events uint64
+	}
+	var beats []beat
+	r := New(Config{Progress: func(at des.Time, events uint64) {
+		beats = append(beats, beat{at, events})
+	}})
+	r.SampleEgressUtilization(0, des.Microsecond, 0.5)
+	r.SampleQueueDepth(0, des.Microsecond, 3)
+	if len(beats) != 0 {
+		t.Fatalf("progress fired on non-scheduler samples: %v", beats)
+	}
+	r.SampleSchedulerEvents(des.Microsecond, 100)
+	r.SampleSchedulerEvents(2*des.Microsecond, 250)
+	want := []beat{{des.Microsecond, 100}, {2 * des.Microsecond, 250}}
+	if len(beats) != len(want) {
+		t.Fatalf("got %d beats, want %d", len(beats), len(want))
+	}
+	for i := range want {
+		if beats[i] != want[i] {
+			t.Fatalf("beat %d = %+v, want %+v", i, beats[i], want[i])
+		}
+	}
+
+	// Identical runs with and without the callback serialize identically.
+	plain := New(Config{})
+	populate(plain)
+	tapped := New(Config{Progress: func(des.Time, uint64) {}})
+	populate(tapped)
+	var a, b bytes.Buffer
+	if err := plain.WriteTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tapped.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("progress callback changed the recorded trace")
+	}
+}

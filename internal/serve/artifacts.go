@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"finepack/internal/obs"
+	"finepack/internal/sim"
+	"finepack/internal/stats"
+)
+
+// Artifact names as they appear in the API
+// (GET /v1/jobs/{id}/artifacts/{name}).
+const (
+	// ArtifactReport is the human-readable summary: the observe table for
+	// observe jobs, the full markdown report for report jobs.
+	ArtifactReport = "report"
+	// ArtifactTrace is the Chrome/Perfetto trace-event JSON (observe only).
+	ArtifactTrace = "trace"
+	// ArtifactMetrics is the Prometheus text exposition (observe only).
+	ArtifactMetrics = "metrics"
+	// ArtifactTimeline is the egress-utilization SVG (observe only).
+	ArtifactTimeline = "timeline"
+)
+
+// artifactOrder fixes the listing order in job status responses. Maps are
+// never ranged over on output paths (the maporder analyzer covers this
+// package); this slice is the single source of ordering truth.
+var artifactOrder = []string{ArtifactReport, ArtifactTrace, ArtifactMetrics, ArtifactTimeline}
+
+// contentTypes maps artifact names to their HTTP content types.
+func contentType(name string) string {
+	switch name {
+	case ArtifactTrace:
+		return "application/json; charset=utf-8"
+	case ArtifactTimeline:
+		return "image/svg+xml"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// Artifacts holds a finished job's rendered outputs, keyed by artifact
+// name. Byte slices are written once by the job's worker and only read
+// afterwards; the engine publishes them with the job's terminal state.
+type Artifacts struct {
+	byName map[string][]byte
+}
+
+// Put stores one artifact.
+func (a *Artifacts) Put(name string, data []byte) {
+	if a.byName == nil {
+		a.byName = make(map[string][]byte)
+	}
+	a.byName[name] = data
+}
+
+// Get returns one artifact's bytes, or nil if absent.
+func (a *Artifacts) Get(name string) []byte {
+	if a == nil {
+		return nil
+	}
+	return a.byName[name]
+}
+
+// Names lists the present artifacts in fixed display order.
+func (a *Artifacts) Names() []string {
+	if a == nil {
+		return nil
+	}
+	names := make([]string, 0, len(a.byName))
+	for _, name := range artifactOrder {
+		if _, ok := a.byName[name]; ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// ObserveTable renders the observed-run summary table. It is the single
+// definition shared by `finepack-sim observe` and the daemon's report
+// artifact, so the two outputs are byte-identical by construction rather
+// than by parallel maintenance.
+func ObserveTable(workload string, par sim.Paradigm, res *sim.Result, rec *obs.Recorder) *stats.Table {
+	t := stats.NewTable("observed run: "+workload+" / "+par.String(),
+		"quantity", "value")
+	t.AddRow("sim time", res.Time.String())
+	t.AddRow("wire bytes", res.WireBytes)
+	t.AddRow("packets", res.Packets)
+	t.AddRow("trace events", rec.EventCount())
+	t.AddRow("dropped events", rec.DroppedEvents())
+	t.AddRow("sampled series", len(rec.SeriesList()))
+	return t
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue has no room;
+// the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrDraining is returned by Submit once Drain has begun; the HTTP layer
+// maps it to 503.
+var ErrDraining = errors.New("serve: engine draining")
+
+// Job is one content-addressed unit of work. All mutable fields are
+// guarded by the engine mutex; Artifacts and Err are written exactly once
+// before done closes and may be read freely after <-Done().
+type Job struct {
+	// ID is the content hash of the normalized spec.
+	ID string
+	// Spec is the normalized spec.
+	Spec JobSpec
+
+	eng    *Engine
+	runCtx context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// mutable, under eng.mu
+	state     string
+	err       error
+	artifacts *Artifacts
+	progress  Progress
+	subs      map[chan Progress]struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot returns the job's current state, last progress, and terminal
+// error (nil unless failed).
+func (j *Job) Snapshot() (state string, p Progress, err error) {
+	j.eng.mu.Lock()
+	defer j.eng.mu.Unlock()
+	return j.state, j.progress, j.err
+}
+
+// Artifacts returns the finished job's artifacts (nil before <-Done() or
+// on failure).
+func (j *Job) Artifacts() *Artifacts {
+	j.eng.mu.Lock()
+	defer j.eng.mu.Unlock()
+	return j.artifacts
+}
+
+// Cancel asks the job to stop. A queued job is canceled immediately; a
+// running job stops cooperatively at its next between-runs check. Done
+// jobs are unaffected.
+func (j *Job) Cancel() { j.cancel() }
+
+// Subscribe registers a progress listener. The returned channel receives
+// updates until the job finishes (then it is closed); slow listeners drop
+// intermediate updates rather than stalling the worker. unsubscribe
+// releases the channel early.
+func (j *Job) Subscribe() (<-chan Progress, func()) {
+	ch := make(chan Progress, 16)
+	j.eng.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[chan Progress]struct{})
+	}
+	terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+	if terminal {
+		// Deliver the final state so late subscribers still see it.
+		ch <- j.progress
+		close(ch)
+	} else {
+		j.subs[ch] = struct{}{}
+	}
+	j.eng.mu.Unlock()
+	unsubscribe := func() {
+		j.eng.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.eng.mu.Unlock()
+	}
+	if terminal {
+		return ch, func() {}
+	}
+	return ch, unsubscribe
+}
+
+// publish records progress and fans it out; called with eng.mu held.
+func (j *Job) publishLocked(p Progress) {
+	j.progress = p
+	for ch := range j.subs {
+		select {
+		case ch <- p:
+		default:
+			// Slow subscriber: drop this update. Terminal states are
+			// delivered via close + Snapshot, so nothing is lost for
+			// correctness.
+		}
+	}
+}
+
+// finishLocked moves the job to a terminal state and releases
+// subscribers; called with eng.mu held.
+func (j *Job) finishLocked(state string, a *Artifacts, err error) {
+	j.state = state
+	j.artifacts = a
+	j.err = err
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	j.publishLocked(Progress{Stage: state, Detail: detail})
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+}
+
+// Engine is the deterministic job engine: a content-addressed job table
+// over a bounded queue and worker pool. All concurrency lives here, above
+// the simulation layer; the runner it drives executes each job body on
+// one goroutine.
+type Engine struct {
+	runner         Runner
+	onFinish       func(state string)
+	queueLen       int
+	workers        int
+	defaultTimeout time.Duration
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for deterministic listings
+	queue    chan *Job
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// EngineConfig configures a job engine.
+type EngineConfig struct {
+	// Workers bounds concurrently executing jobs. Zero selects 1.
+	Workers int
+	// QueueLen bounds jobs admitted but not yet running. Zero selects 16.
+	QueueLen int
+	// DefaultTimeout bounds jobs that do not set timeout_ms. Zero means
+	// no default bound.
+	DefaultTimeout time.Duration
+	// Runner executes job bodies; required (NewEngine panics on nil).
+	Runner Runner
+	// OnFinish, if non-nil, is invoked once per job reaching a terminal
+	// state (feeds the daemon's completion metrics).
+	OnFinish func(state string)
+}
+
+// NewEngine builds and starts an engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Runner == nil {
+		panic("serve: EngineConfig.Runner is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		runner:         cfg.Runner,
+		onFinish:       cfg.OnFinish,
+		queueLen:       cfg.QueueLen,
+		workers:        cfg.Workers,
+		defaultTimeout: cfg.DefaultTimeout,
+		baseCtx:        ctx,
+		cancelBase:     cancel,
+		jobs:           make(map[string]*Job),
+		queue:          make(chan *Job, cfg.QueueLen),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.work()
+	}
+	return e
+}
+
+// Submit normalizes the spec and either returns the existing job with the
+// same content hash (dedup: the simulation runs exactly once) or enqueues
+// a new one. created reports whether this call created the job.
+func (e *Engine) Submit(spec JobSpec) (job *Job, created bool, err error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	id := norm.ID()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if j, ok := e.jobs[id]; ok {
+		return j, false, nil
+	}
+	if e.draining {
+		return nil, false, ErrDraining
+	}
+
+	timeout := e.defaultTimeout
+	if norm.TimeoutMs > 0 {
+		timeout = time.Duration(norm.TimeoutMs) * time.Millisecond
+	}
+	jctx := e.baseCtx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		jctx, cancel = context.WithTimeout(jctx, timeout)
+	} else {
+		jctx, cancel = context.WithCancel(jctx)
+	}
+	j := &Job{
+		ID:       id,
+		Spec:     norm,
+		eng:      e,
+		runCtx:   jctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		progress: Progress{Stage: StateQueued},
+	}
+
+	select {
+	case e.queue <- j:
+	default:
+		cancel()
+		return nil, false, ErrQueueFull
+	}
+	e.jobs[id] = j
+	e.order = append(e.order, id)
+	return j, true, nil
+}
+
+// Get returns a job by ID.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs lists jobs in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Job, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.jobs[id])
+	}
+	return out
+}
+
+// QueueRoom reports free queue slots, for Retry-After estimation.
+func (e *Engine) QueueRoom() int { return e.queueLen - len(e.queue) }
+
+// Drain stops admission and waits for every admitted job — queued or
+// running — to finish: graceful shutdown completes accepted work rather
+// than discarding it. Shutdown time is bounded by the jobs themselves
+// (their timeouts, or an operator canceling them); dedup lookups keep
+// resolving afterwards so finished artifacts stay servable.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.draining = true
+	e.mu.Unlock()
+	close(e.queue)
+	e.wg.Wait()
+	// Base context release only reclaims timer resources; every job has
+	// already settled.
+	e.cancelBase()
+}
+
+// Draining reports whether Drain has begun.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// work is one worker goroutine: it owns each job body end to end.
+func (e *Engine) work() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.runJob(j)
+	}
+}
+
+// runJob executes one job and settles its terminal state.
+func (e *Engine) runJob(j *Job) {
+	defer j.cancel()
+	e.mu.Lock()
+	if err := j.runCtx.Err(); err != nil {
+		// Canceled (or timed out) while still queued.
+		j.finishLocked(StateCanceled, nil, err)
+		e.mu.Unlock()
+		e.finished(StateCanceled)
+		return
+	}
+	j.state = StateRunning
+	j.publishLocked(Progress{Stage: StateRunning})
+	e.mu.Unlock()
+
+	progress := func(p Progress) {
+		e.mu.Lock()
+		j.publishLocked(p)
+		e.mu.Unlock()
+	}
+	a, err := e.runner(j.runCtx, j.Spec, progress)
+
+	var state string
+	switch {
+	case err == nil:
+		state = StateDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		state = StateCanceled
+		a = nil
+	default:
+		state = StateFailed
+		a = nil
+	}
+	e.mu.Lock()
+	j.finishLocked(state, a, err)
+	e.mu.Unlock()
+	e.finished(state)
+}
+
+// finished reports a terminal transition to the configured hook.
+func (e *Engine) finished(state string) {
+	if e.onFinish != nil {
+		e.onFinish(state)
+	}
+}

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockingRunner counts executions and holds each job until released,
+// so tests can control queue occupancy deterministically.
+type blockingRunner struct {
+	executions atomic.Int64
+	started    chan string   // receives the job's workload on entry
+	release    chan struct{} // closed (or sent to) to let jobs finish
+}
+
+func newBlockingRunner() *blockingRunner {
+	return &blockingRunner{
+		started: make(chan string, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (r *blockingRunner) run(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error) {
+	r.executions.Add(1)
+	r.started <- spec.Workload
+	select {
+	case <-r.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	a := &Artifacts{}
+	a.Put(ArtifactReport, []byte("report for "+spec.Workload))
+	return a, nil
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+}
+
+// TestSubmitDedup: identical specs resolve to one job.
+func TestSubmitDedup(t *testing.T) {
+	r := newBlockingRunner()
+	close(r.release)
+	e := NewEngine(EngineConfig{Runner: r.run})
+	defer e.Drain()
+
+	a, created, err := e.Submit(JobSpec{})
+	if err != nil || !created {
+		t.Fatalf("first Submit = (%v, %v, %v)", a, created, err)
+	}
+	// Spelled-out defaults dedup against the zero spec.
+	b, created, err := e.Submit(JobSpec{Workload: "sssp", GPUs: 4})
+	if err != nil || created {
+		t.Fatalf("second Submit created=%v err=%v", created, err)
+	}
+	if a != b {
+		t.Fatalf("dedup returned a different job")
+	}
+	waitDone(t, a)
+	if got := r.executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	if string(a.Artifacts().Get(ArtifactReport)) != "report for sssp" {
+		t.Fatalf("artifact = %q", a.Artifacts().Get(ArtifactReport))
+	}
+}
+
+// TestExactlyOnceHammer submits the same spec from many goroutines while
+// the first execution is still in flight: exactly one execution, every
+// submitter lands on the same job, every waiter sees the same artifact
+// bytes. Run with -race.
+func TestExactlyOnceHammer(t *testing.T) {
+	r := newBlockingRunner()
+	e := NewEngine(EngineConfig{Workers: 4, QueueLen: 8, Runner: r.run})
+	defer e.Drain()
+
+	const n = 32
+	jobs := make([]*Job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, _, err := e.Submit(JobSpec{Workload: "sssp"})
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	close(r.release)
+	for i := 1; i < n; i++ {
+		if jobs[i] != jobs[0] {
+			t.Fatalf("submitter %d got a different job", i)
+		}
+	}
+	waitDone(t, jobs[0])
+	if got := r.executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	want := string(jobs[0].Artifacts().Get(ArtifactReport))
+	for i := 0; i < n; i++ {
+		if got := string(jobs[i].Artifacts().Get(ArtifactReport)); got != want {
+			t.Fatalf("submitter %d artifact %q != %q", i, got, want)
+		}
+	}
+}
+
+// TestQueueBackpressure: with one worker busy and the queue full, Submit
+// fails fast with ErrQueueFull instead of blocking.
+func TestQueueBackpressure(t *testing.T) {
+	r := newBlockingRunner()
+	e := NewEngine(EngineConfig{Workers: 1, QueueLen: 1, Runner: r.run})
+	defer func() {
+		close(r.release)
+		e.Drain()
+	}()
+
+	a, _, err := e.Submit(JobSpec{Workload: "sssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started // the worker owns job a; the queue is empty again
+	if _, _, err := e.Submit(JobSpec{Workload: "jacobi"}); err != nil {
+		t.Fatalf("queued submit: %v", err)
+	}
+	if _, _, err := e.Submit(JobSpec{Workload: "pagerank"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Submit err = %v, want ErrQueueFull", err)
+	}
+	// Resubmitting an admitted spec still dedups even at a full queue.
+	if _, created, err := e.Submit(JobSpec{Workload: "sssp"}); err != nil || created {
+		t.Fatalf("dedup at full queue = (%v, %v)", created, err)
+	}
+	_ = a
+}
+
+// TestCancelQueued: canceling a job that never reached a worker settles
+// it as canceled without executing it.
+func TestCancelQueued(t *testing.T) {
+	r := newBlockingRunner()
+	e := NewEngine(EngineConfig{Workers: 1, QueueLen: 2, Runner: r.run})
+
+	first, _, err := e.Submit(JobSpec{Workload: "sssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	queued, _, err := e.Submit(JobSpec{Workload: "jacobi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	close(r.release)
+	waitDone(t, queued)
+	state, _, jerr := queued.Snapshot()
+	if state != StateCanceled || !errors.Is(jerr, context.Canceled) {
+		t.Fatalf("queued job settled as (%s, %v)", state, jerr)
+	}
+	if got := r.executions.Load(); got != 1 {
+		t.Fatalf("canceled job executed (executions = %d)", got)
+	}
+	waitDone(t, first)
+	e.Drain()
+}
+
+// TestRunningCancel: a cooperative runner observes ctx and the job
+// settles canceled.
+func TestRunningCancel(t *testing.T) {
+	r := newBlockingRunner()
+	e := NewEngine(EngineConfig{Runner: r.run})
+	defer e.Drain()
+	j, _, err := e.Submit(JobSpec{Workload: "sssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	j.Cancel()
+	waitDone(t, j)
+	if state, _, _ := j.Snapshot(); state != StateCanceled {
+		t.Fatalf("state = %s, want canceled", state)
+	}
+	if j.Artifacts() != nil {
+		t.Fatal("canceled job kept artifacts")
+	}
+}
+
+// TestJobTimeout: timeout_ms bounds the job through its context.
+func TestJobTimeout(t *testing.T) {
+	r := newBlockingRunner()
+	e := NewEngine(EngineConfig{Runner: r.run})
+	defer e.Drain()
+	j, _, err := e.Submit(JobSpec{Workload: "sssp", TimeoutMs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	state, _, jerr := j.Snapshot()
+	if state != StateCanceled || !errors.Is(jerr, context.DeadlineExceeded) {
+		t.Fatalf("timed-out job settled as (%s, %v)", state, jerr)
+	}
+}
+
+// TestRunnerFailure: runner errors settle the job as failed with the
+// error preserved.
+func TestRunnerFailure(t *testing.T) {
+	boom := errors.New("boom")
+	e := NewEngine(EngineConfig{Runner: func(context.Context, JobSpec, func(Progress)) (*Artifacts, error) {
+		return nil, boom
+	}})
+	defer e.Drain()
+	j, _, err := e.Submit(JobSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	state, _, jerr := j.Snapshot()
+	if state != StateFailed || !errors.Is(jerr, boom) {
+		t.Fatalf("failed job settled as (%s, %v)", state, jerr)
+	}
+}
+
+// TestDrain: drain refuses new work, finishes admitted work, and is
+// idempotent.
+func TestDrain(t *testing.T) {
+	var finished []string
+	var mu sync.Mutex
+	r := newBlockingRunner()
+	close(r.release)
+	e := NewEngine(EngineConfig{Runner: r.run, OnFinish: func(state string) {
+		mu.Lock()
+		finished = append(finished, state)
+		mu.Unlock()
+	}})
+	j, _, err := e.Submit(JobSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	e.Drain() // idempotent
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Drain returned with job unfinished")
+	}
+	if !e.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	if _, _, err := e.Submit(JobSpec{GPUs: 8}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain Submit err = %v, want ErrDraining", err)
+	}
+	// Dedup hits still resolve after drain: artifacts stay servable.
+	if dup, created, err := e.Submit(JobSpec{}); err != nil || created || dup != j {
+		t.Fatalf("post-drain dedup = (%v, %v, %v)", dup, created, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(finished) != 1 || finished[0] != StateDone {
+		t.Fatalf("OnFinish saw %v", finished)
+	}
+}
+
+// TestSubscribe: subscribers see progress and a closed channel at the
+// end; late subscribers get the terminal state immediately.
+func TestSubscribe(t *testing.T) {
+	r := newBlockingRunner()
+	e := NewEngine(EngineConfig{Runner: r.run})
+	defer e.Drain()
+	j, _, err := e.Submit(JobSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, unsub := j.Subscribe()
+	defer unsub()
+	close(r.release)
+	waitDone(t, j)
+	sawTerminal := false
+	for p := range ch {
+		if p.Stage == StateDone {
+			sawTerminal = true
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("subscriber never saw the terminal stage")
+	}
+	late, _ := j.Subscribe()
+	p, open := <-late
+	if !open || p.Stage != StateDone {
+		t.Fatalf("late subscriber got (%+v, %v)", p, open)
+	}
+	if _, open := <-late; open {
+		t.Fatal("late subscriber channel not closed")
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"io"
+	"sync"
+
+	"finepack/internal/obs"
+)
+
+// Metrics is the daemon's self-instrumentation: a thread-safe veneer over
+// an obs.Registry. The obs registry itself is single-threaded by design
+// (it lives in the simulator layer); HTTP handlers and workers touch it
+// concurrently, so every access goes through one mutex. Exposure reuses
+// the obs Prometheus text writer, so /metrics parses with the same
+// ParseExposition round-trip contract as simulation metrics artifacts.
+type Metrics struct {
+	mu sync.Mutex
+	r  *obs.Registry
+
+	submitted  *obs.Counter
+	deduped    *obs.Counter
+	rejected   *obs.Counter
+	executions *obs.Counter
+	done       *obs.Counter
+	failed     *obs.Counter
+	canceled   *obs.Counter
+	queueDepth *obs.Gauge
+}
+
+// NewMetrics builds the daemon metric set.
+func NewMetrics() *Metrics {
+	r := obs.NewRegistry()
+	return &Metrics{
+		r:          r,
+		submitted:  r.Counter("finepackd_jobs_submitted_total", "Job submissions accepted (including deduplicated resubmissions)."),
+		deduped:    r.Counter("finepackd_jobs_deduped_total", "Submissions that resolved to an existing content-addressed job."),
+		rejected:   r.Counter("finepackd_jobs_rejected_total", "Submissions rejected for backpressure or drain."),
+		executions: r.Counter("finepackd_sim_executions_total", "Job bodies actually executed (deduplicated jobs run once)."),
+		done:       r.Counter("finepackd_jobs_completed_total", "Jobs reaching a terminal state, by state.", obs.Label{Key: "state", Value: StateDone}),
+		failed:     r.Counter("finepackd_jobs_completed_total", "Jobs reaching a terminal state, by state.", obs.Label{Key: "state", Value: StateFailed}),
+		canceled:   r.Counter("finepackd_jobs_completed_total", "Jobs reaching a terminal state, by state.", obs.Label{Key: "state", Value: StateCanceled}),
+		queueDepth: r.Gauge("finepackd_queue_depth", "Jobs admitted but not yet running."),
+	}
+}
+
+func (m *Metrics) Submitted() { m.mu.Lock(); m.submitted.Inc(); m.mu.Unlock() }
+func (m *Metrics) Deduped()   { m.mu.Lock(); m.deduped.Inc(); m.mu.Unlock() }
+func (m *Metrics) Rejected()  { m.mu.Lock(); m.rejected.Inc(); m.mu.Unlock() }
+func (m *Metrics) Executed()  { m.mu.Lock(); m.executions.Inc(); m.mu.Unlock() }
+func (m *Metrics) SetQueueDepth(n int) {
+	m.mu.Lock()
+	m.queueDepth.Set(float64(n))
+	m.mu.Unlock()
+}
+
+// Finished records a job reaching a terminal state.
+func (m *Metrics) Finished(state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case StateDone:
+		m.done.Inc()
+	case StateFailed:
+		m.failed.Inc()
+	case StateCanceled:
+		m.canceled.Inc()
+	}
+}
+
+// Executions returns the execution counter, for tests and the smoke
+// check.
+func (m *Metrics) Executions() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.executions.Value()
+}
+
+// Write emits the Prometheus text exposition.
+func (m *Metrics) Write(w io.Writer) error {
+	m.mu.Lock()
+	snap := m.r.Snapshot()
+	m.mu.Unlock()
+	return snap.Write(w)
+}

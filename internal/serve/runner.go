@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"sync"
+
+	"finepack/internal/des"
+	"finepack/internal/experiments"
+	"finepack/internal/sim"
+)
+
+// Progress is one job progress update, emitted while the simulation runs
+// (fed by the obs sampler) and at stage boundaries.
+type Progress struct {
+	// Stage names the lifecycle stage: "queued", "running", "rendering",
+	// "done", "failed", "canceled".
+	Stage string `json:"stage"`
+	// SimMicros is the current simulated time in microseconds (observe
+	// jobs while running).
+	SimMicros float64 `json:"sim_us,omitempty"`
+	// Events is the cumulative scheduler event count (observe jobs while
+	// running).
+	Events uint64 `json:"events,omitempty"`
+	// Detail carries a stage-specific note (section name, error text).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Runner executes one normalized job spec and returns its artifacts.
+// progress may be called from the worker goroutine at any rate and must
+// not block. The engine treats Runner as opaque so tests can substitute
+// stubs; SuiteRunner is the production implementation.
+type Runner func(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error)
+
+// suiteKey identifies a shareable experiments.Suite: every field that
+// changes simulation output participates. Specs that agree on these share
+// one Suite and therefore one singleflight cache — the daemon-level
+// exactly-once guarantee rides on the Suite-level one.
+type suiteKey struct {
+	gpus      int
+	scale     float64
+	iters     int
+	seed      int64
+	gen       int
+	ber       float64
+	faultSeed int64
+}
+
+// SuiteRunner runs jobs on experiments.Suite instances cached by
+// configuration, so repeated and concurrent jobs over the same config
+// reuse traces and results instead of recomputing them.
+type SuiteRunner struct {
+	// Parallelism bounds each Suite's internal worker pool (report jobs
+	// fan out runs). Zero selects GOMAXPROCS.
+	Parallelism int
+	// onRun is invoked once per executed job body, feeding the daemon's
+	// finepackd_sim_executions_total metric and the exactly-once tests.
+	onRun func()
+
+	mu     sync.Mutex
+	suites map[suiteKey]*experiments.Suite
+}
+
+// NewSuiteRunner builds a SuiteRunner. onRun, if non-nil, is invoked once
+// per simulation execution (not per job — deduped jobs share executions).
+func NewSuiteRunner(parallelism int, onRun func()) *SuiteRunner {
+	return &SuiteRunner{
+		Parallelism: parallelism,
+		onRun:       onRun,
+		suites:      make(map[suiteKey]*experiments.Suite),
+	}
+}
+
+// suite returns the cached Suite for the spec's configuration, creating
+// it on first use.
+func (r *SuiteRunner) suite(spec JobSpec) *experiments.Suite {
+	k := suiteKey{
+		gpus:      spec.GPUs,
+		scale:     spec.Scale,
+		iters:     spec.Iters,
+		seed:      spec.Seed,
+		gen:       spec.PCIeGen,
+		ber:       spec.BER,
+		faultSeed: spec.FaultSeed,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.suites[k]
+	if !ok {
+		cfg, params := spec.simConfig()
+		s = experiments.New(cfg, params, spec.GPUs)
+		s.Parallelism = r.Parallelism
+		r.suites[k] = s
+	}
+	return s
+}
+
+// Run executes the job. The deterministic simulation happens inside
+// experiments.Suite on the calling goroutine; this function only
+// orchestrates and renders.
+func (r *SuiteRunner) Run(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error) {
+	if progress == nil {
+		progress = func(Progress) {}
+	}
+	if spec.Kind == KindReport {
+		return r.runReport(ctx, spec, progress)
+	}
+	return r.runObserve(ctx, spec, progress)
+}
+
+func (r *SuiteRunner) runObserve(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error) {
+	s := r.suite(spec)
+	par, err := sim.ParadigmFromString(spec.Paradigm)
+	if err != nil {
+		return nil, err
+	}
+	oc := spec.obsConfig()
+	// The sampler hook runs on the simulation goroutine; it must not
+	// block, so progress implementations buffer or drop.
+	oc.Progress = func(at des.Time, events uint64) {
+		progress(Progress{Stage: "running", SimMicros: at.Micros(), Events: events})
+	}
+	if r.onRun != nil {
+		r.onRun()
+	}
+	res, rec, err := s.ObservedRunContext(ctx, spec.Workload, par, oc)
+	if err != nil {
+		return nil, err
+	}
+	progress(Progress{Stage: "rendering"})
+
+	a := &Artifacts{}
+	var buf bytes.Buffer
+	ObserveTable(spec.Workload, par, res, rec).Render(&buf)
+	a.Put(ArtifactReport, append([]byte(nil), buf.Bytes()...))
+	buf.Reset()
+	if err := rec.WriteTrace(&buf); err != nil {
+		return nil, err
+	}
+	a.Put(ArtifactTrace, append([]byte(nil), buf.Bytes()...))
+	buf.Reset()
+	if err := rec.WriteMetrics(&buf); err != nil {
+		return nil, err
+	}
+	a.Put(ArtifactMetrics, append([]byte(nil), buf.Bytes()...))
+	buf.Reset()
+	if err := rec.WriteTimelineSVG(&buf); err != nil {
+		return nil, err
+	}
+	a.Put(ArtifactTimeline, append([]byte(nil), buf.Bytes()...))
+	return a, nil
+}
+
+func (r *SuiteRunner) runReport(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error) {
+	s := r.suite(spec)
+	if r.onRun != nil {
+		r.onRun()
+	}
+	progress(Progress{Stage: "running", Detail: "report sweep"})
+	var buf bytes.Buffer
+	if err := s.WriteReportContext(ctx, &buf); err != nil {
+		return nil, err
+	}
+	progress(Progress{Stage: "rendering"})
+	a := &Artifacts{}
+	a.Put(ArtifactReport, append([]byte(nil), buf.Bytes()...))
+	return a, nil
+}

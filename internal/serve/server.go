@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Server is the finepackd HTTP API over an Engine. It is a plain
+// http.Handler, so tests drive it through httptest and cmd/finepackd
+// mounts it on a real listener.
+//
+// Routes:
+//
+//	POST   /v1/jobs                      submit (202 created, 200 deduped,
+//	                                     429 queue full, 503 draining)
+//	GET    /v1/jobs                      list, submission order
+//	GET    /v1/jobs/{id}                 status
+//	DELETE /v1/jobs/{id}                 cancel
+//	GET    /v1/jobs/{id}/events          SSE progress stream
+//	GET    /v1/jobs/{id}/artifacts/{name} artifact bytes
+//	GET    /healthz                      liveness
+//	GET    /readyz                       readiness (503 while draining)
+//	GET    /metrics                      daemon self-metrics
+type Server struct {
+	engine  *Engine
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// NewServer wires the API over an engine. metrics may be nil (a fresh set
+// is created).
+func NewServer(e *Engine, m *Metrics) *Server {
+	if m == nil {
+		m = NewMetrics()
+	}
+	s := &Server{engine: e, metrics: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Metrics exposes the server's metric set (cmd/finepackd's smoke check
+// reads the execution counter).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// jobStatus is the wire form of a job's state.
+type jobStatus struct {
+	ID        string   `json:"id"`
+	State     string   `json:"state"`
+	Spec      JobSpec  `json:"spec"`
+	Progress  Progress `json:"progress"`
+	Error     string   `json:"error,omitempty"`
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+func statusOf(j *Job) jobStatus {
+	state, p, err := j.Snapshot()
+	st := jobStatus{
+		ID:        j.ID,
+		State:     state,
+		Spec:      j.Spec,
+		Progress:  p,
+		Artifacts: j.Artifacts().Names(),
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	job, created, err := s.engine.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.metrics.Rejected()
+		// The queue drains at simulation speed; a short client backoff is
+		// the honest answer.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		s.metrics.Rejected()
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.metrics.Submitted()
+	s.metrics.SetQueueDepth(s.engine.queueLen - s.engine.QueueRoom())
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	} else {
+		s.metrics.Deduped()
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, code, statusOf(job))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.engine.Jobs()
+	out := make([]jobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, statusOf(j))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, statusOf(j))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, statusOf(j))
+}
+
+// handleEvents streams job progress as Server-Sent Events. Each update is
+// one `data:` line of Progress JSON; the stream ends with a final event
+// carrying the terminal state when the job finishes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, unsubscribe := j.Subscribe()
+	defer unsubscribe()
+	emit := func(p Progress) bool {
+		b, err := json.Marshal(p)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	// Lead with the current state so subscribers never start blind.
+	_, p, _ := j.Snapshot()
+	if !emit(p) {
+		return
+	}
+	for {
+		select {
+		case p, open := <-ch:
+			if !open {
+				// Terminal: emit the settled final state.
+				_, last, _ := j.Snapshot()
+				emit(last)
+				return
+			}
+			if !emit(p) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	state, _, jerr := j.Snapshot()
+	switch state {
+	case StateQueued, StateRunning:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job not finished")
+		return
+	case StateFailed, StateCanceled:
+		msg := "job " + state
+		if jerr != nil {
+			msg += ": " + jerr.Error()
+		}
+		writeError(w, http.StatusGone, msg)
+		return
+	}
+	data := j.Artifacts().Get(name)
+	if data == nil {
+		writeError(w, http.StatusNotFound, "no such artifact")
+		return
+	}
+	w.Header().Set("Content-Type", contentType(name))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.engine.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.metrics.Write(w)
+}

@@ -1,0 +1,202 @@
+// Package serve is finepackd's simulation-as-a-service layer: a
+// content-addressed job engine and HTTP API over internal/experiments.
+//
+// The package sits on the host side of the two-layer determinism contract
+// (DESIGN.md §8): it is free to read wall clocks and spawn goroutines —
+// finepack-vet's wallclock and goroutinefree analyzers exempt it in their
+// scopes — because nothing here executes inside a simulation run. All
+// simulation work goes through experiments.Suite, whose runs stay
+// single-threaded and deterministic; serve only decides *when* runs
+// happen and ships their byte-exact artifacts.
+//
+// Job identity is content-addressed: a submitted spec is normalized
+// (defaults applied, fields validated) and hashed, and the hash is the
+// job ID. Two identical submissions — concurrent or days apart — resolve
+// to the same job, execute the simulation exactly once, and serve the
+// same artifact bytes.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"finepack/internal/des"
+	"finepack/internal/obs"
+	"finepack/internal/pcie"
+	"finepack/internal/sim"
+	"finepack/internal/workloads"
+)
+
+// Job kinds.
+const (
+	// KindObserve runs one instrumented simulation and yields four
+	// artifacts: summary report, Perfetto trace JSON, Prometheus metrics
+	// exposition, and the utilization-timeline SVG — the same set
+	// `finepack-sim observe` writes as files.
+	KindObserve = "observe"
+	// KindReport generates the full markdown experiment report
+	// (`finepack-sim report`); its only artifact is the report.
+	KindReport = "report"
+)
+
+// JobSpec describes one simulation job as submitted over the API. The
+// zero value of every field selects a documented default, so `{}` is a
+// valid spec (the default observed run). Specs are normalized before
+// hashing: submissions that differ only in spelled-out defaults dedupe to
+// the same job.
+type JobSpec struct {
+	// Kind is the job kind: "observe" (default) or "report".
+	Kind string `json:"kind"`
+	// Workload names the instrumented workload (observe only).
+	// Default "sssp", matching the CLI.
+	Workload string `json:"workload,omitempty"`
+	// Paradigm names the communication paradigm (observe only).
+	// Default "finepack".
+	Paradigm string `json:"paradigm,omitempty"`
+	// GPUs is the simulated system size. Default 4.
+	GPUs int `json:"gpus"`
+	// Scale multiplies the workload problem size. Default 1.0.
+	Scale float64 `json:"scale"`
+	// Iters is the number of traced iterations. Default 3.
+	Iters int `json:"iters"`
+	// Seed feeds trace generation. Default 1.
+	Seed int64 `json:"seed"`
+	// PCIeGen selects the link generation (3–6). Default 4.
+	PCIeGen int `json:"pcie_gen"`
+	// BER is the injected per-link bit-error rate. Default 0 (ideal
+	// links).
+	BER float64 `json:"ber,omitempty"`
+	// FaultSeed seeds the fault streams when BER > 0. Default 1.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// SampleUs is the observability sampler interval in microseconds of
+	// simulated time (observe only). 0 selects the 1µs default.
+	SampleUs float64 `json:"sample_us,omitempty"`
+	// MaxEvents caps the trace event buffer (observe only). 0 selects
+	// the recorder default.
+	MaxEvents int `json:"max_events,omitempty"`
+	// TimeoutMs bounds the job's execution in wall-clock milliseconds;
+	// past it the job is aborted between runs. 0 selects the daemon's
+	// default job timeout (possibly none).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// Normalize validates the spec and fills defaults, returning the
+// canonical form that is hashed into the job ID.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	switch s.Kind {
+	case "":
+		s.Kind = KindObserve
+	case KindObserve, KindReport:
+	default:
+		return s, fmt.Errorf("serve: unknown job kind %q (want %q or %q)", s.Kind, KindObserve, KindReport)
+	}
+	if s.Kind == KindReport {
+		// Report jobs sweep every workload and paradigm; per-run knobs
+		// must be unset so equivalent submissions hash identically.
+		if s.Workload != "" || s.Paradigm != "" {
+			return s, fmt.Errorf("serve: report jobs take no workload/paradigm")
+		}
+		if s.SampleUs != 0 || s.MaxEvents != 0 {
+			return s, fmt.Errorf("serve: report jobs take no observability knobs")
+		}
+	} else {
+		if s.Workload == "" {
+			s.Workload = "sssp"
+		}
+		if s.Paradigm == "" {
+			s.Paradigm = "finepack"
+		}
+		if _, err := workloads.ByName(s.Workload); err != nil {
+			return s, fmt.Errorf("serve: %v", err)
+		}
+		if _, err := sim.ParadigmFromString(s.Paradigm); err != nil {
+			return s, fmt.Errorf("serve: %v", err)
+		}
+		if s.SampleUs < 0 {
+			return s, fmt.Errorf("serve: sample_us must be >= 0")
+		}
+		if s.MaxEvents < 0 {
+			return s, fmt.Errorf("serve: max_events must be >= 0")
+		}
+	}
+	if s.GPUs == 0 {
+		s.GPUs = 4
+	}
+	if s.GPUs < 2 || s.GPUs > 64 {
+		return s, fmt.Errorf("serve: gpus %d outside [2,64]", s.GPUs)
+	}
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.Scale < 0.01 || s.Scale > 8 {
+		return s, fmt.Errorf("serve: scale %g outside [0.01,8]", s.Scale)
+	}
+	if s.Iters == 0 {
+		s.Iters = 3
+	}
+	if s.Iters < 1 || s.Iters > 64 {
+		return s, fmt.Errorf("serve: iters %d outside [1,64]", s.Iters)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.PCIeGen == 0 {
+		s.PCIeGen = 4
+	}
+	switch pcie.Generation(s.PCIeGen) {
+	case pcie.Gen3, pcie.Gen4, pcie.Gen5, pcie.Gen6:
+	default:
+		return s, fmt.Errorf("serve: pcie_gen %d not in {3,4,5,6}", s.PCIeGen)
+	}
+	if s.BER < 0 || s.BER >= 1 {
+		return s, fmt.Errorf("serve: ber %g outside [0,1)", s.BER)
+	}
+	if s.BER > 0 && s.FaultSeed == 0 {
+		s.FaultSeed = 1
+	}
+	if s.BER == 0 {
+		// Fault seed is meaningless on ideal links; zero it so specs
+		// differing only there hash identically.
+		s.FaultSeed = 0
+	}
+	if s.TimeoutMs < 0 {
+		return s, fmt.Errorf("serve: timeout_ms must be >= 0")
+	}
+	return s, nil
+}
+
+// ID content-hashes a normalized spec into the job identifier. Struct
+// fields marshal in declaration order, so the canonical JSON — and the
+// hash — is stable for equal specs.
+func (s JobSpec) ID() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A JobSpec of plain scalars cannot fail to marshal.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return "j" + hex.EncodeToString(sum[:8])
+}
+
+// simConfig translates the spec into the simulator configuration and
+// workload parameters the underlying Suite runs with.
+func (s JobSpec) simConfig() (sim.Config, workloads.Params) {
+	cfg := sim.DefaultConfig()
+	cfg.Gen = pcie.Generation(s.PCIeGen)
+	cfg.Faults.BER = s.BER
+	cfg.Faults.Seed = s.FaultSeed
+	params := workloads.Params{Scale: s.Scale, Iterations: s.Iters, Seed: s.Seed}
+	return cfg, params
+}
+
+// obsConfig translates the observability knobs, mirroring the CLI's
+// flag-to-config mapping so service artifacts match `finepack-sim
+// observe` byte for byte.
+func (s JobSpec) obsConfig() obs.Config {
+	return obs.Config{
+		SampleEvery: des.Time(s.SampleUs * float64(des.Microsecond)),
+		MaxEvents:   s.MaxEvents,
+	}
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNormalizeDefaults pins the documented defaults: the empty spec is
+// the default observed run, and spelling the defaults out changes
+// nothing — including the content hash.
+func TestNormalizeDefaults(t *testing.T) {
+	got, err := JobSpec{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := JobSpec{
+		Kind: KindObserve, Workload: "sssp", Paradigm: "finepack",
+		GPUs: 4, Scale: 1.0, Iters: 3, Seed: 1, PCIeGen: 4,
+	}
+	if got != want {
+		t.Fatalf("Normalize({}) = %+v, want %+v", got, want)
+	}
+
+	explicit, err := want.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.ID() != got.ID() {
+		t.Fatalf("explicit defaults hash to %s, zero spec to %s", explicit.ID(), got.ID())
+	}
+}
+
+// TestIDShape checks the job ID format and that distinct specs diverge.
+func TestIDShape(t *testing.T) {
+	a, _ := JobSpec{}.Normalize()
+	b, _ := JobSpec{GPUs: 8}.Normalize()
+	if !strings.HasPrefix(a.ID(), "j") || len(a.ID()) != 17 {
+		t.Fatalf("ID %q not j+16 hex", a.ID())
+	}
+	if a.ID() == b.ID() {
+		t.Fatalf("distinct specs share ID %s", a.ID())
+	}
+}
+
+// TestFaultSeedCanonicalized: on ideal links the fault seed is
+// meaningless and must not split the content address.
+func TestFaultSeedCanonicalized(t *testing.T) {
+	a, err := JobSpec{FaultSeed: 5}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := JobSpec{}.Normalize()
+	if a.ID() != b.ID() {
+		t.Fatalf("fault seed without BER changed the job ID")
+	}
+	// With BER set the seed defaults to 1 and does participate.
+	c, err := JobSpec{BER: 1e-9}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FaultSeed != 1 {
+		t.Fatalf("BER>0 fault seed = %d, want 1", c.FaultSeed)
+	}
+	d, _ := JobSpec{BER: 1e-9, FaultSeed: 2}.Normalize()
+	if c.ID() == d.ID() {
+		t.Fatalf("fault seed with BER did not change the job ID")
+	}
+}
+
+// TestNormalizeRejects sweeps the validation surface.
+func TestNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"kind", JobSpec{Kind: "bogus"}},
+		{"workload", JobSpec{Workload: "nope"}},
+		{"paradigm", JobSpec{Paradigm: "nope"}},
+		{"gpus low", JobSpec{GPUs: 1}},
+		{"gpus high", JobSpec{GPUs: 65}},
+		{"scale low", JobSpec{Scale: 0.001}},
+		{"scale high", JobSpec{Scale: 100}},
+		{"iters", JobSpec{Iters: -1}},
+		{"pcie gen", JobSpec{PCIeGen: 7}},
+		{"ber", JobSpec{BER: 1.5}},
+		{"ber negative", JobSpec{BER: -0.1}},
+		{"sample", JobSpec{SampleUs: -1}},
+		{"max events", JobSpec{MaxEvents: -1}},
+		{"timeout", JobSpec{TimeoutMs: -1}},
+		{"report workload", JobSpec{Kind: KindReport, Workload: "sssp"}},
+		{"report obs", JobSpec{Kind: KindReport, SampleUs: 2}},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Normalize(); err == nil {
+			t.Errorf("%s: Normalize(%+v) accepted", c.name, c.spec)
+		}
+	}
+}
+
+// TestReportSpecNormalizes: a bare report spec is valid and keeps the
+// run-shaping knobs.
+func TestReportSpecNormalizes(t *testing.T) {
+	got, err := JobSpec{Kind: KindReport, Scale: 0.25, Iters: 2}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindReport || got.Workload != "" || got.Paradigm != "" {
+		t.Fatalf("report spec normalized to %+v", got)
+	}
+	if got.GPUs != 4 || got.Scale != 0.25 || got.Iters != 2 || got.Seed != 1 {
+		t.Fatalf("report spec defaults wrong: %+v", got)
+	}
+}
