@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-smoke vet lint fmt ci fuzz-smoke trace-smoke serve-smoke figures report clean
+.PHONY: all build test test-short bench bench-smoke vet lint fmt ci fuzz-smoke trace-smoke serve-smoke crash-smoke figures report clean
 
 all: build vet lint test
 
@@ -14,6 +14,7 @@ ci: build vet fmt lint
 	$(MAKE) fuzz-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) crash-smoke
 
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecodePacket -fuzztime=10s ./internal/core
@@ -38,6 +39,15 @@ trace-smoke:
 # simulator changes.
 serve-smoke:
 	go run ./cmd/finepackd -smoke
+
+# Crash-recovery chaos harness: boots the real daemon on a durable data
+# dir, SIGKILLs it at seeded-random points across 20 kill/restart cycles,
+# then asserts the survivor serves artifacts bit-identical to a never-
+# killed reference run, holds each content-addressed job exactly once,
+# and actually recovered state from the WAL. Plain `go test` runs a
+# 6-cycle version; this target is the full CI gate.
+crash-smoke:
+	CHAOS_CYCLES=20 go test -race -count=1 -timeout 600s ./internal/serve/chaostest
 
 build:
 	go build ./...

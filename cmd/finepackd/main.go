@@ -3,8 +3,14 @@
 // request, executes it exactly once on a bounded worker pool, and serves
 // byte-identical artifacts for identical submissions (see DESIGN.md §10).
 //
-//	finepackd -addr 127.0.0.1:8080
+//	finepackd -addr 127.0.0.1:8080 -data-dir /var/lib/finepackd
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"workload":"sssp"}'
+//
+// With -data-dir set the daemon is crash-safe (DESIGN.md §11): job
+// lifecycle records go to a checksummed write-ahead log and artifacts to
+// a content-addressed on-disk store, so a restarted daemon re-serves
+// finished work byte-identically and re-runs interrupted work exactly
+// once. Without it, state is in-memory only, as before.
 //
 // finepackd is host-layer code under the two-layer determinism contract
 // (DESIGN.md §8): wall clocks, sockets, and goroutines live here; the
@@ -17,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"finepack/internal/serve"
+	"finepack/internal/store"
 )
 
 var (
@@ -33,6 +41,10 @@ var (
 	queueLen    = flag.Int("queue", 16, "max jobs admitted but not yet running")
 	jobTimeout  = flag.Duration("job-timeout", 10*time.Minute, "default per-job wall-clock bound (0 = unbounded)")
 	parallelism = flag.Int("parallelism", 0, "per-job simulation worker pool (0 = GOMAXPROCS)")
+	dataDir     = flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
+	walMax      = flag.Int64("wal-max-bytes", 64<<20, "compact the WAL once it grows past this size")
+	cacheBytes  = flag.Int64("artifact-cache-bytes", 0, "on-disk artifact budget; past it, cold artifacts are evicted and recomputed on demand (0 = unbounded)")
+	rateLimit   = flag.Float64("rate-limit", 0, "per-client job submissions per second, burst 2x (0 = unlimited)")
 	smoke       = flag.Bool("smoke", false, "run the self-contained smoke check and exit")
 	smokeUpdate = flag.Bool("smoke-update", false, "with -smoke: rewrite the golden artifact instead of diffing")
 	smokeGolden = flag.String("smoke-golden", "cmd/finepackd/testdata/smoke_metrics.prom", "with -smoke: golden metrics artifact path")
@@ -51,21 +63,54 @@ func run() error {
 		return runSmoke(*smokeGolden, *smokeUpdate)
 	}
 
-	srv, engine := newStack(*workers, *queueLen, *jobTimeout, *parallelism)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{
+			WALMaxBytes:        *walMax,
+			ArtifactCacheBytes: *cacheBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("opening data dir: %w", err)
+		}
+		defer st.Close()
+	}
+
+	srv, engine := newStack(stackConfig{
+		workers:     *workers,
+		queueLen:    *queueLen,
+		jobTimeout:  *jobTimeout,
+		parallelism: *parallelism,
+		store:       st,
+		rateLimit:   *rateLimit,
+	})
+	if st != nil {
+		recovered, requeued := engine.Recovered()
+		fmt.Fprintf(os.Stderr, "finepackd: recovered %d jobs (%d re-enqueued) from %s\n",
+			recovered, requeued, *dataDir)
+	}
+
+	// Explicit listener so the actual bound address is known (and printed)
+	// before serving begins: -addr :0 is usable by harnesses that parse
+	// the log line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
 		}
 		errc <- nil
 	}()
-	fmt.Fprintln(os.Stderr, "finepackd: listening on", *addr)
+	fmt.Fprintln(os.Stderr, "finepackd: listening on", ln.Addr().String())
 
 	select {
 	case err := <-errc:
@@ -86,16 +131,31 @@ func run() error {
 	return <-errc
 }
 
+// stackConfig parameterizes the production stack.
+type stackConfig struct {
+	workers     int
+	queueLen    int
+	jobTimeout  time.Duration
+	parallelism int
+	store       *store.Store // nil = in-memory only
+	rateLimit   float64      // submissions/s/client; 0 = unlimited
+}
+
 // newStack wires the production metric/runner/engine/server stack.
-func newStack(workers, queueLen int, jobTimeout time.Duration, parallelism int) (*serve.Server, *serve.Engine) {
+func newStack(cfg stackConfig) (*serve.Server, *serve.Engine) {
 	m := serve.NewMetrics()
-	runner := serve.NewSuiteRunner(parallelism, m.Executed)
+	runner := serve.NewSuiteRunner(cfg.parallelism, m.Executed)
 	engine := serve.NewEngine(serve.EngineConfig{
-		Workers:        workers,
-		QueueLen:       queueLen,
-		DefaultTimeout: jobTimeout,
+		Workers:        cfg.workers,
+		QueueLen:       cfg.queueLen,
+		DefaultTimeout: cfg.jobTimeout,
 		Runner:         runner.Run,
 		OnFinish:       m.Finished,
+		Store:          cfg.store,
 	})
-	return serve.NewServer(engine, m), engine
+	srv := serve.NewServer(engine, m)
+	if cfg.rateLimit > 0 {
+		srv.SetRateLimiter(serve.NewRateLimiter(cfg.rateLimit, 2*cfg.rateLimit))
+	}
+	return srv, engine
 }

@@ -23,7 +23,7 @@ const smokeSpec = `{"workload":"sssp","gpus":2,"scale":0.05,"iters":1}`
 // external tooling (curl, jq) is needed, so the check runs in the
 // offline build environment.
 func runSmoke(goldenPath string, update bool) error {
-	srv, engine := newStack(2, 8, 5*time.Minute, 1)
+	srv, engine := newStack(stackConfig{workers: 2, queueLen: 8, jobTimeout: 5 * time.Minute, parallelism: 1})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err

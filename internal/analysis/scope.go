@@ -44,6 +44,7 @@ func InternalOnly() func(pkgPath string) bool {
 // crosses the boundary: adding one is a reviewed architectural decision.
 var HostLayer = []string{
 	ModulePath + "/internal/serve",
+	ModulePath + "/internal/store",
 }
 
 // IsHostLayer reports whether pkgPath belongs to the host layer: any

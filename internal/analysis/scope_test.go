@@ -13,6 +13,9 @@ func TestIsHostLayer(t *testing.T) {
 		{"finepack/internal/serve", true},
 		{"finepack/internal/serve/sub", true},
 		{"finepack/internal/servehelpers", false}, // prefix must match a path segment
+		{"finepack/internal/store", true},
+		{"finepack/internal/store/sub", true},
+		{"finepack/internal/storage", false},
 		{"finepack/internal/sim", false},
 		{"finepack/internal/obs", false},
 		{"finepack/internal/experiments", false},
@@ -44,6 +47,7 @@ func TestSimulatorInternalScope(t *testing.T) {
 	}
 	for _, pkg := range []string{
 		"finepack/internal/serve",
+		"finepack/internal/store",
 		"finepack/cmd/finepackd",
 		"finepack/examples/jacobi",
 	} {

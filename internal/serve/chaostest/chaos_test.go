@@ -1,0 +1,401 @@
+// Package chaostest is finepackd's kill-and-restart chaos harness: it
+// boots the real daemon binary, submits a mixed workload, SIGKILLs the
+// process at a seeded-random point mid-flight, restarts it on the same
+// data directory, and repeats. After the dust settles it asserts the
+// durability contract end to end:
+//
+//   - every artifact is bit-identical to a reference run that was never
+//     killed (determinism across crash-recovery),
+//   - the job table holds each content-addressed ID exactly once (WAL
+//     replay never duplicates records),
+//   - resubmitting every spec dedups against the recovered jobs,
+//   - at least one boot actually recovered state from the WAL (the
+//     harness exercised recovery, not just clean runs).
+//
+// Knobs: CHAOS_CYCLES (kill/restart cycles, default 6; `make crash-smoke`
+// runs 20) and CHAOS_SEED (kill-timing seed, default 1).
+package chaostest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// chaosSpecs is the mixed workload: six small observe jobs whose
+// content-addressed IDs are stable across every cycle, so crashed and
+// clean runs must converge on the same artifacts.
+var chaosSpecs = []string{
+	`{"workload":"sssp","gpus":2,"scale":0.05,"iters":1}`,
+	`{"workload":"sssp","gpus":2,"scale":0.05,"iters":1,"seed":2}`,
+	`{"workload":"jacobi","gpus":2,"scale":0.05,"iters":1}`,
+	`{"workload":"jacobi","gpus":2,"scale":0.05,"iters":1,"paradigm":"dma"}`,
+	`{"workload":"pagerank","gpus":2,"scale":0.05,"iters":1}`,
+	`{"workload":"pagerank","gpus":2,"scale":0.05,"iters":2}`,
+}
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// daemon is one finepackd process under harness control.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string // http://addr once the listen line is seen
+	stderr bytes.Buffer
+	mu     sync.Mutex
+	waited bool
+}
+
+// startDaemon boots the binary on an ephemeral port and waits for the
+// "listening on" line that carries the actual bound address.
+func startDaemon(t *testing.T, bin, dataDir string) *daemon {
+	t.Helper()
+	d := &daemon{}
+	d.cmd = exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-workers", "2",
+		"-queue", "8",
+		"-parallelism", "1",
+	)
+	stderr, err := d.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.stderr.WriteString(line + "\n")
+			d.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "finepackd: listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		d.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		d.kill()
+		t.Fatalf("daemon never reported its address; stderr:\n%s", d.log())
+	}
+	return d
+}
+
+func (d *daemon) log() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stderr.String()
+}
+
+// kill SIGKILLs the daemon — the crash under test — and reaps it.
+func (d *daemon) kill() {
+	_ = d.cmd.Process.Kill()
+	d.wait()
+}
+
+// stop shuts the daemon down gracefully (SIGTERM, as a supervisor would).
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- d.waitErr() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v\nstderr:\n%s", err, d.log())
+		}
+	case <-time.After(60 * time.Second):
+		d.kill()
+		t.Fatalf("daemon ignored SIGTERM; stderr:\n%s", d.log())
+	}
+}
+
+func (d *daemon) wait() { _ = d.waitErr() }
+
+func (d *daemon) waitErr() error {
+	d.mu.Lock()
+	if d.waited {
+		d.mu.Unlock()
+		return nil
+	}
+	d.waited = true
+	d.mu.Unlock()
+	return d.cmd.Wait()
+}
+
+type jobStatus struct {
+	ID        string   `json:"id"`
+	State     string   `json:"state"`
+	Error     string   `json:"error"`
+	Artifacts []string `json:"artifacts"`
+}
+
+func submit(base, spec string) (jobStatus, int, error) {
+	var st jobStatus
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return st, 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, resp.StatusCode, err
+	}
+	return st, resp.StatusCode, nil
+}
+
+func listJobs(base string) ([]jobStatus, error) {
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+func fetch(base, path string) ([]byte, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+// settle submits every chaos spec and polls until all are done, then
+// returns each job's artifacts keyed by "<id>/<name>".
+func settle(t *testing.T, base string) map[string][]byte {
+	t.Helper()
+	ids := make([]string, 0, len(chaosSpecs))
+	for _, spec := range chaosSpecs {
+		st, code, err := submit(base, spec)
+		if err != nil || (code != http.StatusOK && code != http.StatusAccepted) {
+			t.Fatalf("submit %s = (%d, %v)", spec, code, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		jobs, err := listJobs(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := make(map[string]jobStatus, len(jobs))
+		for _, j := range jobs {
+			byID[j.ID] = j
+		}
+		allDone := true
+		for _, id := range ids {
+			j, ok := byID[id]
+			if !ok || j.State != "done" {
+				allDone = false
+				if ok && (j.State == "failed" || j.State == "canceled") {
+					t.Fatalf("job %s settled %s: %s", id, j.State, j.Error)
+				}
+				break
+			}
+		}
+		if allDone {
+			arts := make(map[string][]byte)
+			for _, id := range ids {
+				for _, name := range byID[id].Artifacts {
+					b, err := fetch(base, "/v1/jobs/"+id+"/artifacts/"+name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					arts[id+"/"+name] = b
+				}
+			}
+			return arts
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs did not settle; list: %+v", jobs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCrashRestartChaos is the harness entry point (see package doc).
+func TestCrashRestartChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness builds and kills real daemons; skipped in -short")
+	}
+	cycles := envInt("CHAOS_CYCLES", 6)
+	seed := int64(envInt("CHAOS_SEED", 1))
+	rng := rand.New(rand.NewSource(seed))
+
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "finepackd")
+	build := exec.Command(goBin, "build", "-o", bin, "finepack/cmd/finepackd")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+
+	// Reference run: a daemon that is never killed, on its own data dir.
+	// Its artifact bytes are the ground truth the chaos survivor must
+	// reproduce bit for bit.
+	refDir := filepath.Join(tmp, "ref")
+	ref := startDaemon(t, bin, refDir)
+	want := settle(t, ref.base)
+	ref.stop(t)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no artifacts")
+	}
+
+	// Chaos cycles: submit, then SIGKILL after a seeded-random grace.
+	chaosDir := filepath.Join(tmp, "chaos")
+	for cycle := 0; cycle < cycles; cycle++ {
+		d := startDaemon(t, bin, chaosDir)
+		// One spec lands durably before the clock starts, so every cycle
+		// leaves WAL state for the next boot to recover.
+		if _, _, err := submit(d.base, chaosSpecs[cycle%len(chaosSpecs)]); err != nil {
+			t.Fatalf("cycle %d anchor submit: %v", cycle, err)
+		}
+		grace := time.Duration(rng.Intn(1500)) * time.Millisecond
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// Fire the rest of the workload concurrently with the
+			// impending kill; failures are expected once the process dies.
+			for _, spec := range chaosSpecs {
+				if _, _, err := submit(d.base, spec); err != nil {
+					return
+				}
+			}
+		}()
+		time.Sleep(grace)
+		d.kill()
+		<-done
+		t.Logf("cycle %d: killed after %v", cycle, grace)
+	}
+
+	// Survivor boot: recovery replays the WAL, re-runs interrupted jobs,
+	// and must converge on the reference bytes.
+	d := startDaemon(t, bin, chaosDir)
+	defer d.kill()
+	got := settle(t, d.base)
+	for key, wb := range want {
+		gb, ok := got[key]
+		if !ok {
+			t.Fatalf("survivor is missing artifact %s", key)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("artifact %s differs after crash-recovery (%d vs %d bytes)", key, len(gb), len(wb))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("survivor has %d artifacts, reference %d", len(got), len(want))
+	}
+
+	// The WAL must not have duplicated any content-addressed record.
+	jobs, err := listJobs(d.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if seen[j.ID] {
+			t.Fatalf("job %s appears twice in the recovered job table", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	if len(jobs) != len(chaosSpecs) {
+		t.Fatalf("recovered job table has %d jobs, want %d", len(jobs), len(chaosSpecs))
+	}
+
+	// Resubmission dedups against recovered jobs (200, not 202).
+	for _, spec := range chaosSpecs {
+		st, code, err := submit(d.base, spec)
+		if err != nil || code != http.StatusOK || !seen[st.ID] {
+			t.Fatalf("post-recovery resubmit %s = (%d, %s, %v), want 200 on a recovered ID", spec, code, st.ID, err)
+		}
+	}
+
+	// The survivor really did recover state (readyz reports it).
+	var rs struct {
+		Ready         bool `json:"ready"`
+		Degraded      bool `json:"degraded"`
+		RecoveredJobs int  `json:"recovered_jobs"`
+	}
+	b, err := fetch(d.base, "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &rs); err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Ready || rs.Degraded {
+		t.Fatalf("survivor readyz = %+v", rs)
+	}
+	if rs.RecoveredJobs < 1 {
+		t.Fatalf("survivor recovered %d jobs; the harness never exercised recovery", rs.RecoveredJobs)
+	}
+	t.Logf("survivor recovered %d jobs; %d artifacts bit-identical to reference", rs.RecoveredJobs, len(got))
+
+	d.stop(t)
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -2,9 +2,13 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
+
+	"finepack/internal/store"
 )
 
 // Job states.
@@ -24,6 +28,19 @@ var ErrQueueFull = errors.New("serve: job queue full")
 // maps it to 503.
 var ErrDraining = errors.New("serve: engine draining")
 
+// eventHistoryLen bounds each job's retained progress events. Lifecycle
+// transitions are few; the bulk are sampler ticks, where replaying the
+// most recent window is the honest best effort.
+const eventHistoryLen = 256
+
+// Event is one sequence-numbered progress update. Sequence numbers are
+// per-job and monotone within one daemon process; the HTTP layer scopes
+// them with the engine epoch so SSE clients can resume across restarts.
+type Event struct {
+	Seq      uint64
+	Progress Progress
+}
+
 // Job is one content-addressed unit of work. All mutable fields are
 // guarded by the engine mutex; Artifacts and Err are written exactly once
 // before done closes and may be read freely after <-Done().
@@ -32,6 +49,9 @@ type Job struct {
 	ID string
 	// Spec is the normalized spec.
 	Spec JobSpec
+	// Recovered reports that the job was rebuilt from the WAL at boot
+	// rather than submitted to this process.
+	Recovered bool
 
 	eng    *Engine
 	runCtx context.Context
@@ -39,11 +59,14 @@ type Job struct {
 	done   chan struct{}
 
 	// mutable, under eng.mu
-	state     string
-	err       error
-	artifacts *Artifacts
-	progress  Progress
-	subs      map[chan Progress]struct{}
+	state         string
+	err           error
+	artifacts     *Artifacts // in-memory artifacts (no store, or store degraded)
+	artifactNames []string   // artifact names of a done job, store-backed or not
+	progress      Progress
+	seq           uint64
+	history       []Event
+	subs          map[chan Event]struct{}
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -57,12 +80,28 @@ func (j *Job) Snapshot() (state string, p Progress, err error) {
 	return j.state, j.progress, j.err
 }
 
-// Artifacts returns the finished job's artifacts (nil before <-Done() or
-// on failure).
+// Artifacts returns the finished job's in-memory artifacts. It is nil
+// before <-Done(), on failure, and for store-backed jobs (whose bytes are
+// served through Engine.Artifact instead).
 func (j *Job) Artifacts() *Artifacts {
 	j.eng.mu.Lock()
 	defer j.eng.mu.Unlock()
 	return j.artifacts
+}
+
+// ArtifactNames lists a done job's artifacts in display order.
+func (j *Job) ArtifactNames() []string {
+	j.eng.mu.Lock()
+	defer j.eng.mu.Unlock()
+	return j.artifactNames
+}
+
+// LastEvent returns the job's most recent sequence-numbered progress
+// event (the settled terminal event once the job is done).
+func (j *Job) LastEvent() Event {
+	j.eng.mu.Lock()
+	defer j.eng.mu.Unlock()
+	return Event{Seq: j.seq, Progress: j.progress}
 }
 
 // Cancel asks the job to stop. A queued job is canceled immediately; a
@@ -70,45 +109,76 @@ func (j *Job) Artifacts() *Artifacts {
 // jobs are unaffected.
 func (j *Job) Cancel() { j.cancel() }
 
-// Subscribe registers a progress listener. The returned channel receives
-// updates until the job finishes (then it is closed); slow listeners drop
-// intermediate updates rather than stalling the worker. unsubscribe
-// releases the channel early.
-func (j *Job) Subscribe() (<-chan Progress, func()) {
-	ch := make(chan Progress, 16)
+// Subscribe registers a progress listener primed with the job's current
+// state: the backlog holds the most recent event, and the channel
+// receives updates until the job finishes (then it is closed). Slow
+// listeners drop intermediate updates rather than stalling the worker;
+// unsubscribe releases the channel early.
+func (j *Job) Subscribe() (backlog []Event, ch <-chan Event, unsubscribe func()) {
 	j.eng.mu.Lock()
+	defer j.eng.mu.Unlock()
+	var after uint64
+	if j.seq > 0 {
+		after = j.seq - 1
+	}
+	return j.subscribeSinceLocked(after)
+}
+
+// SubscribeSince is Subscribe with resume semantics: the backlog replays
+// every retained event with sequence number greater than afterSeq, so a
+// reconnecting client (SSE Last-Event-ID) sees what it missed instead of
+// silently starting mid-stream. afterSeq 0 replays the full retained
+// history.
+func (j *Job) SubscribeSince(afterSeq uint64) (backlog []Event, ch <-chan Event, unsubscribe func()) {
+	j.eng.mu.Lock()
+	defer j.eng.mu.Unlock()
+	return j.subscribeSinceLocked(afterSeq)
+}
+
+func (j *Job) subscribeSinceLocked(afterSeq uint64) ([]Event, <-chan Event, func()) {
+	var backlog []Event
+	for _, ev := range j.history {
+		if ev.Seq > afterSeq {
+			backlog = append(backlog, ev)
+		}
+	}
+	c := make(chan Event, 16)
+	if terminalState(j.state) {
+		close(c)
+		return backlog, c, func() {}
+	}
 	if j.subs == nil {
-		j.subs = make(map[chan Progress]struct{})
+		j.subs = make(map[chan Event]struct{})
 	}
-	terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
-	if terminal {
-		// Deliver the final state so late subscribers still see it.
-		ch <- j.progress
-		close(ch)
-	} else {
-		j.subs[ch] = struct{}{}
-	}
-	j.eng.mu.Unlock()
+	j.subs[c] = struct{}{}
 	unsubscribe := func() {
 		j.eng.mu.Lock()
-		if _, ok := j.subs[ch]; ok {
-			delete(j.subs, ch)
-			close(ch)
+		if _, ok := j.subs[c]; ok {
+			delete(j.subs, c)
+			close(c)
 		}
 		j.eng.mu.Unlock()
 	}
-	if terminal {
-		return ch, func() {}
-	}
-	return ch, unsubscribe
+	return backlog, c, unsubscribe
 }
 
-// publish records progress and fans it out; called with eng.mu held.
+func terminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// publishLocked records progress in the bounded history and fans it out;
+// called with eng.mu held.
 func (j *Job) publishLocked(p Progress) {
+	j.seq++
+	ev := Event{Seq: j.seq, Progress: p}
 	j.progress = p
+	j.history = append(j.history, ev)
+	if len(j.history) >= 2*eventHistoryLen {
+		j.history = append([]Event(nil), j.history[len(j.history)-eventHistoryLen:]...)
+	}
 	for ch := range j.subs {
 		select {
-		case ch <- p:
+		case ch <- ev:
 		default:
 			// Slow subscriber: drop this update. Terminal states are
 			// delivered via close + Snapshot, so nothing is lost for
@@ -118,10 +188,13 @@ func (j *Job) publishLocked(p Progress) {
 }
 
 // finishLocked moves the job to a terminal state and releases
-// subscribers; called with eng.mu held.
-func (j *Job) finishLocked(state string, a *Artifacts, err error) {
+// subscribers; called with eng.mu held. artifacts may be nil for a done
+// job whose bytes live in the store; names lists the artifact set either
+// way.
+func (j *Job) finishLocked(state string, a *Artifacts, names []string, err error) {
 	j.state = state
 	j.artifacts = a
+	j.artifactNames = names
 	j.err = err
 	detail := ""
 	if err != nil {
@@ -138,23 +211,40 @@ func (j *Job) finishLocked(state string, a *Artifacts, err error) {
 // Engine is the deterministic job engine: a content-addressed job table
 // over a bounded queue and worker pool. All concurrency lives here, above
 // the simulation layer; the runner it drives executes each job body on
-// one goroutine.
+// one goroutine. With a Store configured the engine is also the recovery
+// point: jobs and artifacts survive restarts, finished work is re-served
+// byte-identically, and interrupted work is re-run exactly once.
 type Engine struct {
 	runner         Runner
 	onFinish       func(state string)
 	queueLen       int
 	workers        int
 	defaultTimeout time.Duration
+	store          *store.Store
+	epoch          string
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for deterministic listings
-	queue    chan *Job
-	draining bool
-	wg       sync.WaitGroup
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string // submission order, for deterministic listings
+	queue       chan *Job
+	draining    bool
+	recovered   int
+	requeued    int
+	recomputes  uint64
+	recomputing map[string]*recomputeFlight
+	wg          sync.WaitGroup
+	recoveryWG  sync.WaitGroup
+}
+
+// recomputeFlight is a per-job singleflight cell for evicted-artifact
+// recomputation.
+type recomputeFlight struct {
+	done chan struct{}
+	arts *Artifacts
+	err  error
 }
 
 // EngineConfig configures a job engine.
@@ -171,9 +261,18 @@ type EngineConfig struct {
 	// OnFinish, if non-nil, is invoked once per job reaching a terminal
 	// state (feeds the daemon's completion metrics).
 	OnFinish func(state string)
+	// Store, if non-nil, makes the engine crash-safe: lifecycle records
+	// are logged, artifacts persist, and NewEngine replays the log —
+	// finished jobs come back settled with their artifacts, interrupted
+	// jobs are re-enqueued.
+	Store *store.Store
 }
 
-// NewEngine builds and starts an engine.
+// NewEngine builds and starts an engine. With a store configured it first
+// replays the WAL: terminal jobs are restored settled (artifacts served
+// from the store), unfinished jobs re-enter the queue and run again —
+// idempotent by construction, since the same content-addressed spec
+// deterministically produces the same bytes.
 func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Runner == nil {
 		panic("serve: EngineConfig.Runner is required")
@@ -191,21 +290,170 @@ func NewEngine(cfg EngineConfig) *Engine {
 		queueLen:       cfg.QueueLen,
 		workers:        cfg.Workers,
 		defaultTimeout: cfg.DefaultTimeout,
+		store:          cfg.Store,
+		epoch:          fmt.Sprintf("%x", time.Now().UnixNano()),
 		baseCtx:        ctx,
 		cancelBase:     cancel,
 		jobs:           make(map[string]*Job),
 		queue:          make(chan *Job, cfg.QueueLen),
+		recomputing:    make(map[string]*recomputeFlight),
+	}
+	var pending []*Job
+	if e.store != nil {
+		for _, rec := range e.store.Jobs() {
+			j, requeue := e.jobFromRecord(rec)
+			if j == nil {
+				continue
+			}
+			e.jobs[j.ID] = j
+			e.order = append(e.order, j.ID)
+			if requeue {
+				pending = append(pending, j)
+			}
+		}
+		e.recovered = len(e.jobs)
+		e.requeued = len(pending)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.work()
 	}
+	if len(pending) > 0 {
+		// Re-enqueue asynchronously: the recovered backlog may exceed the
+		// queue bound, so this feeder blocks on room while the daemon is
+		// already serving. Drain waits for it, so every recovered job is
+		// completed, never dropped.
+		e.recoveryWG.Add(1)
+		go func() {
+			defer e.recoveryWG.Done()
+			for _, j := range pending {
+				e.enqueueBlocking(j)
+			}
+		}()
+	}
 	return e
+}
+
+// enqueueBlocking admits one recovered job, waiting for queue room. Sends
+// happen under mu after a room check — the invariant that keeps every
+// send non-blocking — so this polls rather than blocking in the channel.
+func (e *Engine) enqueueBlocking(j *Job) {
+	for {
+		e.mu.Lock()
+		if len(e.queue) < cap(e.queue) {
+			e.queue <- j
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// jobFromRecord rebuilds one job from its replayed WAL record. requeue
+// reports that the job was interrupted (submitted or running at crash
+// time) and must run again. Records whose spec no longer normalizes to
+// the recorded ID are skipped: serving bytes under a hash the spec does
+// not produce would break the content-addressing contract.
+func (e *Engine) jobFromRecord(rec store.JobRecord) (j *Job, requeue bool) {
+	var spec JobSpec
+	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+		return nil, false
+	}
+	norm, err := spec.Normalize()
+	if err != nil || norm.ID() != rec.ID {
+		return nil, false
+	}
+	j = &Job{
+		ID:        rec.ID,
+		Spec:      norm,
+		Recovered: true,
+		eng:       e,
+		done:      make(chan struct{}),
+	}
+	switch rec.State {
+	case store.StateCompleted:
+		j.cancel = func() {}
+		j.state = StateDone
+		j.artifactNames = displayNames(rec.Artifacts)
+		j.seedHistoryLocked(
+			Progress{Stage: StateQueued},
+			Progress{Stage: StateRunning},
+			Progress{Stage: StateDone},
+		)
+		close(j.done)
+	case store.StateFailed:
+		j.cancel = func() {}
+		j.state = StateFailed
+		j.err = errors.New(rec.Error)
+		j.seedHistoryLocked(
+			Progress{Stage: StateQueued},
+			Progress{Stage: StateRunning},
+			Progress{Stage: StateFailed, Detail: rec.Error},
+		)
+		close(j.done)
+	case store.StateCanceled:
+		j.cancel = func() {}
+		j.state = StateCanceled
+		j.err = errors.New(rec.Error)
+		j.seedHistoryLocked(
+			Progress{Stage: StateQueued},
+			Progress{Stage: StateCanceled, Detail: rec.Error},
+		)
+		close(j.done)
+	default: // submitted or running: interrupted, run again
+		j.runCtx, j.cancel = e.jobContext(norm)
+		j.state = StateQueued
+		j.seedHistoryLocked(Progress{Stage: StateQueued})
+		return j, true
+	}
+	return j, false
+}
+
+// seedHistoryLocked synthesizes the lifecycle events a recovered job's
+// record implies, so reconnecting SSE clients can replay what the crashed
+// process would have streamed. Called before the job is published (no
+// subscribers yet), so no lock is actually needed — the name records the
+// convention.
+func (j *Job) seedHistoryLocked(ps ...Progress) {
+	for _, p := range ps {
+		j.publishLocked(p)
+	}
+}
+
+// displayNames converts stored artifact refs to the fixed display order.
+func displayNames(refs []store.ArtifactRef) []string {
+	present := make(map[string]bool, len(refs))
+	for _, r := range refs {
+		present[r.Name] = true
+	}
+	names := make([]string, 0, len(refs))
+	for _, name := range artifactOrder {
+		if present[name] {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// jobContext derives a job's run context from its timeout or the engine
+// default.
+func (e *Engine) jobContext(spec JobSpec) (context.Context, context.CancelFunc) {
+	timeout := e.defaultTimeout
+	if spec.TimeoutMs > 0 {
+		timeout = time.Duration(spec.TimeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(e.baseCtx, timeout)
+	}
+	return context.WithCancel(e.baseCtx)
 }
 
 // Submit normalizes the spec and either returns the existing job with the
 // same content hash (dedup: the simulation runs exactly once) or enqueues
-// a new one. created reports whether this call created the job.
+// a new one. created reports whether this call created the job. Admission
+// is logged to the store before the job is queued, so an accepted job
+// survives a crash.
 func (e *Engine) Submit(spec JobSpec) (job *Job, created bool, err error) {
 	norm, err := spec.Normalize()
 	if err != nil {
@@ -221,35 +469,25 @@ func (e *Engine) Submit(spec JobSpec) (job *Job, created bool, err error) {
 	if e.draining {
 		return nil, false, ErrDraining
 	}
-
-	timeout := e.defaultTimeout
-	if norm.TimeoutMs > 0 {
-		timeout = time.Duration(norm.TimeoutMs) * time.Millisecond
-	}
-	jctx := e.baseCtx
-	var cancel context.CancelFunc
-	if timeout > 0 {
-		jctx, cancel = context.WithTimeout(jctx, timeout)
-	} else {
-		jctx, cancel = context.WithCancel(jctx)
-	}
-	j := &Job{
-		ID:       id,
-		Spec:     norm,
-		eng:      e,
-		runCtx:   jctx,
-		cancel:   cancel,
-		done:     make(chan struct{}),
-		state:    StateQueued,
-		progress: Progress{Stage: StateQueued},
-	}
-
-	select {
-	case e.queue <- j:
-	default:
-		cancel()
+	if len(e.queue) == cap(e.queue) {
 		return nil, false, ErrQueueFull
 	}
+
+	j := &Job{
+		ID:    id,
+		Spec:  norm,
+		eng:   e,
+		done:  make(chan struct{}),
+		state: StateQueued,
+	}
+	j.runCtx, j.cancel = e.jobContext(norm)
+	j.seedHistoryLocked(Progress{Stage: StateQueued})
+	if e.store != nil {
+		// A store error flips it degraded; the job still runs in memory.
+		_ = e.store.Submitted(id, norm.CanonicalJSON())
+	}
+	// Non-blocking by invariant: all sends hold mu and checked room above.
+	e.queue <- j
 	e.jobs[id] = j
 	e.order = append(e.order, id)
 	return j, true, nil
@@ -263,7 +501,8 @@ func (e *Engine) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs lists jobs in submission order.
+// Jobs lists jobs in submission order (recovered jobs first, in WAL
+// order).
 func (e *Engine) Jobs() []*Job {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -277,11 +516,158 @@ func (e *Engine) Jobs() []*Job {
 // QueueRoom reports free queue slots, for Retry-After estimation.
 func (e *Engine) QueueRoom() int { return e.queueLen - len(e.queue) }
 
-// Drain stops admission and waits for every admitted job — queued or
-// running — to finish: graceful shutdown completes accepted work rather
-// than discarding it. Shutdown time is bounded by the jobs themselves
-// (their timeouts, or an operator canceling them); dedup lookups keep
-// resolving afterwards so finished artifacts stay servable.
+// QueueDepth reports jobs admitted but not yet running.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Epoch identifies this engine instance; SSE event IDs are scoped by it
+// so resume cursors from a previous process are recognized as stale.
+func (e *Engine) Epoch() string { return e.epoch }
+
+// Recovered reports how many jobs were rebuilt from the WAL at boot, and
+// how many of those were interrupted and re-enqueued.
+func (e *Engine) Recovered() (jobs, requeued int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.recovered, e.requeued
+}
+
+// Recomputes counts evicted-artifact recomputations.
+func (e *Engine) Recomputes() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.recomputes
+}
+
+// Degraded reports whether the store has hit a write error and persistence
+// is disabled (the daemon keeps serving from memory).
+func (e *Engine) Degraded() bool {
+	if e.store == nil {
+		return false
+	}
+	deg, _ := e.store.Degraded()
+	return deg
+}
+
+// StoreStats returns store internals for self-metrics; ok is false
+// without a store.
+func (e *Engine) StoreStats() (st store.Stats, ok bool) {
+	if e.store == nil {
+		return store.Stats{}, false
+	}
+	return e.store.Stats(), true
+}
+
+// Artifact returns one artifact of a done job. In-memory artifacts are
+// served directly; store-backed artifacts are read (and hash-verified)
+// from disk; evicted artifacts are transparently recomputed — the job is
+// deterministic, so the recomputed bytes are verified against the
+// recorded hashes before being re-stored and served.
+func (e *Engine) Artifact(ctx context.Context, j *Job, name string) ([]byte, error) {
+	e.mu.Lock()
+	if j.artifacts != nil {
+		data := j.artifacts.Get(name)
+		e.mu.Unlock()
+		if data == nil {
+			return nil, store.ErrNoArtifact
+		}
+		return data, nil
+	}
+	names := j.artifactNames
+	e.mu.Unlock()
+	found := false
+	for _, n := range names {
+		if n == name {
+			found = true
+			break
+		}
+	}
+	if !found || e.store == nil {
+		return nil, store.ErrNoArtifact
+	}
+	data, err := e.store.Artifact(j.ID, name)
+	if err == nil {
+		return data, nil
+	}
+	if !errors.Is(err, store.ErrEvicted) {
+		return nil, err
+	}
+	a, err := e.recomputeArtifacts(ctx, j)
+	if err != nil {
+		return nil, err
+	}
+	if data := a.Get(name); data != nil {
+		return data, nil
+	}
+	return nil, store.ErrNoArtifact
+}
+
+// recomputeArtifacts re-runs an evicted job's body, singleflighted per
+// job so one recompute serves every concurrent request. The result is
+// verified against the recorded hashes and re-stored; if the store cannot
+// take it (degraded), the artifacts are pinned in memory instead so the
+// job stays servable.
+func (e *Engine) recomputeArtifacts(ctx context.Context, j *Job) (*Artifacts, error) {
+	e.mu.Lock()
+	if j.artifacts != nil {
+		a := j.artifacts
+		e.mu.Unlock()
+		return a, nil
+	}
+	if fl, ok := e.recomputing[j.ID]; ok {
+		e.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.arts, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &recomputeFlight{done: make(chan struct{})}
+	e.recomputing[j.ID] = fl
+	e.recomputes++
+	e.mu.Unlock()
+
+	rctx, cancel := e.jobContext(j.Spec)
+	a, err := e.runner(rctx, j.Spec, func(Progress) {})
+	cancel()
+	if err == nil {
+		if rerr := e.store.RestoreArtifacts(j.ID, artifactMap(a)); rerr != nil {
+			if errors.Is(rerr, store.ErrMismatch) {
+				// Determinism broke: refuse to serve bytes that do not
+				// match the recorded hashes.
+				a, err = nil, rerr
+			} else {
+				// Store degraded: keep the verified-equal bytes in memory
+				// so the job stays servable.
+				e.mu.Lock()
+				j.artifacts = a
+				e.mu.Unlock()
+			}
+		}
+	}
+	e.mu.Lock()
+	fl.arts, fl.err = a, err
+	delete(e.recomputing, j.ID)
+	e.mu.Unlock()
+	close(fl.done)
+	return a, err
+}
+
+// artifactMap flattens an artifact set for the store.
+func artifactMap(a *Artifacts) map[string][]byte {
+	m := make(map[string][]byte, len(a.byName))
+	for name, data := range a.byName {
+		m[name] = data
+	}
+	return m
+}
+
+// Drain stops admission and waits for every admitted job — queued,
+// running, or recovered-and-requeuing — to finish: graceful shutdown
+// completes accepted work rather than discarding it. Shutdown time is
+// bounded by the jobs themselves (their timeouts, or an operator
+// canceling them); dedup lookups keep resolving afterwards so finished
+// artifacts stay servable.
 func (e *Engine) Drain() {
 	e.mu.Lock()
 	if e.draining {
@@ -291,6 +677,7 @@ func (e *Engine) Drain() {
 	}
 	e.draining = true
 	e.mu.Unlock()
+	e.recoveryWG.Wait()
 	close(e.queue)
 	e.wg.Wait()
 	// Base context release only reclaims timer resources; every job has
@@ -313,20 +700,30 @@ func (e *Engine) work() {
 	}
 }
 
-// runJob executes one job and settles its terminal state.
+// runJob executes one job and settles its terminal state. Persistence
+// ordering is the crash-safety contract: the running record precedes the
+// run, and the completed record (with fsynced artifacts) precedes the
+// in-memory done transition, so no observable state outlives what the
+// WAL can reproduce.
 func (e *Engine) runJob(j *Job) {
 	defer j.cancel()
 	e.mu.Lock()
 	if err := j.runCtx.Err(); err != nil {
 		// Canceled (or timed out) while still queued.
-		j.finishLocked(StateCanceled, nil, err)
+		j.finishLocked(StateCanceled, nil, nil, err)
 		e.mu.Unlock()
+		if e.store != nil {
+			_ = e.store.Canceled(j.ID, err.Error())
+		}
 		e.finished(StateCanceled)
 		return
 	}
 	j.state = StateRunning
 	j.publishLocked(Progress{Stage: StateRunning})
 	e.mu.Unlock()
+	if e.store != nil {
+		_ = e.store.Running(j.ID)
+	}
 
 	progress := func(p Progress) {
 		e.mu.Lock()
@@ -346,8 +743,29 @@ func (e *Engine) runJob(j *Job) {
 		state = StateFailed
 		a = nil
 	}
+
+	var names []string
+	if state == StateDone && e.store != nil {
+		if perr := e.store.Completed(j.ID, artifactMap(a)); perr == nil {
+			// Durable: serve from the store and release the memory.
+			names = a.Names()
+			a = nil
+		}
+		// On store failure (degraded) the artifacts stay in memory.
+	}
+	if a != nil {
+		names = a.Names()
+	}
+	if e.store != nil {
+		switch state {
+		case StateFailed:
+			_ = e.store.Failed(j.ID, err.Error())
+		case StateCanceled:
+			_ = e.store.Canceled(j.ID, err.Error())
+		}
+	}
 	e.mu.Lock()
-	j.finishLocked(state, a, err)
+	j.finishLocked(state, a, names, err)
 	e.mu.Unlock()
 	e.finished(state)
 }

@@ -280,25 +280,42 @@ func TestSubscribe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch, unsub := j.Subscribe()
+	backlog, ch, unsub := j.Subscribe()
 	defer unsub()
 	close(r.release)
 	waitDone(t, j)
 	sawTerminal := false
-	for p := range ch {
-		if p.Stage == StateDone {
+	for _, ev := range backlog {
+		if ev.Progress.Stage == StateDone {
+			sawTerminal = true
+		}
+	}
+	for ev := range ch {
+		if ev.Progress.Stage == StateDone {
 			sawTerminal = true
 		}
 	}
 	if !sawTerminal {
 		t.Fatal("subscriber never saw the terminal stage")
 	}
-	late, _ := j.Subscribe()
-	p, open := <-late
-	if !open || p.Stage != StateDone {
-		t.Fatalf("late subscriber got (%+v, %v)", p, open)
+	// A late subscriber gets the settled terminal event as backlog and an
+	// already-closed channel.
+	late, lateCh, _ := j.Subscribe()
+	if len(late) != 1 || late[0].Progress.Stage != StateDone {
+		t.Fatalf("late subscriber backlog = %+v", late)
 	}
-	if _, open := <-late; open {
+	if _, open := <-lateCh; open {
 		t.Fatal("late subscriber channel not closed")
+	}
+	// Resume from zero replays the full retained history in order.
+	history, _, _ := j.SubscribeSince(0)
+	if len(history) < 3 || history[0].Progress.Stage != StateQueued ||
+		history[len(history)-1].Progress.Stage != StateDone {
+		t.Fatalf("full history replay = %+v", history)
+	}
+	for i := 1; i < len(history); i++ {
+		if history[i].Seq != history[i-1].Seq+1 {
+			t.Fatalf("history seq not monotone: %+v", history)
+		}
 	}
 }

@@ -17,14 +17,24 @@ type Metrics struct {
 	mu sync.Mutex
 	r  *obs.Registry
 
-	submitted  *obs.Counter
-	deduped    *obs.Counter
-	rejected   *obs.Counter
-	executions *obs.Counter
-	done       *obs.Counter
-	failed     *obs.Counter
-	canceled   *obs.Counter
-	queueDepth *obs.Gauge
+	submitted   *obs.Counter
+	deduped     *obs.Counter
+	rejected    *obs.Counter
+	rateLimited *obs.Counter
+	executions  *obs.Counter
+	done        *obs.Counter
+	failed      *obs.Counter
+	canceled    *obs.Counter
+	queueDepth  *obs.Gauge
+
+	recoveredJobs *obs.Gauge
+	requeuedJobs  *obs.Gauge
+	recomputes    *obs.Gauge
+	degraded      *obs.Gauge
+	walBytes      *obs.Gauge
+	artifactBytes *obs.Gauge
+	evictions     *obs.Gauge
+	compactions   *obs.Gauge
 }
 
 // NewMetrics builds the daemon metric set.
@@ -40,6 +50,44 @@ func NewMetrics() *Metrics {
 		failed:     r.Counter("finepackd_jobs_completed_total", "Jobs reaching a terminal state, by state.", obs.Label{Key: "state", Value: StateFailed}),
 		canceled:   r.Counter("finepackd_jobs_completed_total", "Jobs reaching a terminal state, by state.", obs.Label{Key: "state", Value: StateCanceled}),
 		queueDepth: r.Gauge("finepackd_queue_depth", "Jobs admitted but not yet running."),
+
+		rateLimited:   r.Counter("finepackd_jobs_rate_limited_total", "Submissions rejected by the per-client rate limiter."),
+		recoveredJobs: r.Gauge("finepackd_jobs_recovered", "Jobs rebuilt from the WAL at boot."),
+		requeuedJobs:  r.Gauge("finepackd_jobs_requeued", "Recovered jobs that were interrupted and re-enqueued at boot."),
+		recomputes:    r.Gauge("finepackd_artifact_recomputes", "Evicted-artifact recomputations since boot."),
+		degraded:      r.Gauge("finepackd_store_degraded", "1 while the store has hit a write error and persistence is disabled."),
+		walBytes:      r.Gauge("finepackd_store_wal_bytes", "Current WAL size in bytes."),
+		artifactBytes: r.Gauge("finepackd_store_artifact_bytes", "On-disk artifact bytes currently cached."),
+		evictions:     r.Gauge("finepackd_store_evictions", "Artifact sets evicted by the cache bound since boot."),
+		compactions:   r.Gauge("finepackd_store_compactions", "WAL compactions since boot."),
+	}
+}
+
+// RateLimited records a submission rejected by the rate limiter.
+func (m *Metrics) RateLimited() { m.mu.Lock(); m.rateLimited.Inc(); m.mu.Unlock() }
+
+// ObserveEngine refreshes the sampled gauges from the engine and its
+// store; the server calls it at /metrics scrape time so exposition
+// reflects current depth and durability state.
+func (m *Metrics) ObserveEngine(e *Engine) {
+	recovered, requeued := e.Recovered()
+	st, hasStore := e.StoreStats()
+	degraded := 0.0
+	if e.Degraded() {
+		degraded = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth.Set(float64(e.QueueDepth()))
+	m.recoveredJobs.Set(float64(recovered))
+	m.requeuedJobs.Set(float64(requeued))
+	m.recomputes.Set(float64(e.Recomputes()))
+	m.degraded.Set(degraded)
+	if hasStore {
+		m.walBytes.Set(float64(st.WALBytes))
+		m.artifactBytes.Set(float64(st.ArtifactBytes))
+		m.evictions.Set(float64(st.Evictions))
+		m.compactions.Set(float64(st.Compactions))
 	}
 }
 

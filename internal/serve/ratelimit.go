@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the client table; past it, full (idle) buckets are
+// reaped before admitting a new client, so an address-spraying client
+// cannot grow daemon memory without bound.
+const maxBuckets = 4096
+
+// RateLimiter is a per-client token-bucket admission controller for job
+// submissions. Each client key owns a bucket holding up to burst tokens
+// that refills at rate tokens per second; a submission spends one token.
+// When a bucket is empty the limiter reports how long until the next
+// token, so the HTTP layer can send an honest Retry-After instead of a
+// made-up constant.
+type RateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter allowing rate submissions per second
+// with bursts up to burst per client. rate must be positive; burst below
+// 1 is raised to 1 (a bucket that can never hold a whole token would
+// reject everything).
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   burst,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token for key. When the bucket is empty, ok is false
+// and retryAfter is the wait until a full token accrues at the refill
+// rate.
+func (l *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[key]
+	if b == nil {
+		l.reapLocked(now)
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate // seconds until one whole token
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}
+
+// reapLocked drops buckets that have refilled to full — clients idle long
+// enough that forgetting them changes nothing — once the table is at
+// capacity.
+func (l *RateLimiter) reapLocked(now time.Time) {
+	if len(l.buckets) < maxBuckets {
+		return
+	}
+	for key, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}

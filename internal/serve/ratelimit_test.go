@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a RateLimiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate, burst float64) (*RateLimiter, *fakeClock) {
+	l := NewRateLimiter(rate, burst)
+	c := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	l.now = c.now
+	return l, c
+}
+
+// TestRateLimiterBurstAndRefill: a client spends its burst, is rejected,
+// and earns tokens back at exactly the refill rate.
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	l, c := newTestLimiter(2, 3) // 2 tokens/s, burst 3
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := l.Allow("a")
+	if ok {
+		t.Fatal("request past burst allowed")
+	}
+	// Empty bucket at 2 tokens/s: one whole token in 500ms, so the honest
+	// Retry-After is 500ms (rounded up to whole nanoseconds).
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 500ms", retry)
+	}
+	c.advance(retry)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("request after advertised wait still rejected")
+	}
+	// The bucket is empty again; waiting less than a token's worth of time
+	// must still reject.
+	c.advance(200 * time.Millisecond)
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("request allowed before a token accrued")
+	}
+}
+
+// TestRateLimiterPerClient: one client exhausting its bucket does not
+// starve another.
+func TestRateLimiterPerClient(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("first a rejected")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("second a allowed")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("fresh client b rejected")
+	}
+}
+
+// TestRateLimiterCapsToBurst: idle time never banks more than burst.
+func TestRateLimiterCapsToBurst(t *testing.T) {
+	l, c := newTestLimiter(10, 2)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("warmup rejected")
+	}
+	c.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("banked request %d rejected", i)
+		}
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("bucket banked more than burst")
+	}
+}
+
+// TestRateLimiterReap: the client table stays bounded — once at capacity,
+// admitting a new client reaps buckets that have refilled to full (idle
+// clients whose state no longer matters).
+func TestRateLimiterReap(t *testing.T) {
+	l, c := newTestLimiter(1, 1)
+	for i := 0; len(l.buckets) < maxBuckets; i++ {
+		l.Allow(fmt.Sprintf("idle-%d", i))
+	}
+	c.advance(time.Hour) // every idle bucket refills to full
+	l.Allow("fresh")     // triggers the reap at capacity
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n >= maxBuckets {
+		t.Fatalf("reap left %d buckets (cap %d)", n, maxBuckets)
+	}
+}

@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"finepack/internal/store"
+)
+
+// countingRunner produces small deterministic artifacts and counts
+// executions, so recovery tests can assert exactly-once semantics.
+type countingRunner struct {
+	executions atomic.Int64
+}
+
+func (r *countingRunner) run(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error) {
+	r.executions.Add(1)
+	if progress != nil {
+		progress(Progress{Stage: "simulating", SimMicros: 1})
+	}
+	a := &Artifacts{}
+	a.Put(ArtifactReport, []byte("report "+spec.Workload+" "+fmt.Sprint(spec.Seed)))
+	a.Put(ArtifactMetrics, []byte("metrics "+spec.Workload))
+	return a, nil
+}
+
+func openTestStore(t *testing.T, dir string, opts store.Options) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestEngineRecoveryServesByteIdenticalArtifacts: a second engine over
+// the same store comes up with the first engine's jobs settled and serves
+// the same artifact bytes without re-executing anything.
+func TestEngineRecoveryServesByteIdenticalArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	r := &countingRunner{}
+	st := openTestStore(t, dir, store.Options{})
+	e1 := NewEngine(EngineConfig{Runner: r.run, Store: st})
+	j1, _, err := e1.Submit(JobSpec{Workload: "sssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	want, err := e1.Artifact(context.Background(), j1, ArtifactReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Drain()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir, store.Options{})
+	defer st2.Close()
+	e2 := NewEngine(EngineConfig{Runner: r.run, Store: st2})
+	defer e2.Drain()
+	if rec, requeued := e2.Recovered(); rec != 1 || requeued != 0 {
+		t.Fatalf("Recovered() = (%d, %d), want (1, 0)", rec, requeued)
+	}
+	j2, ok := e2.Get(j1.ID)
+	if !ok {
+		t.Fatalf("recovered engine lost job %s", j1.ID)
+	}
+	if !j2.Recovered {
+		t.Fatal("recovered job not marked Recovered")
+	}
+	state, _, _ := j2.Snapshot()
+	if state != StateDone {
+		t.Fatalf("recovered job state = %s, want done", state)
+	}
+	got, err := e2.Artifact(context.Background(), j2, ArtifactReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered artifact differs: %q != %q", got, want)
+	}
+	// Re-serving persisted work must not execute the simulation again...
+	if n := r.executions.Load(); n != 1 {
+		t.Fatalf("executions = %d, want 1", n)
+	}
+	// ...and resubmitting the same spec dedups against the recovered job.
+	dup, created, err := e2.Submit(JobSpec{Workload: "sssp"})
+	if err != nil || created || dup != j2 {
+		t.Fatalf("post-recovery dedup = (%v, created=%v, %v)", dup, created, err)
+	}
+}
+
+// TestEngineRecoveryRequeuesUnfinished: jobs that were submitted or
+// running at crash time are re-enqueued and run to completion by the
+// next engine.
+func TestEngineRecoveryRequeuesUnfinished(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, store.Options{})
+	// Simulate a crash mid-job: lifecycle records exist, no terminal.
+	subSpec, _ := JobSpec{Workload: "sssp"}.Normalize()
+	runSpec, _ := JobSpec{Workload: "jacobi"}.Normalize()
+	if err := st.Submitted(subSpec.ID(), subSpec.CanonicalJSON()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Submitted(runSpec.ID(), runSpec.CanonicalJSON()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Running(runSpec.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	r := &countingRunner{}
+	e := NewEngine(EngineConfig{Workers: 1, QueueLen: 1, Runner: r.run, Store: st})
+	defer st.Close()
+	if rec, requeued := e.Recovered(); rec != 2 || requeued != 2 {
+		t.Fatalf("Recovered() = (%d, %d), want (2, 2)", rec, requeued)
+	}
+	// QueueLen 1 < backlog 2: the recovery feeder must still deliver both.
+	for _, id := range []string{subSpec.ID(), runSpec.ID()} {
+		j, ok := e.Get(id)
+		if !ok {
+			t.Fatalf("job %s not recovered", id)
+		}
+		waitDone(t, j)
+		if state, _, err := j.Snapshot(); state != StateDone {
+			t.Fatalf("requeued job %s settled as (%s, %v)", id, state, err)
+		}
+	}
+	if n := r.executions.Load(); n != 2 {
+		t.Fatalf("executions = %d, want 2", n)
+	}
+	// Drain after recovery completes every recovered job (already waited
+	// above; this exercises the recoveryWG ordering under -race).
+	e.Drain()
+}
+
+// TestEngineRecomputesEvictedArtifacts: an artifact evicted by the cache
+// bound is recomputed on demand, verified against its recorded hash, and
+// served — not 404'd.
+func TestEngineRecomputesEvictedArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	r := &countingRunner{}
+	// Cache bound of 1 byte: every completed job's artifacts are evicted
+	// immediately after being persisted.
+	st := openTestStore(t, dir, store.Options{ArtifactCacheBytes: 1})
+	defer st.Close()
+	e := NewEngine(EngineConfig{Runner: r.run, Store: st})
+	defer e.Drain()
+	j, _, err := e.Submit(JobSpec{Workload: "sssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	// Eviction protects the most recently completed job; a second job
+	// pushes the first past the 1-byte budget.
+	j2, _, err := e.Submit(JobSpec{Workload: "jacobi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2)
+	if _, err := st.Artifact(j.ID, ArtifactReport); !errors.Is(err, store.ErrEvicted) {
+		t.Fatalf("artifact not evicted: %v", err)
+	}
+	got, err := e.Artifact(context.Background(), j, ArtifactReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "report sssp 1"; string(got) != want {
+		t.Fatalf("recomputed artifact = %q, want %q", got, want)
+	}
+	if n := r.executions.Load(); n != 3 {
+		t.Fatalf("executions = %d, want 3 (two originals + one recompute)", n)
+	}
+	if e.Recomputes() != 1 {
+		t.Fatalf("Recomputes() = %d, want 1", e.Recomputes())
+	}
+}
+
+// TestEngineDegradedStoreKeepsServing: when the store dies mid-flight the
+// engine keeps accepting and finishing jobs from memory and reports
+// degraded instead of failing.
+func TestEngineDegradedStoreKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	r := &countingRunner{}
+	st := openTestStore(t, dir, store.Options{})
+	e := NewEngine(EngineConfig{Runner: r.run, Store: st})
+	defer e.Drain()
+	// Kill the store's file handles: the next append fails like a dead
+	// disk would, flipping the store degraded.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := e.Submit(JobSpec{Workload: "sssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if state, _, jerr := j.Snapshot(); state != StateDone {
+		t.Fatalf("job under degraded store settled as (%s, %v)", state, jerr)
+	}
+	if !e.Degraded() {
+		t.Fatal("engine not degraded after store write failure")
+	}
+	// Artifacts stayed in memory and remain servable.
+	got, err := e.Artifact(context.Background(), j, ArtifactReport)
+	if err != nil || len(got) == 0 {
+		t.Fatalf("degraded-mode artifact = (%q, %v)", got, err)
+	}
+}
+
+// newDurableTestServer is newTestServer over a store-backed engine.
+func newDurableTestServer(t *testing.T, dir string) (*httptest.Server, *Server, *Engine, *store.Store) {
+	t.Helper()
+	st := openTestStore(t, dir, store.Options{})
+	m := NewMetrics()
+	runner := NewSuiteRunner(1, m.Executed)
+	e := NewEngine(EngineConfig{
+		Workers:  2,
+		QueueLen: 8,
+		Runner:   runner.Run,
+		OnFinish: m.Finished,
+		Store:    st,
+	})
+	s := NewServer(e, m)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		e.Drain()
+		st.Close()
+	})
+	return ts, s, e, st
+}
+
+// TestServerReadyzJSON: /readyz is structured JSON with the durability
+// fields, and a restarted server reports its recovered jobs there.
+func TestServerReadyzJSON(t *testing.T) {
+	dir := t.TempDir()
+	ts, _, e, _ := newDurableTestServer(t, dir)
+	_, jst := postJob(t, ts.URL, smallSpec())
+	j, _ := e.Get(jst.ID)
+	waitDone(t, j)
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs readyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !rs.Ready || rs.Draining || rs.Degraded {
+		t.Fatalf("fresh readyz = %d %+v", resp.StatusCode, rs)
+	}
+	if rs.RecoveredJobs != 0 {
+		t.Fatalf("fresh daemon reports %d recovered jobs", rs.RecoveredJobs)
+	}
+}
+
+// TestServerSSEResume: a client reconnecting with Last-Event-ID sees the
+// events it missed; a stale (pre-restart) cursor replays the recovered
+// history rather than going silent.
+func TestServerSSEResume(t *testing.T) {
+	dir := t.TempDir()
+	ts, _, e, _ := newDurableTestServer(t, dir)
+	_, jst := postJob(t, ts.URL, smallSpec())
+	j, _ := e.Get(jst.ID)
+	waitDone(t, j)
+
+	// Full replay from seq 0 with this engine's epoch.
+	stages, ids := sseCollect(t, ts.URL, jst.ID, e.Epoch()+"-0")
+	if len(stages) == 0 || stages[len(stages)-1] != StateDone {
+		t.Fatalf("resume replay stages = %v", stages)
+	}
+	if stages[0] != StateQueued {
+		t.Fatalf("resume from 0 did not start at queued: %v", stages)
+	}
+	// Resume after the last delivered event: nothing left but the stream
+	// must still terminate (job is settled, channel closed).
+	lastID := ids[len(ids)-1]
+	stages2, _ := sseCollect(t, ts.URL, jst.ID, lastID)
+	if len(stages2) != 0 {
+		t.Fatalf("resume past end replayed %v", stages2)
+	}
+	// A cursor from another process (foreign epoch) replays everything.
+	stages3, _ := sseCollect(t, ts.URL, jst.ID, "deadbeef-99")
+	if len(stages3) == 0 || stages3[0] != StateQueued || stages3[len(stages3)-1] != StateDone {
+		t.Fatalf("foreign-epoch replay stages = %v", stages3)
+	}
+}
+
+// sseCollect reads a job's event stream with a Last-Event-ID header until
+// the stream ends, returning the stages and event IDs seen.
+func sseCollect(t *testing.T, url, id, lastEventID string) (stages, ids []string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", lastEventID)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			ids = append(ids, strings.TrimPrefix(line, "id: "))
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var p Progress
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &p); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		stages = append(stages, p.Stage)
+		if terminalState(p.Stage) {
+			return stages, ids
+		}
+	}
+	return stages, ids
+}
+
+// TestServerRateLimit: past the burst, submissions get 429 with a
+// Retry-After derived from the refill rate, and the limit is per client.
+func TestServerRateLimit(t *testing.T) {
+	ts, s, _ := newTestServer(t, 1, 8)
+	s.SetRateLimiter(NewRateLimiter(0.5, 2)) // 1 token per 2s, burst 2
+
+	body := func() *bytes.Reader {
+		b, _ := json.Marshal(smallSpec())
+		return bytes.NewReader(b)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", body())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			t.Fatalf("burst request %d rate limited", i)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("post-burst status = %d, want 429", resp.StatusCode)
+	}
+	// At 0.5 tokens/s an empty bucket needs 2s for one token: the honest
+	// Retry-After is 2, not a made-up constant.
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+}

@@ -4,8 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
+
+	"finepack/internal/store"
 )
 
 // Server is the finepackd HTTP API over an Engine. It is a plain
@@ -22,11 +27,14 @@ import (
 //	GET    /v1/jobs/{id}/events          SSE progress stream
 //	GET    /v1/jobs/{id}/artifacts/{name} artifact bytes
 //	GET    /healthz                      liveness
-//	GET    /readyz                       readiness (503 while draining)
+//	GET    /readyz                       readiness JSON (503 while
+//	                                     draining; degraded stores stay
+//	                                     ready with "degraded":true)
 //	GET    /metrics                      daemon self-metrics
 type Server struct {
 	engine  *Engine
 	metrics *Metrics
+	limiter *RateLimiter
 	mux     *http.ServeMux
 }
 
@@ -53,6 +61,10 @@ func NewServer(e *Engine, m *Metrics) *Server {
 // reads the execution counter).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// SetRateLimiter installs a per-client submission rate limiter; nil (the
+// default) disables rate limiting.
+func (s *Server) SetRateLimiter(l *RateLimiter) { s.limiter = l }
+
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
@@ -74,7 +86,7 @@ func statusOf(j *Job) jobStatus {
 		State:     state,
 		Spec:      j.Spec,
 		Progress:  p,
-		Artifacts: j.Artifacts().Names(),
+		Artifacts: j.ArtifactNames(),
 	}
 	if err != nil {
 		st.Error = err.Error()
@@ -94,7 +106,31 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// clientKey buckets rate limiting by remote address (sans port, so one
+// client's parallel connections share one budget).
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil {
+		if ok, retry := s.limiter.Allow(clientKey(r)); !ok {
+			s.metrics.RateLimited()
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			// Honest backoff: derived from the bucket's actual refill
+			// rate, not a constant.
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -120,7 +156,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Submitted()
-	s.metrics.SetQueueDepth(s.engine.queueLen - s.engine.QueueRoom())
+	s.metrics.SetQueueDepth(s.engine.QueueDepth())
 	code := http.StatusOK
 	if created {
 		code = http.StatusAccepted
@@ -164,9 +200,29 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, statusOf(j))
 }
 
-// handleEvents streams job progress as Server-Sent Events. Each update is
-// one `data:` line of Progress JSON; the stream ends with a final event
-// carrying the terminal state when the job finishes.
+// sinceSeq maps an SSE Last-Event-ID header to a resume cursor. IDs are
+// "<epoch>-<seq>"; a cursor from this engine instance resumes after seq,
+// while a cursor from a previous process (different epoch — the client
+// reconnected across a daemon restart) or a malformed one replays the
+// job's full retained history, so the client misses nothing.
+func (s *Server) sinceSeq(header string) uint64 {
+	epoch, seqStr, ok := strings.Cut(header, "-")
+	if !ok || epoch != s.engine.Epoch() {
+		return 0
+	}
+	n, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// handleEvents streams job progress as Server-Sent Events. Each update
+// carries an `id:` line ("<epoch>-<seq>") and a `data:` line of Progress
+// JSON; the stream ends with a final event carrying the terminal state.
+// Reconnecting clients that send Last-Event-ID get the events they missed
+// replayed first — including lifecycle events recovered from the WAL
+// after a daemon restart.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -181,34 +237,52 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	ch, unsubscribe := j.Subscribe()
+	var backlog []Event
+	var ch <-chan Event
+	var unsubscribe func()
+	var lastSeq uint64
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		// Seed the dedup cursor from the client's position so events it
+		// already has are never re-sent.
+		lastSeq = s.sinceSeq(last)
+		backlog, ch, unsubscribe = j.SubscribeSince(lastSeq)
+	} else {
+		// Fresh subscribers lead with the current state, not history.
+		backlog, ch, unsubscribe = j.Subscribe()
+	}
 	defer unsubscribe()
-	emit := func(p Progress) bool {
-		b, err := json.Marshal(p)
+
+	epoch := s.engine.Epoch()
+	emit := func(ev Event) bool {
+		b, err := json.Marshal(ev.Progress)
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %s-%d\ndata: %s\n\n", epoch, ev.Seq, b); err != nil {
 			return false
 		}
+		lastSeq = ev.Seq
 		fl.Flush()
 		return true
 	}
-	// Lead with the current state so subscribers never start blind.
-	_, p, _ := j.Snapshot()
-	if !emit(p) {
-		return
+	for _, ev := range backlog {
+		if !emit(ev) {
+			return
+		}
 	}
 	for {
 		select {
-		case p, open := <-ch:
+		case ev, open := <-ch:
 			if !open {
-				// Terminal: emit the settled final state.
-				_, last, _ := j.Snapshot()
-				emit(last)
+				// Terminal. The closing event may have been dropped on a
+				// slow channel; re-emit the settled final state unless it
+				// already went out.
+				if fin := j.LastEvent(); fin.Seq > lastSeq {
+					emit(fin)
+				}
 				return
 			}
-			if !emit(p) {
+			if ev.Seq > lastSeq && !emit(ev) {
 				return
 			}
 		case <-r.Context().Done():
@@ -237,9 +311,15 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGone, msg)
 		return
 	}
-	data := j.Artifacts().Get(name)
-	if data == nil {
+	data, err := s.engine.Artifact(r.Context(), j, name)
+	switch {
+	case errors.Is(err, store.ErrNoArtifact):
 		writeError(w, http.StatusNotFound, "no such artifact")
+		return
+	case err != nil:
+		// Includes store.ErrMismatch: recomputed bytes that do not hash to
+		// the recorded values are never served.
+		writeError(w, http.StatusInternalServerError, "artifact unavailable: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", contentType(name))
@@ -253,17 +333,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// readyStatus is the structured /readyz body: enough for an operator (or
+// probe) to distinguish "warming up", "draining", and "disk trouble but
+// still serving" at a glance.
+type readyStatus struct {
+	Ready         bool `json:"ready"`
+	Draining      bool `json:"draining"`
+	Degraded      bool `json:"degraded"`
+	QueueDepth    int  `json:"queue_depth"`
+	RecoveredJobs int  `json:"recovered_jobs"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.engine.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	draining := s.engine.Draining()
+	recovered, _ := s.engine.Recovered()
+	st := readyStatus{
+		// A degraded store does not unready the daemon: it keeps serving
+		// from memory and reports the condition instead of dying.
+		Ready:         !draining,
+		Draining:      draining,
+		Degraded:      s.engine.Degraded(),
+		QueueDepth:    s.engine.QueueDepth(),
+		RecoveredJobs: recovered,
 	}
-	fmt.Fprintln(w, "ok")
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ObserveEngine(s.engine)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_ = s.metrics.Write(w)
 }

@@ -164,19 +164,34 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	if s.TimeoutMs < 0 {
 		return s, fmt.Errorf("serve: timeout_ms must be >= 0")
 	}
+	if s.TimeoutMs > maxTimeoutMs {
+		return s, fmt.Errorf("serve: timeout_ms %d exceeds limit %d (24h)", s.TimeoutMs, maxTimeoutMs)
+	}
 	return s, nil
 }
 
-// ID content-hashes a normalized spec into the job identifier. Struct
-// fields marshal in declaration order, so the canonical JSON — and the
-// hash — is stable for equal specs.
-func (s JobSpec) ID() string {
+// maxTimeoutMs caps timeout_ms at 24 hours: far beyond any simulation,
+// and small enough that the milliseconds→time.Duration conversion can
+// never overflow into a negative (instantly expired) deadline.
+const maxTimeoutMs = 24 * 60 * 60 * 1000
+
+// CanonicalJSON returns the canonical encoding of a normalized spec:
+// struct fields marshal in declaration order, so equal specs produce
+// identical bytes. These are the bytes the job ID hashes and the bytes
+// the store persists, which is what makes WAL replay idempotent — a
+// recovered record re-normalizes and re-hashes to the same ID.
+func (s JobSpec) CanonicalJSON() []byte {
 	b, err := json.Marshal(s)
 	if err != nil {
 		// A JobSpec of plain scalars cannot fail to marshal.
 		panic(err)
 	}
-	sum := sha256.Sum256(b)
+	return b
+}
+
+// ID content-hashes a normalized spec into the job identifier.
+func (s JobSpec) ID() string {
+	sum := sha256.Sum256(s.CanonicalJSON())
 	return "j" + hex.EncodeToString(sum[:8])
 }
 

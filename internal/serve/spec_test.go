@@ -1,8 +1,12 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"finepack/internal/store"
 )
 
 // TestNormalizeDefaults pins the documented defaults: the empty spec is
@@ -87,12 +91,91 @@ func TestNormalizeRejects(t *testing.T) {
 		{"sample", JobSpec{SampleUs: -1}},
 		{"max events", JobSpec{MaxEvents: -1}},
 		{"timeout", JobSpec{TimeoutMs: -1}},
+		{"timeout min int", JobSpec{TimeoutMs: -int(^uint(0)>>1) - 1}},
+		{"timeout overflow", JobSpec{TimeoutMs: maxTimeoutMs + 1}},
+		{"timeout absurd", JobSpec{TimeoutMs: int(^uint(0) >> 1)}},
 		{"report workload", JobSpec{Kind: KindReport, Workload: "sssp"}},
 		{"report obs", JobSpec{Kind: KindReport, SampleUs: 2}},
 	}
 	for _, c := range cases {
 		if _, err := c.spec.Normalize(); err == nil {
 			t.Errorf("%s: Normalize(%+v) accepted", c.name, c.spec)
+		}
+	}
+}
+
+// TestTimeoutBounds: the largest accepted timeout converts to a positive
+// Duration (the overflow the maxTimeoutMs cap exists to prevent).
+func TestTimeoutBounds(t *testing.T) {
+	got, err := JobSpec{TimeoutMs: maxTimeoutMs}.Normalize()
+	if err != nil {
+		t.Fatalf("max timeout rejected: %v", err)
+	}
+	if got.TimeoutMs != maxTimeoutMs {
+		t.Fatalf("max timeout normalized to %d", got.TimeoutMs)
+	}
+}
+
+// TestEmptyWorkloadDefaults: the empty workload is a default, not an
+// error — for observe jobs it selects sssp and hashes identically to
+// spelling sssp out; report jobs require it empty.
+func TestEmptyWorkloadDefaults(t *testing.T) {
+	empty, err := JobSpec{Workload: ""}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Workload != "sssp" {
+		t.Fatalf("empty workload normalized to %q", empty.Workload)
+	}
+	spelled, _ := JobSpec{Workload: "sssp"}.Normalize()
+	if empty.ID() != spelled.ID() {
+		t.Fatal("empty and spelled-out workload hash differently")
+	}
+	rep, err := JobSpec{Kind: KindReport, Workload: ""}.Normalize()
+	if err != nil || rep.Workload != "" {
+		t.Fatalf("report with empty workload = (%+v, %v)", rep, err)
+	}
+}
+
+// TestSpecStoreRoundTrip: the canonical bytes survive a WAL round-trip
+// byte-for-byte, and the replayed spec re-normalizes to the same ID —
+// the invariant engine recovery depends on to dedup across restarts.
+func TestSpecStoreRoundTrip(t *testing.T) {
+	specs := []JobSpec{
+		{},
+		{Workload: "jacobi", GPUs: 8, Scale: 0.5, Iters: 2, Seed: 42},
+		{BER: 1e-9, FaultSeed: 3, PCIeGen: 5},
+		{Kind: KindReport, Scale: 0.25},
+		{TimeoutMs: maxTimeoutMs, SampleUs: 2.5, MaxEvents: 100},
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, spec := range specs {
+		norm, err := spec.Normalize()
+		if err != nil {
+			t.Fatalf("Normalize(%+v): %v", spec, err)
+		}
+		if err := st.Submitted(norm.ID(), norm.CanonicalJSON()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rec := range st.Jobs() {
+		var replayed JobSpec
+		if err := json.Unmarshal(rec.Spec, &replayed); err != nil {
+			t.Fatal(err)
+		}
+		renorm, err := replayed.Normalize()
+		if err != nil {
+			t.Fatalf("replayed spec %s no longer normalizes: %v", rec.ID, err)
+		}
+		if renorm.ID() != rec.ID {
+			t.Fatalf("replayed spec re-hashes to %s, stored as %s", renorm.ID(), rec.ID)
+		}
+		if !bytes.Equal(renorm.CanonicalJSON(), rec.Spec) {
+			t.Fatalf("canonical bytes unstable across store round-trip:\n%s\n%s", renorm.CanonicalJSON(), rec.Spec)
 		}
 	}
 }

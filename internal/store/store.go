@@ -1,0 +1,735 @@
+// Package store is finepackd's crash-safe persistence layer: an
+// append-only write-ahead log of job lifecycle records plus an on-disk
+// artifact store keyed by job ID, with an in-memory index rebuilt by WAL
+// replay on open.
+//
+// The durability contract, in replay order:
+//
+//   - A "submitted" record makes a job survive restarts: recovery re-runs
+//     any job whose last record is submitted or running. Re-running is
+//     safe because jobs are content-addressed and deterministic — the
+//     same spec produces the same bytes.
+//   - A "completed" record is the commit point for finished work. The
+//     artifact files are written and fsynced *before* the record is
+//     appended, so a completed record always points at durable artifacts;
+//     a crash between the two replays as an unfinished job and re-runs.
+//   - The tail of the log may be torn by a crash mid-append. Replay
+//     truncates at the last intact checksummed frame; every earlier
+//     record is preserved.
+//
+// The artifact store is a cache as much as a store: a configurable byte
+// budget bounds total on-disk artifact size, and least-recently-used jobs'
+// artifacts are evicted beyond it. Eviction never loses information —
+// the completed record (with per-artifact SHA-256) stays in the log, and
+// the serving layer recomputes evicted artifacts on demand, verifying the
+// recomputed bytes against the recorded hashes.
+//
+// Any write error (disk full, dead device) flips the store into degraded
+// mode: mutating calls become failing no-ops, reads keep working, and the
+// daemon above keeps serving from memory instead of dying.
+//
+// store is host-layer code under the two-layer determinism contract
+// (DESIGN.md §8): files, wall-clock-free but OS-dependent syscalls, and
+// callers' goroutines live here; nothing in this package executes inside
+// a simulation run.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Job lifecycle states as recorded in the WAL.
+const (
+	StateSubmitted = "submitted"
+	StateRunning   = "running"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+	StateCanceled  = "canceled"
+)
+
+// Record types; identical to the states they transition to.
+const (
+	recSubmitted = StateSubmitted
+	recRunning   = StateRunning
+	recCompleted = StateCompleted
+	recFailed    = StateFailed
+	recCanceled  = StateCanceled
+)
+
+// Errors returned by artifact lookups. ErrEvicted signals "recompute me":
+// the job completed and its hashes are on record, but the bytes are gone.
+var (
+	ErrUnknownJob = errors.New("store: unknown job")
+	ErrNoArtifact = errors.New("store: no such artifact")
+	ErrEvicted    = errors.New("store: artifact evicted")
+	// ErrMismatch is returned by RestoreArtifacts when recomputed bytes do
+	// not hash to the recorded value — a determinism violation, not an IO
+	// problem, so it must never be papered over.
+	ErrMismatch = errors.New("store: restored artifact differs from recorded hash")
+)
+
+// ArtifactRef describes one durable artifact: name, size, and SHA-256 of
+// its bytes. The hash is the integrity anchor — reads verify against it,
+// and recomputed artifacts must reproduce it.
+type ArtifactRef struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// record is the WAL wire form of one lifecycle transition.
+type record struct {
+	Type      string          `json:"type"`
+	Job       string          `json:"job"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	Artifacts []ArtifactRef   `json:"artifacts,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// JobRecord is the replayed state of one job, as the serving layer sees
+// it after recovery.
+type JobRecord struct {
+	// ID is the content-addressed job ID.
+	ID string
+	// Spec is the canonical JSON of the normalized job spec, exactly the
+	// bytes the ID hashes.
+	Spec []byte
+	// State is the last recorded lifecycle state.
+	State string
+	// Error is the recorded failure/cancelation detail, if terminal.
+	Error string
+	// Artifacts lists the completed job's artifacts (hashes included even
+	// when the bytes have been evicted).
+	Artifacts []ArtifactRef
+}
+
+// Terminal reports whether the state is a terminal one.
+func Terminal(state string) bool {
+	return state == StateCompleted || state == StateFailed || state == StateCanceled
+}
+
+// jobEntry is the index entry: the replayed record plus cache state.
+type jobEntry struct {
+	JobRecord
+	evicted bool
+	bytes   int64  // artifact bytes currently on disk
+	lastUse uint64 // LRU clock value of the most recent touch
+}
+
+// Options configures a Store.
+type Options struct {
+	// WALMaxBytes triggers log compaction once the WAL grows past it.
+	// Zero selects 64 MiB.
+	WALMaxBytes int64
+	// ArtifactCacheBytes bounds total on-disk artifact bytes; the
+	// least-recently-used jobs' artifacts are evicted beyond it. Zero
+	// means unbounded.
+	ArtifactCacheBytes int64
+}
+
+// Stats is a point-in-time snapshot of store internals, for metrics and
+// tests.
+type Stats struct {
+	Jobs          int
+	WALBytes      int64
+	ArtifactBytes int64
+	Evictions     uint64
+	Compactions   uint64
+	// TornTailBytes counts bytes dropped from the WAL tail at Open —
+	// nonzero exactly when the previous process died mid-append.
+	TornTailBytes int64
+}
+
+// Store is the crash-safe job/artifact store. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir     string
+	walPath string
+	opts    Options
+
+	mu          sync.Mutex
+	wal         *os.File
+	walBytes    int64
+	compactedAt int64 // walBytes right after the last compaction
+	index       map[string]*jobEntry
+	order       []string // WAL submission order
+	useClock    uint64
+	artBytes    int64
+	evictions   uint64
+	compactions uint64
+	tornBytes   int64
+	degraded    bool
+	degradedErr error
+}
+
+// Open opens (creating if needed) the store rooted at dir, replays the
+// WAL into the in-memory index, truncates any torn tail, and reconciles
+// the artifact directory against the replayed completed records.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.WALMaxBytes <= 0 {
+		opts.WALMaxBytes = 64 << 20
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "artifacts"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		walPath: filepath.Join(dir, "wal"),
+		opts:    opts,
+		index:   make(map[string]*jobEntry),
+	}
+	b, err := os.ReadFile(s.walPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: reading WAL: %w", err)
+	}
+	payloads, goodSize, torn := scanFrames(b)
+	for _, p := range payloads {
+		var rec record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			// A checksummed frame that does not parse is a format bug, not
+			// a torn write; refuse to guess.
+			return nil, fmt.Errorf("store: corrupt WAL record: %w", err)
+		}
+		s.applyLocked(rec)
+	}
+	f, err := os.OpenFile(s.walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	if torn {
+		s.tornBytes = int64(len(b)) - goodSize
+		if err := f.Truncate(goodSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(goodSize, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = f
+	s.walBytes = goodSize
+	s.compactedAt = 0
+	s.reconcileArtifactsLocked()
+	return s, nil
+}
+
+// applyLocked folds one replayed record into the index. Duplicate
+// submissions and duplicate terminal records are ignored — first write
+// wins — so replay is idempotent and the exactly-once invariant survives
+// any record sequence a crash can produce.
+func (s *Store) applyLocked(rec record) {
+	e := s.index[rec.Job]
+	switch rec.Type {
+	case recSubmitted:
+		if e != nil {
+			return
+		}
+		s.index[rec.Job] = &jobEntry{JobRecord: JobRecord{
+			ID:    rec.Job,
+			Spec:  append([]byte(nil), rec.Spec...),
+			State: StateSubmitted,
+		}}
+		s.order = append(s.order, rec.Job)
+	case recRunning:
+		if e != nil && !Terminal(e.State) {
+			e.State = StateRunning
+		}
+	case recCompleted:
+		if e != nil && !Terminal(e.State) {
+			e.State = StateCompleted
+			e.Artifacts = rec.Artifacts
+		}
+	case recFailed, recCanceled:
+		if e != nil && !Terminal(e.State) {
+			e.State = rec.Type
+			e.Error = rec.Error
+		}
+	}
+}
+
+// reconcileArtifactsLocked checks every completed job's artifact files
+// against its recorded refs. Jobs whose bytes are intact are counted
+// toward the cache budget; jobs with missing or wrong-sized files are
+// marked evicted (their leftovers removed) and will be recomputed on
+// demand.
+func (s *Store) reconcileArtifactsLocked() {
+	for _, id := range s.order {
+		e := s.index[id]
+		if e.State != StateCompleted {
+			continue
+		}
+		var total int64
+		intact := true
+		for _, ref := range e.Artifacts {
+			fi, err := os.Stat(s.artifactPath(id, ref.Name))
+			if err != nil || fi.Size() != ref.Size {
+				intact = false
+				break
+			}
+			total += ref.Size
+		}
+		if intact {
+			e.bytes = total
+			s.artBytes += total
+			s.touchLocked(e)
+		} else {
+			s.dropArtifactsLocked(e)
+		}
+	}
+}
+
+// Close releases the WAL handle. Mutating calls after Close fail and flip
+// the store degraded, which tests use to simulate a dead disk.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Close()
+}
+
+// Degraded reports whether a write error has disabled persistence, and
+// the error that did.
+func (s *Store) Degraded() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degradedErr
+}
+
+// Stats returns a snapshot of store internals.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Jobs:          len(s.order),
+		WALBytes:      s.walBytes,
+		ArtifactBytes: s.artBytes,
+		Evictions:     s.evictions,
+		Compactions:   s.compactions,
+		TornTailBytes: s.tornBytes,
+	}
+}
+
+// Jobs returns the replayed job records in WAL submission order.
+func (s *Store) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		e := s.index[id]
+		jr := e.JobRecord
+		jr.Spec = append([]byte(nil), e.Spec...)
+		jr.Artifacts = append([]ArtifactRef(nil), e.Artifacts...)
+		out = append(out, jr)
+	}
+	return out
+}
+
+// failLocked records the first write error and flips degraded mode.
+func (s *Store) failLocked(err error) error {
+	if !s.degraded {
+		s.degraded = true
+		s.degradedErr = err
+	}
+	return err
+}
+
+// appendLocked frames and appends one record, fsyncing it. A write error
+// degrades the store.
+func (s *Store) appendLocked(rec record) error {
+	if s.degraded {
+		return s.degradedErr
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		// Records are plain scalars and slices; this cannot fail.
+		panic(err)
+	}
+	n, err := appendFrame(s.wal, payload)
+	if err != nil {
+		return s.failLocked(err)
+	}
+	s.walBytes += n
+	return nil
+}
+
+// Submitted records a job admission. Re-recording a known job is a no-op,
+// so recovery re-enqueues never duplicate the dedup record.
+func (s *Store) Submitted(id string, spec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.index[id] != nil {
+		return nil
+	}
+	if err := s.appendLocked(record{Type: recSubmitted, Job: id, Spec: spec}); err != nil {
+		return err
+	}
+	s.index[id] = &jobEntry{JobRecord: JobRecord{
+		ID:    id,
+		Spec:  append([]byte(nil), spec...),
+		State: StateSubmitted,
+	}}
+	s.order = append(s.order, id)
+	s.maybeCompactLocked()
+	return nil
+}
+
+// Running records that a worker picked the job up, so recovery can count
+// mid-run interruptions distinctly from never-started ones.
+func (s *Store) Running(id string) error {
+	return s.transition(record{Type: recRunning, Job: id})
+}
+
+// Failed records a terminal failure.
+func (s *Store) Failed(id, detail string) error {
+	return s.transition(record{Type: recFailed, Job: id, Error: detail})
+}
+
+// Canceled records a terminal cancelation.
+func (s *Store) Canceled(id, detail string) error {
+	return s.transition(record{Type: recCanceled, Job: id, Error: detail})
+}
+
+func (s *Store) transition(rec record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.index[rec.Job]
+	if e == nil {
+		return ErrUnknownJob
+	}
+	if Terminal(e.State) {
+		return nil
+	}
+	if err := s.appendLocked(rec); err != nil {
+		return err
+	}
+	s.applyLocked(rec)
+	s.maybeCompactLocked()
+	return nil
+}
+
+// Completed durably stores a finished job's artifacts and then commits
+// the completed record. Write order is the crash-safety invariant: the
+// record is appended only after every artifact byte is fsynced, so a
+// replayed completed record always points at intact files.
+func (s *Store) Completed(id string, artifacts map[string][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.index[id]
+	if e == nil {
+		return ErrUnknownJob
+	}
+	if Terminal(e.State) {
+		return nil
+	}
+	if s.degraded {
+		return s.degradedErr
+	}
+	refs, total, err := s.writeArtifactsLocked(id, artifacts)
+	if err != nil {
+		return err
+	}
+	if err := s.appendLocked(record{Type: recCompleted, Job: id, Artifacts: refs}); err != nil {
+		return err
+	}
+	e.State = StateCompleted
+	e.Artifacts = refs
+	e.evicted = false
+	e.bytes = total
+	s.artBytes += total
+	s.touchLocked(e)
+	s.evictLocked(id)
+	s.maybeCompactLocked()
+	return nil
+}
+
+// writeArtifactsLocked writes the artifact files atomically (temp +
+// rename, fsynced) and returns their refs in sorted-name order, the
+// single observable ordering of the artifact map.
+func (s *Store) writeArtifactsLocked(id string, artifacts map[string][]byte) ([]ArtifactRef, int64, error) {
+	names := make([]string, 0, len(artifacts))
+	for name := range artifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	dir := filepath.Join(s.dir, "artifacts", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, s.failLocked(err)
+	}
+	refs := make([]ArtifactRef, 0, len(names))
+	var total int64
+	for _, name := range names {
+		if err := validArtifactName(name); err != nil {
+			return nil, 0, err
+		}
+		data := artifacts[name]
+		if err := writeFileAtomic(filepath.Join(dir, name), data); err != nil {
+			return nil, 0, s.failLocked(err)
+		}
+		sum := sha256.Sum256(data)
+		refs = append(refs, ArtifactRef{Name: name, Size: int64(len(data)), SHA256: hex.EncodeToString(sum[:])})
+		total += int64(len(data))
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, 0, s.failLocked(err)
+	}
+	return refs, total, nil
+}
+
+// Artifact returns one completed artifact's bytes, verifying them against
+// the recorded SHA-256. Evicted, missing, or corrupt bytes return
+// ErrEvicted — the caller's cue to recompute and RestoreArtifacts.
+func (s *Store) Artifact(id, name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.index[id]
+	if e == nil {
+		return nil, ErrUnknownJob
+	}
+	ref, ok := findRef(e.Artifacts, name)
+	if !ok {
+		return nil, ErrNoArtifact
+	}
+	if e.evicted {
+		return nil, ErrEvicted
+	}
+	data, err := os.ReadFile(s.artifactPath(id, name))
+	if err != nil {
+		s.dropArtifactsLocked(e)
+		return nil, ErrEvicted
+	}
+	sum := sha256.Sum256(data)
+	if int64(len(data)) != ref.Size || hex.EncodeToString(sum[:]) != ref.SHA256 {
+		// Bit rot or a torn artifact write that a stale record survived:
+		// drop the job's bytes and let the deterministic recompute heal it.
+		s.dropArtifactsLocked(e)
+		return nil, ErrEvicted
+	}
+	s.touchLocked(e)
+	return data, nil
+}
+
+// RestoreArtifacts re-stores a recomputed artifact set for a completed
+// job after eviction. The bytes must hash to the recorded refs — a
+// mismatch means determinism broke and is returned as ErrMismatch without
+// touching the store.
+func (s *Store) RestoreArtifacts(id string, artifacts map[string][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.index[id]
+	if e == nil {
+		return ErrUnknownJob
+	}
+	if e.State != StateCompleted {
+		return ErrNoArtifact
+	}
+	if len(artifacts) != len(e.Artifacts) {
+		return fmt.Errorf("%w: %d artifacts, recorded %d", ErrMismatch, len(artifacts), len(e.Artifacts))
+	}
+	for _, ref := range e.Artifacts {
+		data, ok := artifacts[ref.Name]
+		if !ok {
+			return fmt.Errorf("%w: missing %q", ErrMismatch, ref.Name)
+		}
+		sum := sha256.Sum256(data)
+		if int64(len(data)) != ref.Size || hex.EncodeToString(sum[:]) != ref.SHA256 {
+			return fmt.Errorf("%w: %q", ErrMismatch, ref.Name)
+		}
+	}
+	if s.degraded {
+		return s.degradedErr
+	}
+	if !e.evicted {
+		return nil
+	}
+	refs, total, err := s.writeArtifactsLocked(id, artifacts)
+	if err != nil {
+		return err
+	}
+	_ = refs // identical to e.Artifacts by the checks above
+	e.evicted = false
+	e.bytes = total
+	s.artBytes += total
+	s.touchLocked(e)
+	s.evictLocked(id)
+	return nil
+}
+
+// touchLocked bumps the entry's LRU clock.
+func (s *Store) touchLocked(e *jobEntry) {
+	s.useClock++
+	e.lastUse = s.useClock
+}
+
+// dropArtifactsLocked removes a job's artifact files and marks it
+// evicted. The completed record (and its hashes) stay in the WAL.
+func (s *Store) dropArtifactsLocked(e *jobEntry) {
+	_ = os.RemoveAll(filepath.Join(s.dir, "artifacts", e.ID))
+	if e.bytes > 0 {
+		s.artBytes -= e.bytes
+	}
+	e.bytes = 0
+	e.evicted = true
+	s.evictions++
+}
+
+// evictLocked enforces the artifact byte budget, evicting whole jobs in
+// least-recently-used order. keep names the job that must survive this
+// pass (typically the one just written), so a single oversized job cannot
+// evict itself into a recompute loop.
+func (s *Store) evictLocked(keep string) {
+	budget := s.opts.ArtifactCacheBytes
+	if budget <= 0 {
+		return
+	}
+	for s.artBytes > budget {
+		var victim *jobEntry
+		for _, id := range s.order {
+			e := s.index[id]
+			if e.ID == keep || e.evicted || e.bytes == 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.dropArtifactsLocked(victim)
+	}
+}
+
+// maybeCompactLocked compacts once the WAL outgrows the configured bound.
+// The doubling guard keeps a live set larger than the bound from
+// re-compacting on every append.
+func (s *Store) maybeCompactLocked() {
+	if s.degraded || s.walBytes <= s.opts.WALMaxBytes {
+		return
+	}
+	if s.compactedAt > 0 && s.walBytes < 2*s.compactedAt {
+		return
+	}
+	s.compactLocked()
+}
+
+// compactLocked rewrites the WAL as a minimal snapshot — one submitted
+// record plus at most one state record per live job, in submission order
+// — then atomically replaces the log.
+func (s *Store) compactLocked() {
+	tmp := s.walPath + ".tmp"
+	var buf []byte
+	for _, id := range s.order {
+		e := s.index[id]
+		sub, err := json.Marshal(record{Type: recSubmitted, Job: id, Spec: e.Spec})
+		if err != nil {
+			panic(err)
+		}
+		buf = encodeFrame(buf, sub)
+		var st record
+		switch e.State {
+		case StateSubmitted:
+			continue
+		case StateRunning:
+			st = record{Type: recRunning, Job: id}
+		case StateCompleted:
+			st = record{Type: recCompleted, Job: id, Artifacts: e.Artifacts}
+		case StateFailed, StateCanceled:
+			st = record{Type: e.State, Job: id, Error: e.Error}
+		}
+		p, err := json.Marshal(st)
+		if err != nil {
+			panic(err)
+		}
+		buf = encodeFrame(buf, p)
+	}
+	if err := writeFileAtomic(tmp, buf); err != nil {
+		_ = s.failLocked(err)
+		return
+	}
+	if err := os.Rename(tmp, s.walPath); err != nil {
+		_ = s.failLocked(err)
+		return
+	}
+	if err := syncDir(s.dir); err != nil {
+		_ = s.failLocked(err)
+		return
+	}
+	f, err := os.OpenFile(s.walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		_ = s.failLocked(err)
+		return
+	}
+	_ = s.wal.Close()
+	s.wal = f
+	s.walBytes = int64(len(buf))
+	s.compactedAt = s.walBytes
+	s.compactions++
+}
+
+func (s *Store) artifactPath(id, name string) string {
+	return filepath.Join(s.dir, "artifacts", id, name)
+}
+
+func findRef(refs []ArtifactRef, name string) (ArtifactRef, bool) {
+	for _, r := range refs {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return ArtifactRef{}, false
+}
+
+// validArtifactName rejects names that would escape the job's artifact
+// directory. The serving layer only uses a fixed set, but the store
+// enforces its own boundary.
+func validArtifactName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("store: invalid artifact name %q", name)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory, fsyncs, and renames into place, so readers never observe a
+// half-written file and a crash leaves either the old bytes or the new.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// syncDir fsyncs a directory so a renamed-in file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,390 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func arts(kv ...string) map[string][]byte {
+	m := make(map[string][]byte)
+	for i := 0; i < len(kv); i += 2 {
+		m[kv[i]] = []byte(kv[i+1])
+	}
+	return m
+}
+
+// TestLifecycleSurvivesReopen: the core durability contract — submitted,
+// running, and completed records replay into the same index, and artifact
+// bytes come back bit-identical.
+func TestLifecycleSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Submitted("j1", []byte(`{"kind":"observe"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Running("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed("j1", arts("report", "hello", "trace", "[1,2,3]")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submitted("j2", []byte(`{"kind":"observe","seed":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Running("j2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submitted("j3", []byte(`{"seed":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Failed("j3", "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, Options{})
+	jobs := r.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(jobs))
+	}
+	wantStates := map[string]string{"j1": StateCompleted, "j2": StateRunning, "j3": StateFailed}
+	order := []string{"j1", "j2", "j3"}
+	for i, j := range jobs {
+		if j.ID != order[i] {
+			t.Fatalf("job %d = %s, want %s (order must be submission order)", i, j.ID, order[i])
+		}
+		if j.State != wantStates[j.ID] {
+			t.Fatalf("%s state = %s, want %s", j.ID, j.State, wantStates[j.ID])
+		}
+	}
+	if string(jobs[0].Spec) != `{"kind":"observe"}` {
+		t.Fatalf("j1 spec = %s", jobs[0].Spec)
+	}
+	if jobs[2].Error != "boom" {
+		t.Fatalf("j3 error = %q", jobs[2].Error)
+	}
+	for name, want := range map[string]string{"report": "hello", "trace": "[1,2,3]"} {
+		got, err := r.Artifact("j1", name)
+		if err != nil || string(got) != want {
+			t.Fatalf("Artifact(j1, %s) = (%q, %v), want %q", name, got, err, want)
+		}
+	}
+	if _, err := r.Artifact("j1", "nope"); !errors.Is(err, ErrNoArtifact) {
+		t.Fatalf("unknown artifact err = %v", err)
+	}
+	if _, err := r.Artifact("jx", "report"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job err = %v", err)
+	}
+}
+
+// TestTornTailTruncatedOnOpen appends a partial frame (as a SIGKILL mid-
+// append would) and proves reopen drops exactly the torn tail, keeps all
+// earlier records, and physically truncates the file so later appends
+// start clean.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Submitted("j1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed("j1", arts("report", "r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submitted("j2", []byte(`{"seed":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "wal")
+	intact, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a frame whose payload is cut short.
+	torn := encodeFrame(nil, []byte(`{"type":"completed","job":"j2"}`))
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-5]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := open(t, dir, Options{})
+	st := r.Stats()
+	if st.TornTailBytes != int64(len(torn)-5) {
+		t.Fatalf("TornTailBytes = %d, want %d", st.TornTailBytes, len(torn)-5)
+	}
+	jobs := r.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].State != StateCompleted || jobs[1].State != StateSubmitted {
+		t.Fatalf("states = %s, %s (torn terminal record must be dropped)", jobs[0].State, jobs[1].State)
+	}
+	if got, err := r.Artifact("j1", "report"); err != nil || string(got) != "r1" {
+		t.Fatalf("pre-tear artifact = (%q, %v)", got, err)
+	}
+	// The file itself is truncated back to the last good frame.
+	now, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(now, intact) {
+		t.Fatalf("WAL is %d bytes after reopen, want %d (torn tail physically removed)", len(now), len(intact))
+	}
+	// And appending after the truncation keeps working.
+	if err := r.Running("j2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := open(t, dir, Options{})
+	if jobs := r2.Jobs(); jobs[1].State != StateRunning {
+		t.Fatalf("post-truncation append lost: j2 = %s", jobs[1].State)
+	}
+}
+
+// TestDuplicateRecordsIgnored: replay and the append API are both
+// first-write-wins, so no crash/recovery interleaving can duplicate a
+// dedup record or flip a settled terminal state.
+func TestDuplicateRecordsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Submitted("j1", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submitted("j1", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed("j1", arts("report", "first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed("j1", arts("report", "second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Failed("j1", "late failure must not unseat completion"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r := open(t, dir, Options{})
+	jobs := r.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("%d job records, want 1", len(jobs))
+	}
+	if string(jobs[0].Spec) != `{"v":1}` || jobs[0].State != StateCompleted {
+		t.Fatalf("job = (%s, %s)", jobs[0].Spec, jobs[0].State)
+	}
+	if got, _ := r.Artifact("j1", "report"); string(got) != "first" {
+		t.Fatalf("artifact = %q, want first-write-wins", got)
+	}
+}
+
+// TestLRUEviction: with a byte budget, least-recently-used jobs lose
+// their bytes (not their records), reads of evicted artifacts say
+// ErrEvicted, and RestoreArtifacts brings verified bytes back.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Budget fits two 100-byte artifact sets, not three.
+	s := open(t, dir, Options{ArtifactCacheBytes: 250})
+	payload := func(i int) map[string][]byte {
+		return arts("report", fmt.Sprintf("%0100d", i))
+	}
+	for i := 1; i <= 2; i++ {
+		id := fmt.Sprintf("j%d", i)
+		if err := s.Submitted(id, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Completed(id, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch j1 so j2 is the LRU victim.
+	if _, err := s.Artifact("j1", "report"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submitted("j3", []byte(`{"seed":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed("j3", payload(3)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.ArtifactBytes != 200 {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+	if _, err := s.Artifact("j2", "report"); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("evicted read err = %v, want ErrEvicted", err)
+	}
+	if _, err := s.Artifact("j1", "report"); err != nil {
+		t.Fatalf("kept artifact read: %v", err)
+	}
+	// The record survives eviction: state and hashes are intact.
+	for _, j := range s.Jobs() {
+		if j.ID == "j2" && (j.State != StateCompleted || len(j.Artifacts) != 1) {
+			t.Fatalf("evicted job record damaged: %+v", j)
+		}
+	}
+	// Restoring wrong bytes is refused; right bytes heal the cache.
+	if err := s.RestoreArtifacts("j2", arts("report", "tampered")); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("tampered restore err = %v, want ErrMismatch", err)
+	}
+	if err := s.RestoreArtifacts("j2", payload(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Artifact("j2", "report"); err != nil || !bytes.Equal(got, payload(2)["report"]) {
+		t.Fatalf("restored artifact = (%q, %v)", got, err)
+	}
+}
+
+// TestEvictionSurvivesReopen: artifacts deleted on disk (evicted, or
+// lost with the volume) reopen as evicted records, not errors.
+func TestEvictionSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Submitted("j1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed("j1", arts("report", "r", "trace", "t")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, "artifacts", "j1", "trace")); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, Options{})
+	if _, err := r.Artifact("j1", "report"); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("partially missing artifacts must evict the whole job, got %v", err)
+	}
+	if jobs := r.Jobs(); jobs[0].State != StateCompleted {
+		t.Fatalf("state = %s, want completed", jobs[0].State)
+	}
+}
+
+// TestCorruptArtifactEvicted: bytes that no longer hash to the recorded
+// SHA-256 are treated as evicted, never served.
+func TestCorruptArtifactEvicted(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Submitted("j1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed("j1", arts("report", "precious")); err != nil {
+		t.Fatal(err)
+	}
+	// Same size, different bytes: size checks pass, the hash must not.
+	if err := os.WriteFile(filepath.Join(dir, "artifacts", "j1", "report"), []byte("poisoned"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Artifact("j1", "report"); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("corrupt artifact err = %v, want ErrEvicted", err)
+	}
+}
+
+// TestCompaction: a WAL past its bound is rewritten as a snapshot that
+// replays to the identical index, and the rewrite is itself durable.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{WALMaxBytes: 512})
+	// Enough transitions to trip the 512-byte bound several times over.
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("j%02d", i)
+		if err := s.Submitted(id, []byte(fmt.Sprintf(`{"seed":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Running(id); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := s.Completed(id, arts("report", fmt.Sprintf("r%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compactions at %d WAL bytes (bound 512)", st.WALBytes)
+	}
+	before := s.Jobs()
+	s.Close()
+	r := open(t, dir, Options{WALMaxBytes: 512})
+	after := r.Jobs()
+	if len(after) != len(before) {
+		t.Fatalf("replayed %d jobs, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if before[i].ID != after[i].ID || before[i].State != after[i].State ||
+			!bytes.Equal(before[i].Spec, after[i].Spec) {
+			t.Fatalf("job %d differs across compacted reopen: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+	if got, err := r.Artifact("j00", "report"); err != nil || string(got) != "r0" {
+		t.Fatalf("artifact after compaction = (%q, %v)", got, err)
+	}
+}
+
+// TestDegradedMode: a write failure (simulated by closing the WAL handle,
+// as a dead disk would) flips degraded, keeps reads working, and refuses
+// further writes with the original error rather than panicking or lying.
+func TestDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.Submitted("j1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Completed("j1", arts("report", "safe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submitted("j2", []byte(`{"seed":2}`)); err == nil {
+		t.Fatal("append on dead store succeeded")
+	}
+	if deg, derr := s.Degraded(); !deg || derr == nil {
+		t.Fatalf("Degraded() = (%v, %v) after write failure", deg, derr)
+	}
+	// Reads of already-durable data keep working.
+	if got, err := s.Artifact("j1", "report"); err != nil || string(got) != "safe" {
+		t.Fatalf("degraded read = (%q, %v)", got, err)
+	}
+	// Further writes fail fast with the recorded error, not fresh panics.
+	if err := s.Running("j1"); err != nil {
+		t.Fatalf("terminal-state transition should stay a no-op, got %v", err)
+	}
+	if err := s.Failed("j2", "x"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job on degraded store = %v", err)
+	}
+}
+
+// TestArtifactNameValidation: names that could escape the artifact
+// directory are rejected outright.
+func TestArtifactNameValidation(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if err := s.Submitted("j1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`} {
+		if err := s.Completed("j1", map[string][]byte{bad: []byte("x")}); err == nil {
+			t.Fatalf("artifact name %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// WAL framing: each record is [4-byte little-endian payload length]
+// [4-byte little-endian CRC32 (IEEE) of the payload][payload]. The
+// payload is the canonical JSON of a lifecycle record. A reader that hits
+// a frame whose length runs past the file, whose checksum disagrees, or
+// whose header is itself truncated has found the torn tail of a crashed
+// append; everything before it is intact by construction (frames are
+// written front to back and fsynced), so recovery truncates at the last
+// good frame and keeps going.
+const (
+	frameHeaderLen = 8
+	// maxFrameLen bounds a single record so a corrupt length prefix cannot
+	// drive a multi-gigabyte allocation during replay.
+	maxFrameLen = 16 << 20
+)
+
+// encodeFrame appends the framed payload to buf and returns it.
+func encodeFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// appendFrame writes one framed record to f and syncs it to stable
+// storage. The frame is assembled into a single Write so a crash tears at
+// most one frame, never interleaves two.
+func appendFrame(f *os.File, payload []byte) (int64, error) {
+	if len(payload) > maxFrameLen {
+		return 0, fmt.Errorf("store: record of %d bytes exceeds frame limit", len(payload))
+	}
+	frame := encodeFrame(make([]byte, 0, frameHeaderLen+len(payload)), payload)
+	if _, err := f.Write(frame); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return int64(len(frame)), nil
+}
+
+// scanFrames walks the framed records in b and returns the payloads of
+// every intact frame, the offset just past the last intact frame, and
+// whether trailing bytes (a torn or corrupt tail) were dropped.
+func scanFrames(b []byte) (payloads [][]byte, goodSize int64, torn bool) {
+	off := 0
+	for off+frameHeaderLen <= len(b) {
+		n := int(binary.LittleEndian.Uint32(b[off : off+4]))
+		sum := binary.LittleEndian.Uint32(b[off+4 : off+8])
+		if n > maxFrameLen || off+frameHeaderLen+n > len(b) {
+			break
+		}
+		payload := b[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderLen + n
+	}
+	return payloads, int64(off), off < len(b)
+}
