@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-smoke vet lint fmt ci fuzz-smoke trace-smoke serve-smoke crash-smoke figures report clean
+.PHONY: all build test test-short bench bench-smoke bench-compare vet lint fmt ci fuzz-smoke trace-smoke serve-smoke crash-smoke figures report clean
 
 all: build vet lint test
 
@@ -11,6 +11,7 @@ all: build vet lint test
 ci: build vet fmt lint
 	go test -race -timeout 1800s ./...
 	$(MAKE) bench-smoke
+	$(MAKE) bench-compare
 	$(MAKE) fuzz-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
@@ -88,6 +89,23 @@ bench:
 # seconds without measuring anything.
 bench-smoke:
 	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Allocation-regression gate: run the gate benchmarks once, convert to a
+# snapshot, and diff against the committed baseline. Only allocs/op gates —
+# it is exact and machine-independent, where one iteration's ns/op on a
+# shared CI runner is noise. The default -alloc-slack absorbs warmup-only
+# allocations that a single iteration cannot amortize away (the scheduler's
+# event-slab carve, first-touch bucket growth).
+BENCH_BASELINE := BENCH_2026-08-08.json
+BENCH_GATES := BenchmarkSchedulerEvents,BenchmarkFig2Goodput
+bench-compare:
+	mkdir -p .bench
+	go test -run='^$$' -bench='^(BenchmarkSchedulerEvents|BenchmarkFig2Goodput)$$' \
+		-benchtime=1x -benchmem . | tee .bench/gate.txt
+	go run ./cmd/benchjson -date 1970-01-01 < .bench/gate.txt > .bench/gate.json
+	go run ./cmd/benchjson -compare -gate $(BENCH_GATES) -max-regress-pct 10 \
+		$(BENCH_BASELINE) .bench/gate.json
+	rm -rf .bench
 
 fuzz:
 	go test -fuzz=FuzzDecodePacket -fuzztime=30s ./internal/core/

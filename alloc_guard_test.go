@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"finepack/internal/core"
+	"finepack/internal/des"
 	"finepack/internal/gpusim"
 )
 
@@ -31,6 +32,37 @@ func TestObsDisabledQueueWriteAllocFree(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Fatalf("obs-disabled dense queue write allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSchedulerSteadyStateAllocFree pins the scheduler hot loop's
+// allocation contract: with no probe attached, steady-state schedule+fire
+// (After, then Run to drain) is allocation-free per event. The only
+// allocator touch left is the event slab carve — one make per 256 events
+// (see des.eventSlabSize) — plus rare amortized bucket growth inside the
+// calendar queue, so the guard asserts the per-op average stays below a
+// small epsilon rather than exactly zero. A regression here means a
+// closure, interface box, or slice grew onto the per-event path.
+func TestSchedulerSteadyStateAllocFree(t *testing.T) {
+	s := des.NewScheduler()
+	// Warm up: let the calendar's buckets, the cohort slice, and the first
+	// event slab reach steady-state capacity.
+	for i := 0; i < 4096; i++ {
+		s.After(des.Time(i%64)*des.Nanosecond, func() {})
+	}
+	s.Run()
+	nop := func() {}
+	i := 0
+	allocs := testing.AllocsPerRun(8192, func() {
+		s.After(des.Time(i%64)*des.Nanosecond, nop)
+		i++
+		if i%512 == 0 {
+			s.Run()
+		}
+	})
+	s.Run()
+	if allocs > 0.05 {
+		t.Fatalf("steady-state schedule+fire allocates %.4f allocs/op, want ~1/256 (slab carve only)", allocs)
 	}
 }
 

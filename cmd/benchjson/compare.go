@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// compare mode: `benchjson -compare OLD.json NEW.json` diffs two snapshot
+// files produced by the default mode, printing per-benchmark ns/op, B/op,
+// and allocs/op deltas. With -gate, the named benchmarks become a CI
+// regression gate: the command exits non-zero when any of them regresses
+// beyond -max-regress-pct on the gated metric, or is missing from either
+// snapshot. allocs/op is the default gated metric because it is exact and
+// machine-independent — ns/op from a CI runner (especially a -benchtime=1x
+// smoke run) is noise; -alloc-slack absorbs the constant-count difference
+// between a 1x run and a full measured run (warmup-only costs such as the
+// event-slab carve land on the single iteration).
+
+type compareOpts struct {
+	gate          []string
+	maxRegressPct float64
+	allocSlack    float64
+	metric        string // "allocs", "ns", or "both"
+}
+
+// loadReport reads one benchjson snapshot and indexes it by benchmark
+// name. Duplicate names (the same benchmark in two packages) are
+// disambiguated as pkg/Name, with the bare name keeping the first.
+func loadReport(path string) (*Report, map[string]Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		if _, dup := byName[b.Name]; dup {
+			byName[b.Pkg+"/"+b.Name] = b
+			continue
+		}
+		byName[b.Name] = b
+	}
+	return &rep, byName, nil
+}
+
+// deltaPct returns the relative change new vs old in percent; +Inf when a
+// zero baseline grew, 0 when both are zero.
+func deltaPct(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old * 100
+}
+
+func fmtDelta(old, new float64) string {
+	if old < 0 || new < 0 { // -1: not measured
+		return "-"
+	}
+	d := deltaPct(old, new)
+	switch {
+	case math.IsInf(d, 1):
+		return fmt.Sprintf("%.4g→%.4g (+inf%%)", old, new)
+	default:
+		return fmt.Sprintf("%.4g→%.4g (%+.1f%%)", old, new, d)
+	}
+}
+
+// regressed reports whether new exceeds old by more than pct percent plus
+// an absolute slack. Unmeasured values (-1) never gate.
+func regressed(old, new, pct, slack float64) bool {
+	if old < 0 || new < 0 {
+		return false
+	}
+	return new > old*(1+pct/100)+slack
+}
+
+// runCompare executes the compare mode and returns the process exit code.
+func runCompare(oldPath, newPath string, opts compareOpts, w io.Writer) int {
+	oldRep, oldBy, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	_, newBy, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+
+	// Per-benchmark deltas, in the old snapshot's order, then additions.
+	fmt.Fprintf(w, "%-34s %-28s %-28s %s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	seen := make(map[string]bool)
+	for _, ob := range oldRep.Benchmarks {
+		key := ob.Name
+		if seen[key] {
+			key = ob.Pkg + "/" + ob.Name
+		}
+		seen[ob.Name] = true
+		nb, ok := newBy[key]
+		if !ok {
+			fmt.Fprintf(w, "%-34s removed\n", key)
+			continue
+		}
+		fmt.Fprintf(w, "%-34s %-28s %-28s %s\n", key,
+			fmtDelta(ob.NsPerOp, nb.NsPerOp),
+			fmtDelta(ob.BytesPerOp, nb.BytesPerOp),
+			fmtDelta(ob.AllocsPerOp, nb.AllocsPerOp))
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			fmt.Fprintf(w, "%-34s added\n", name)
+		}
+	}
+
+	// Gate evaluation.
+	failures := 0
+	for _, g := range opts.gate {
+		ob, okOld := oldBy[g]
+		nb, okNew := newBy[g]
+		if !okOld || !okNew {
+			var missing []string
+			if !okOld {
+				missing = append(missing, "old")
+			}
+			if !okNew {
+				missing = append(missing, "new")
+			}
+			fmt.Fprintf(w, "GATE FAIL %s: missing from %s snapshot\n",
+				g, strings.Join(missing, " and "))
+			failures++
+			continue
+		}
+		bad := false
+		if opts.metric == "allocs" || opts.metric == "both" {
+			if regressed(ob.AllocsPerOp, nb.AllocsPerOp, opts.maxRegressPct, opts.allocSlack) {
+				fmt.Fprintf(w, "GATE FAIL %s: allocs/op %.4g → %.4g exceeds +%.1f%% (+%g slack)\n",
+					g, ob.AllocsPerOp, nb.AllocsPerOp, opts.maxRegressPct, opts.allocSlack)
+				bad = true
+			}
+		}
+		if opts.metric == "ns" || opts.metric == "both" {
+			if regressed(ob.NsPerOp, nb.NsPerOp, opts.maxRegressPct, 0) {
+				fmt.Fprintf(w, "GATE FAIL %s: ns/op %.4g → %.4g exceeds +%.1f%%\n",
+					g, ob.NsPerOp, nb.NsPerOp, opts.maxRegressPct)
+				bad = true
+			}
+		}
+		if bad {
+			failures++
+		} else {
+			fmt.Fprintf(w, "GATE ok   %s\n", g)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(w, "benchjson: %d gate benchmark(s) regressed\n", failures)
+		return 1
+	}
+	return 0
+}
+
+// splitGate parses the -gate comma list.
+func splitGate(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, g := range strings.Split(s, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}

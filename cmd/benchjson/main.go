@@ -8,6 +8,17 @@
 // allocs/op columns broken out and every custom b.ReportMetric unit
 // (speedup-x, stores/packet, ...) collected under "metrics". `make bench`
 // wraps this into a dated snapshot file.
+//
+// Compare mode diffs two snapshots and optionally gates a CI run:
+//
+//	benchjson -compare BENCH_old.json BENCH_new.json \
+//	    -gate BenchmarkSchedulerEvents,BenchmarkFig2Goodput \
+//	    -max-regress-pct 10
+//
+// It prints per-benchmark ns/op, B/op, allocs/op deltas and exits
+// non-zero when a gate benchmark regresses beyond -max-regress-pct on the
+// gated metric (-gate-metric, default allocs/op: exact and
+// machine-independent, where ns/op from a shared CI runner is noise).
 package main
 
 import (
@@ -52,6 +63,15 @@ var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?$`)
 // pass an explicit date so the same input always yields the same bytes.
 var dateOverride = flag.String("date", "", "date stamp for the report (YYYY-MM-DD; default: today)")
 
+// Compare-mode flags (see runCompare in compare.go).
+var (
+	compareMode = flag.Bool("compare", false, "compare two snapshot files: benchjson -compare OLD.json NEW.json")
+	gateList    = flag.String("gate", "", "comma-separated benchmark names that must not regress (compare mode)")
+	maxRegress  = flag.Float64("max-regress-pct", 10, "relative regression tolerance for gate benchmarks, in percent")
+	allocSlack  = flag.Float64("alloc-slack", 8, "absolute allocs/op allowance on top of -max-regress-pct (absorbs -benchtime=1x warmup costs)")
+	gateMetric  = flag.String("gate-metric", "allocs", "which metric gates: allocs, ns, or both")
+)
+
 // reportDate resolves the stamp, validating an explicit override.
 func reportDate(override string) (string, error) {
 	if override == "" {
@@ -65,6 +85,24 @@ func reportDate(override string) (string, error) {
 
 func main() {
 	flag.Parse()
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		switch *gateMetric {
+		case "allocs", "ns", "both":
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: bad -gate-metric %q: want allocs, ns, or both\n", *gateMetric)
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), compareOpts{
+			gate:          splitGate(*gateList),
+			maxRegressPct: *maxRegress,
+			allocSlack:    *allocSlack,
+			metric:        *gateMetric,
+		}, os.Stdout))
+	}
 	date, err := reportDate(*dateOverride)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

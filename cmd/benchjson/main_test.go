@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -50,6 +54,112 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 	} {
 		if _, ok := parseBenchLine(line, ""); ok {
 			t.Errorf("parsed noise line %q", line)
+		}
+	}
+}
+
+// writeSnapshot marshals a report to a temp file and returns its path.
+func writeSnapshot(t *testing.T, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGatePassAndFail(t *testing.T) {
+	old := writeSnapshot(t, "old.json", Report{Date: "2026-08-08", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 10},
+		{Name: "BenchmarkB", NsPerOp: 200, BytesPerOp: 0, AllocsPerOp: 0},
+	}})
+	opts := compareOpts{gate: []string{"BenchmarkA", "BenchmarkB"}, maxRegressPct: 10, allocSlack: 2, metric: "allocs"}
+
+	// Within tolerance: 10 → 11 allocs is exactly +10%, zero stays zero.
+	okNew := writeSnapshot(t, "ok.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 150, BytesPerOp: 64, AllocsPerOp: 11},
+		{Name: "BenchmarkB", NsPerOp: 500, BytesPerOp: 0, AllocsPerOp: 1},
+	}})
+	var out strings.Builder
+	if code := runCompare(old, okNew, opts, &out); code != 0 {
+		t.Fatalf("within-tolerance compare exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "GATE ok   BenchmarkA") {
+		t.Fatalf("missing gate-ok line:\n%s", out.String())
+	}
+
+	// Beyond tolerance: 10 → 14 allocs is +40% and past the +2 slack.
+	badNew := writeSnapshot(t, "bad.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 14},
+		{Name: "BenchmarkB", NsPerOp: 200, BytesPerOp: 0, AllocsPerOp: 0},
+	}})
+	out.Reset()
+	if code := runCompare(old, badNew, opts, &out); code == 0 {
+		t.Fatalf("regressed gate benchmark must exit non-zero:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "GATE FAIL BenchmarkA") {
+		t.Fatalf("missing gate-fail line:\n%s", out.String())
+	}
+}
+
+func TestCompareGateMissingBenchmarkFails(t *testing.T) {
+	old := writeSnapshot(t, "old.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 1},
+	}})
+	newer := writeSnapshot(t, "new.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkOther", NsPerOp: 1, AllocsPerOp: 1},
+	}})
+	var out strings.Builder
+	opts := compareOpts{gate: []string{"BenchmarkA"}, maxRegressPct: 10, metric: "allocs"}
+	if code := runCompare(old, newer, opts, &out); code == 0 {
+		t.Fatalf("gate benchmark missing from new snapshot must fail:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "missing from new snapshot") {
+		t.Fatalf("missing-snapshot diagnostic absent:\n%s", out.String())
+	}
+}
+
+func TestCompareNsGateAndUnmeasured(t *testing.T) {
+	old := writeSnapshot(t, "old.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: -1, AllocsPerOp: -1},
+	}})
+	newer := writeSnapshot(t, "new.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 300, BytesPerOp: -1, AllocsPerOp: -1},
+	}})
+	var out strings.Builder
+	// allocs metric: unmeasured (-1) never gates, even with ns 3× worse.
+	opts := compareOpts{gate: []string{"BenchmarkA"}, maxRegressPct: 10, metric: "allocs"}
+	if code := runCompare(old, newer, opts, &out); code != 0 {
+		t.Fatalf("unmeasured allocs must not gate:\n%s", out.String())
+	}
+	// ns metric: the same 3× slowdown fails.
+	out.Reset()
+	opts.metric = "ns"
+	if code := runCompare(old, newer, opts, &out); code == 0 {
+		t.Fatalf("3x ns/op regression must fail the ns gate:\n%s", out.String())
+	}
+}
+
+func TestCompareNoGateIsReportOnly(t *testing.T) {
+	old := writeSnapshot(t, "old.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 5},
+		{Name: "BenchmarkGone", NsPerOp: 9, AllocsPerOp: 9},
+	}})
+	newer := writeSnapshot(t, "new.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 900, AllocsPerOp: 50},
+		{Name: "BenchmarkNew", NsPerOp: 1, AllocsPerOp: 1},
+	}})
+	var out strings.Builder
+	if code := runCompare(old, newer, compareOpts{maxRegressPct: 10, metric: "allocs"}, &out); code != 0 {
+		t.Fatalf("no gates: massive regressions still report-only, exited %d:\n%s", code, out.String())
+	}
+	for _, want := range []string{"BenchmarkA", "removed", "added"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
 		}
 	}
 }

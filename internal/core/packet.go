@@ -134,7 +134,13 @@ func NewPlainPacket(cfg Config, dst int, addr uint64, data []byte) *Packet {
 // (§IV-B, de-packetizer). The returned stores reference the packet's data
 // slices; callers must not mutate them.
 func Depacketize(p *Packet) []Store {
-	out := make([]Store, 0, len(p.Subs))
+	return DepacketizeAppend(make([]Store, 0, len(p.Subs)), p)
+}
+
+// DepacketizeAppend is Depacketize into a caller-provided slice, so hot
+// ingress paths can reuse one scratch buffer across packets instead of
+// allocating per packet.
+func DepacketizeAppend(out []Store, p *Packet) []Store {
 	for _, s := range p.Subs {
 		out = append(out, Store{
 			Dst:  p.Dst,

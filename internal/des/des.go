@@ -6,10 +6,16 @@
 // The kernel is intentionally single-threaded: determinism matters more than
 // host parallelism for an architectural study, and every run with the same
 // inputs must produce bit-identical statistics.
+//
+// Two event-queue implementations live behind one Scheduler API (see
+// DESIGN.md §12): a calendar queue tuned for the simulator's near-future
+// event distribution (the default), and the original binary heap, kept as
+// the reference oracle and selectable for a whole build with
+// `-tags des_heapq`. Both fire events in exactly the same (At, seq) total
+// order, a property the in-package equivalence tests fuzz continuously.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -60,45 +66,34 @@ func DurationForBytes(n uint64, bytesPerSecond float64) Time {
 	return Time(math.Ceil(ps))
 }
 
+// Event state markers carried in Event.idx. Non-negative values are heap
+// positions (heap implementation only); the calendar queue never tracks
+// positions, so its queued events carry idxQueued.
+const (
+	idxFired     = -1 // popped and fired (or currently firing)
+	idxCancelled = -2 // cancelled before firing
+	idxStaged    = -3 // popped into the firing cohort, not yet fired
+	idxQueued    = -4 // queued in the calendar (bucket or overflow)
+)
+
 // Event is a scheduled callback. Events with equal timestamps fire in the
 // order they were scheduled (FIFO), which keeps runs deterministic.
 type Event struct {
 	At  Time
 	Fn  func()
 	seq uint64
-	idx int // heap index; -1 once popped or cancelled
+	idx int // heap index, or one of the idx* state markers
 }
 
 // Cancelled reports whether the event was removed before firing.
-func (e *Event) Cancelled() bool { return e.idx == -2 }
+func (e *Event) Cancelled() bool { return e.idx == idxCancelled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// before reports whether e precedes o in the (At, seq) total firing order.
+func (e *Event) before(o *Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Probe observes scheduler execution for the observability layer. It is
@@ -115,7 +110,6 @@ type Probe interface {
 // The zero value is not usable; call NewScheduler.
 type Scheduler struct {
 	now    Time
-	queue  eventHeap
 	seq    uint64
 	fired  uint64
 	inRun  bool
@@ -123,6 +117,24 @@ type Scheduler struct {
 	halted bool
 	probe  Probe
 	slab   []Event // bump allocator for events (see newEvent)
+
+	// Queue implementation. useHeap selects the reference binary heap
+	// (build tag des_heapq, or newHeapScheduler in tests); the default is
+	// the calendar queue. One predictable branch per queue operation is
+	// far cheaper than an interface call on the hot path.
+	useHeap bool
+	hq      eventHeap
+	cq      calendarQueue
+
+	// Firing cohort: popCohort moves every event sharing the minimum
+	// timestamp out of the queue in one batch, and the run loop fires
+	// them in seq order with per-event halt/budget checks. stagedLive
+	// counts staged events not yet fired or cancelled, so Pending stays
+	// exact while a cohort is in flight (Halt and RunBudget can leave
+	// staged leftovers for the next run to drain first).
+	cohort     []*Event
+	cohortPos  int
+	stagedLive int
 }
 
 // eventSlabSize is the bump-allocation block for events. Runs fire tens of
@@ -148,7 +160,20 @@ func (s *Scheduler) newEvent(t Time, fn func()) *Event {
 
 // NewScheduler returns a scheduler at time zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{queue: make(eventHeap, 0, 1024)}
+	return newSchedulerWith(defaultUseHeap)
+}
+
+// newSchedulerWith builds a scheduler on an explicit queue implementation;
+// the equivalence oracle drives a heap and a calendar scheduler in
+// lockstep regardless of build tags.
+func newSchedulerWith(useHeap bool) *Scheduler {
+	s := &Scheduler{useHeap: useHeap}
+	if useHeap {
+		s.hq = make(eventHeap, 0, 1024)
+	} else {
+		s.cq.init()
+	}
+	return s
 }
 
 // SetProbe attaches (or with nil, detaches) an execution probe.
@@ -160,8 +185,14 @@ func (s *Scheduler) Now() Time { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events still queued.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending returns the number of events still queued (staged cohort
+// leftovers from a halted run included: they have not fired).
+func (s *Scheduler) Pending() int {
+	if s.useHeap {
+		return len(s.hq) + s.stagedLive
+	}
+	return s.cq.live + s.stagedLive
+}
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it
 // always indicates a model bug and silently clamping would hide it.
@@ -171,7 +202,11 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	}
 	e := s.newEvent(t, fn)
 	s.seq++
-	heap.Push(&s.queue, e)
+	if s.useHeap {
+		s.hq.push(e)
+	} else {
+		s.cq.push(e)
+	}
 	return e
 }
 
@@ -181,13 +216,31 @@ func (s *Scheduler) After(delay Time, fn func()) *Event {
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. The calendar queue cancels lazily
+// (the event becomes a tombstone skipped at pop time); either way the
+// callback is released immediately so a cancelled event never pins its
+// captures. A staged cohort sibling — popped in the same same-timestamp
+// batch but not yet fired — is cancelled too: batch popping must not make
+// cancellation able to miss.
 func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.idx < 0 {
+	if e == nil {
 		return
 	}
-	heap.Remove(&s.queue, e.idx)
-	e.idx = -2
+	switch {
+	case e.idx >= 0: // queued in the heap
+		s.hq.remove(e.idx)
+		e.idx = idxCancelled
+		e.Fn = nil
+	case e.idx == idxQueued: // queued in the calendar: tombstone
+		e.idx = idxCancelled
+		e.Fn = nil
+		s.cq.live--
+	case e.idx == idxStaged: // popped with the firing cohort, not yet run
+		e.idx = idxCancelled
+		e.Fn = nil
+		s.stagedLive--
+	}
+	// idxFired / idxCancelled: no-op.
 }
 
 // Halt stops the current Run after the in-flight event returns.
@@ -218,6 +271,33 @@ func (s *Scheduler) RunBudget(maxEvents uint64) (Time, error) {
 	return s.run(Time(math.MaxUint64), maxEvents)
 }
 
+// peek returns the earliest live queued event without popping, or nil.
+func (s *Scheduler) peek() *Event {
+	if s.useHeap {
+		return s.hq.peek()
+	}
+	return s.cq.peek()
+}
+
+// popCohort moves every queued event sharing the minimum timestamp into
+// s.cohort in seq order and marks them staged. The heap pays one sift per
+// event (it is the reference implementation); the calendar slices the
+// cohort off the head of one bucket.
+func (s *Scheduler) popCohort() {
+	s.cohort = s.cohort[:0]
+	s.cohortPos = 0
+	if s.useHeap {
+		s.cohort = s.hq.popCohort(s.cohort)
+	} else {
+		s.cohort = s.cq.popCohort(s.cohort)
+	}
+	s.stagedLive += len(s.cohort)
+}
+
+// run is the shared engine behind Run/RunUntil/RunBudget: pop a cohort of
+// same-timestamp events in one batch, then fire them one at a time with
+// per-event deadline, budget, and halt checks, exactly as the original
+// pop-one-fire-one heap loop behaved.
 func (s *Scheduler) run(deadline Time, budget uint64) (Time, error) {
 	if s.inRun {
 		panic("des: re-entrant Run")
@@ -227,17 +307,41 @@ func (s *Scheduler) run(deadline Time, budget uint64) (Time, error) {
 	defer func() { s.inRun = false }()
 	start := s.fired
 	var err error
-	for len(s.queue) > 0 && !s.halted {
-		next := s.queue[0]
+	for !s.halted {
+		// Next staged event: usually the cohort popped below; after a
+		// Halt or budget stop, the leftovers of an interrupted cohort,
+		// drained before the queue is consulted again.
+		var next *Event
+		for s.cohortPos < len(s.cohort) {
+			e := s.cohort[s.cohortPos]
+			if e.idx != idxStaged { // cancelled while staged
+				s.cohortPos++
+				continue
+			}
+			next = e
+			break
+		}
+		if next == nil {
+			head := s.peek()
+			if head == nil || head.At > deadline {
+				break
+			}
+			s.popCohort()
+			continue
+		}
 		if next.At > deadline {
+			// Leftover cohort from an earlier halted run, past this
+			// call's horizon: leave it staged.
 			break
 		}
 		if budget > 0 && s.fired-start >= budget {
 			err = fmt.Errorf("des: event budget of %d exceeded at %v (pending=%d)",
-				budget, s.now, len(s.queue))
+				budget, s.now, s.Pending())
 			break
 		}
-		heap.Pop(&s.queue)
+		s.cohortPos++
+		s.stagedLive--
+		next.idx = idxFired
 		s.now = next.At
 		s.fired++
 		if s.probe != nil {

@@ -4,11 +4,17 @@ package des
 // block for link and port models: requests queue, each occupies the server
 // for a caller-provided service time, and a completion callback fires when
 // service finishes.
+//
+// The completion path is allocation-lean: one pre-bound finish closure is
+// created per Server (not per request), and the wait queue is a
+// head-compacted slice whose capacity is reused instead of slid away.
 type Server struct {
-	sched *Scheduler
-	busy  bool
-	queue []serverReq
-
+	sched   *Scheduler
+	busy    bool
+	queue   []serverReq
+	qhead   int
+	curDone func() // completion callback of the request in service
+	finish  func() // cached bound method; scheduled once per service
 	// Busy accumulates total occupied time, for utilization reporting.
 	Busy Time
 	// Served counts completed requests.
@@ -22,12 +28,18 @@ type serverReq struct {
 
 // NewServer returns an idle server bound to sched.
 func NewServer(sched *Scheduler) *Server {
-	return &Server{sched: sched}
+	s := &Server{sched: sched}
+	s.finish = s.finishService
+	return s
 }
 
 // Request enqueues a job needing the given service time; done (may be nil)
 // fires at completion. Jobs are served in arrival order.
 func (s *Server) Request(service Time, done func()) {
+	if s.qhead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	}
 	s.queue = append(s.queue, serverReq{service: service, done: done})
 	if !s.busy {
 		s.startNext()
@@ -36,7 +48,7 @@ func (s *Server) Request(service Time, done func()) {
 
 // QueueLen returns the number of jobs waiting or in service.
 func (s *Server) QueueLen() int {
-	n := len(s.queue)
+	n := len(s.queue) - s.qhead
 	if s.busy {
 		n++
 	}
@@ -53,21 +65,32 @@ func (s *Server) Utilization() float64 {
 }
 
 func (s *Server) startNext() {
-	if len(s.queue) == 0 {
+	if s.qhead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qhead = 0
 		return
 	}
-	req := s.queue[0]
-	s.queue = s.queue[1:]
+	req := s.queue[s.qhead]
+	s.queue[s.qhead] = serverReq{} // release the done closure
+	s.qhead++
 	s.busy = true
 	s.Busy += req.service
-	s.sched.After(req.service, func() {
-		s.busy = false
-		s.Served++
-		if req.done != nil {
-			req.done()
-		}
-		s.startNext()
-	})
+	s.curDone = req.done
+	s.sched.After(req.service, s.finish)
+}
+
+// finishService completes the in-service request: identical sequencing to
+// the per-request closure it replaced (busy cleared before the callback,
+// so a re-entrant Request starts service immediately).
+func (s *Server) finishService() {
+	s.busy = false
+	s.Served++
+	done := s.curDone
+	s.curDone = nil
+	if done != nil {
+		done()
+	}
+	s.startNext()
 }
 
 // TokenPool is a counting-semaphore resource used for credit-based flow
@@ -76,6 +99,7 @@ type TokenPool struct {
 	sched   *Scheduler
 	credits int
 	waiters []tokenWait
+	whead   int
 
 	// MaxWaiters records the high-water mark of the wait queue.
 	MaxWaiters int
@@ -102,16 +126,20 @@ func (p *TokenPool) Acquire(n int, cont func()) {
 		p.sched.After(0, cont)
 		return
 	}
+	if p.whead == len(p.waiters) {
+		p.waiters = p.waiters[:0]
+		p.whead = 0
+	}
 	p.waiters = append(p.waiters, tokenWait{n: n, cont: cont})
-	if len(p.waiters) > p.MaxWaiters {
-		p.MaxWaiters = len(p.waiters)
+	if w := len(p.waiters) - p.whead; w > p.MaxWaiters {
+		p.MaxWaiters = w
 	}
 	p.dispatch()
 }
 
 // Waiters returns the number of acquirers currently queued for credits —
 // the instantaneous credit-stall depth sampled by the observability layer.
-func (p *TokenPool) Waiters() int { return len(p.waiters) }
+func (p *TokenPool) Waiters() int { return len(p.waiters) - p.whead }
 
 // Release returns n credits to the pool and wakes eligible waiters.
 func (p *TokenPool) Release(n int) {
@@ -122,10 +150,15 @@ func (p *TokenPool) Release(n int) {
 // dispatch grants credits to waiters strictly in FIFO order; a large
 // request at the head blocks later small ones (no starvation).
 func (p *TokenPool) dispatch() {
-	for len(p.waiters) > 0 && p.waiters[0].n <= p.credits {
-		w := p.waiters[0]
-		p.waiters = p.waiters[1:]
+	for p.whead < len(p.waiters) && p.waiters[p.whead].n <= p.credits {
+		w := p.waiters[p.whead]
+		p.waiters[p.whead] = tokenWait{} // release the continuation
+		p.whead++
 		p.credits -= w.n
 		p.sched.After(0, w.cont)
+	}
+	if p.whead == len(p.waiters) {
+		p.waiters = p.waiters[:0]
+		p.whead = 0
 	}
 }

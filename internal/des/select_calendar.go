@@ -1,0 +1,9 @@
+//go:build !des_heapq
+
+package des
+
+// defaultUseHeap selects the calendar queue for normal builds. Build with
+// `-tags des_heapq` to run the whole simulator on the reference binary
+// heap instead — the escape hatch for bisecting a suspected queue bug and
+// the second half of the equivalence oracle's CI coverage.
+const defaultUseHeap = false

@@ -1,0 +1,8 @@
+//go:build des_heapq
+
+package des
+
+// defaultUseHeap under the des_heapq tag pins every scheduler to the
+// reference binary-heap queue: bit-identical results to the default
+// calendar build, at the old O(log n) per-event cost.
+const defaultUseHeap = true

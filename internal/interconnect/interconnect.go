@@ -118,6 +118,73 @@ type Network struct {
 	// obs, when non-nil, receives delivery/replay/reset events
 	// (see observer.go).
 	obs Observer
+
+	// xfree recycles ideal-path transfer pipelines (see xfer): Send is
+	// the fabric's hottest entry point, and building its five-stage
+	// closure chain per packet dominated allocation profiles.
+	xfree []*xfer
+}
+
+// xfer carries one ideal-path message through its pipeline stages —
+// credit acquire, egress serialization, optional trunk hop, ingress
+// serialization, delivery — with the stage callbacks pre-bound once at
+// construction. The lifecycle is strictly linear, so a finished xfer is
+// recycled through Network.xfree and a steady packet stream allocates
+// nothing per message. The fault-injected path (replay.go) keeps its own
+// bookkeeping and does not use xfer.
+type xfer struct {
+	n         *Network
+	src, dst  int
+	wireBytes int
+	credits   int
+	serialize des.Time
+	hopDelay  des.Time
+	start     des.Time
+	done      func()
+
+	afterAcquire func()
+	afterEgress  func()
+	trunkReq     func()
+	afterTrunk   func()
+	ingressReq   func()
+	deliver      func()
+}
+
+func (n *Network) getXfer() *xfer {
+	if len(n.xfree) > 0 {
+		x := n.xfree[len(n.xfree)-1]
+		n.xfree[len(n.xfree)-1] = nil
+		n.xfree = n.xfree[:len(n.xfree)-1]
+		return x
+	}
+	x := &xfer{n: n}
+	x.afterAcquire = func() { x.n.egress[x.src].Request(x.serialize, x.afterEgress) }
+	x.afterEgress = func() {
+		if x.n.switchOf(x.src) != x.n.switchOf(x.dst) {
+			x.n.sched.After(x.hopDelay, x.trunkReq)
+			return
+		}
+		x.afterTrunk()
+	}
+	x.trunkReq = func() {
+		x.n.trunk(x.n.switchOf(x.src), x.n.switchOf(x.dst)).Request(x.serialize, x.afterTrunk)
+	}
+	x.afterTrunk = func() { x.n.sched.After(x.hopDelay, x.ingressReq) }
+	x.ingressReq = func() { x.n.ingress[x.dst].Request(x.serialize, x.deliver) }
+	x.deliver = func() {
+		nw := x.n
+		nw.credits[x.dst].Release(x.credits)
+		if nw.obs != nil {
+			nw.obs.MessageDelivered(x.src, x.dst, x.wireBytes, x.start, nw.sched.Now())
+		}
+		done := x.done
+		x.done = nil
+		nw.xfree = append(nw.xfree, x)
+		if done != nil {
+			done()
+		}
+	}
+	return x
 }
 
 // New builds the network on the given scheduler.
@@ -221,31 +288,13 @@ func (n *Network) Send(src, dst int, wireBytes int, done func()) {
 		return
 	}
 
-	start := n.sched.Now()
-	n.credits[dst].Acquire(credits, func() {
-		n.egress[src].Request(serialize, func() {
-			afterTrunk := func() {
-				n.sched.After(hopDelay, func() {
-					n.ingress[dst].Request(serialize, func() {
-						n.credits[dst].Release(credits)
-						if n.obs != nil {
-							n.obs.MessageDelivered(src, dst, wireBytes, start, n.sched.Now())
-						}
-						if done != nil {
-							done()
-						}
-					})
-				})
-			}
-			if n.switchOf(src) != n.switchOf(dst) {
-				n.sched.After(hopDelay, func() {
-					n.trunk(n.switchOf(src), n.switchOf(dst)).Request(serialize, afterTrunk)
-				})
-			} else {
-				afterTrunk()
-			}
-		})
-	})
+	x := n.getXfer()
+	x.src, x.dst = src, dst
+	x.wireBytes, x.credits = wireBytes, credits
+	x.serialize, x.hopDelay = serialize, hopDelay
+	x.start = n.sched.Now()
+	x.done = done
+	n.credits[dst].Acquire(credits, x.afterAcquire)
 }
 
 // LinkBytes returns bytes sent on the src→dst endpoint pair.

@@ -168,6 +168,46 @@ type IngressBuffer struct {
 	DrainBW float64
 	// StoresDrained counts stores written through to memory.
 	StoresDrained uint64
+	// free recycles per-store ingress pipelines: Accept runs once per
+	// disaggregated store (the simulator's highest-frequency call site),
+	// and its acquire→drain→release closure chain is pre-bound per op so
+	// a steady stream allocates nothing.
+	free []*ingressOp
+}
+
+// ingressOp is one store's slot-acquire → drain → slot-release pipeline
+// with stage callbacks bound once; strictly linear lifecycle, recycled on
+// completion.
+type ingressOp struct {
+	b        *IngressBuffer
+	slots    int
+	service  des.Time
+	done     func()
+	acquired func()
+	drained  func()
+}
+
+func (b *IngressBuffer) getOp() *ingressOp {
+	if len(b.free) > 0 {
+		op := b.free[len(b.free)-1]
+		b.free[len(b.free)-1] = nil
+		b.free = b.free[:len(b.free)-1]
+		return op
+	}
+	op := &ingressOp{b: b}
+	op.acquired = func() { op.b.drain.Request(op.service, op.drained) }
+	op.drained = func() {
+		buf := op.b
+		buf.slots.Release(op.slots)
+		buf.StoresDrained++
+		done := op.done
+		op.done = nil
+		buf.free = append(buf.free, op)
+		if done != nil {
+			done()
+		}
+	}
+	return op
 }
 
 // DefaultIngressEntries matches §IV-B's de-packetizer buffer.
@@ -199,15 +239,11 @@ func (b *IngressBuffer) Accept(s core.Store, done func()) {
 	if core.LineAddr(s.Addr) != core.LineAddr(s.Addr+uint64(s.Size)-1) {
 		slots = 2
 	}
-	b.slots.Acquire(slots, func() {
-		b.drain.Request(des.DurationForBytes(uint64(s.Size), b.DrainBW), func() {
-			b.slots.Release(slots)
-			b.StoresDrained++
-			if done != nil {
-				done()
-			}
-		})
-	})
+	op := b.getOp()
+	op.slots = slots
+	op.service = des.DurationForBytes(uint64(s.Size), b.DrainBW)
+	op.done = done
+	b.slots.Acquire(slots, op.acquired)
 }
 
 // FreeSlots returns the currently available slot count.

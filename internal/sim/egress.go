@@ -47,6 +47,53 @@ type sender struct {
 	// its completion callback once the disaggregated stores have drained
 	// into the local memory system. Nil skips ingress modeling.
 	ingest func(*core.Packet, func())
+	// completeFn caches the complete method value so the per-packet
+	// delivery path never re-binds it; free recycles delivery callbacks
+	// (see sendOp).
+	completeFn func()
+	free       []*sendOp
+}
+
+// sendOp is one in-flight packet's delivery callback, pre-bound once and
+// recycled: send/transmit are per-packet hot paths and a fresh closure per
+// message dominated allocation profiles. Exactly one of p / arrived is set.
+type sendOp struct {
+	s       *sender
+	p       *core.Packet
+	arrived func()
+	fire    func()
+}
+
+func (s *sender) getOp() *sendOp {
+	if len(s.free) > 0 {
+		op := s.free[len(s.free)-1]
+		s.free[len(s.free)-1] = nil
+		s.free = s.free[:len(s.free)-1]
+		return op
+	}
+	if s.completeFn == nil {
+		s.completeFn = s.complete
+	}
+	op := &sendOp{s: s}
+	op.fire = func() {
+		snd := op.s
+		p, arrived := op.p, op.arrived
+		op.p, op.arrived = nil, nil
+		snd.free = append(snd.free, op)
+		if p != nil {
+			if snd.ingest != nil {
+				snd.ingest(p, snd.completeFn)
+				return
+			}
+			snd.complete()
+			return
+		}
+		if arrived != nil {
+			arrived()
+		}
+		snd.complete()
+	}
+	return op
 }
 
 func (s *sender) send(p *core.Packet) {
@@ -55,13 +102,9 @@ func (s *sender) send(p *core.Packet) {
 			p.StoresMerged, len(p.Subs), p.WireBytes, s.sched.Now())
 	}
 	s.outstanding++
-	s.net.Send(s.src, p.Dst, p.WireBytes, func() {
-		if s.ingest != nil {
-			s.ingest(p, s.complete)
-			return
-		}
-		s.complete()
-	})
+	op := s.getOp()
+	op.p = p
+	s.net.Send(s.src, p.Dst, p.WireBytes, op.fire)
 }
 
 // transmit moves raw wire bytes toward dst under the outstanding/drain
@@ -69,12 +112,9 @@ func (s *sender) send(p *core.Packet) {
 // delivery.
 func (s *sender) transmit(dst, wireBytes int, arrived func()) {
 	s.outstanding++
-	s.net.Send(s.src, dst, wireBytes, func() {
-		if arrived != nil {
-			arrived()
-		}
-		s.complete()
-	})
+	op := s.getOp()
+	op.arrived = arrived
+	s.net.Send(s.src, dst, wireBytes, op.fire)
 }
 
 // complete retires one in-flight unit and fires a pending drain.
@@ -138,6 +178,7 @@ type fpEgress struct {
 	s       *sender
 	timeout des.Time
 	timer   *des.Event
+	onIdle  func() // timeout-flush callback, bound once (re-armed per store)
 }
 
 func newFPEgress(cfg core.Config, timeout des.Time, s *sender) (*fpEgress, error) {
@@ -145,7 +186,9 @@ func newFPEgress(cfg core.Config, timeout des.Time, s *sender) (*fpEgress, error
 	if err != nil {
 		return nil, err
 	}
-	return &fpEgress{q: q, s: s, timeout: timeout}, nil
+	e := &fpEgress{q: q, s: s, timeout: timeout}
+	e.onIdle = func() { e.q.FlushAll(core.CauseTimeout) }
+	return e, nil
 }
 
 func (e *fpEgress) store(st core.Store) error {
@@ -154,9 +197,7 @@ func (e *fpEgress) store(st core.Store) error {
 	}
 	if e.timeout > 0 {
 		e.s.sched.Cancel(e.timer)
-		e.timer = e.s.sched.After(e.timeout, func() {
-			e.q.FlushAll(core.CauseTimeout)
-		})
+		e.timer = e.s.sched.After(e.timeout, e.onIdle)
 	}
 	return nil
 }

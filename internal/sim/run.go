@@ -144,6 +144,11 @@ type runner struct {
 	actMem   map[int]*memsystem.Memory
 	checkErr error
 
+	// Destination de-packetizer buffers (store paradigms, non-UM) and the
+	// recycled per-packet ingest pipelines feeding them.
+	ingress []*memsystem.IngressBuffer
+	ifree   []*ingestOp
+
 	finished  bool
 	endTime   des.Time
 	dmaTLPs   uint64
@@ -182,29 +187,11 @@ func (r *runner) setup() error {
 				r.sched, r.cfg.IngressEntries, r.cfg.LocalMemBandwidth)
 		}
 	}
+	r.ingress = ingress
 	for g := 0; g < r.tr.NumGPUs; g++ {
 		s := &sender{sched: r.sched, net: r.net, src: g, obs: r.obsRec}
 		if ingress != nil {
-			s.ingest = func(p *core.Packet, done func()) {
-				stores := core.Depacketize(p)
-				if len(stores) == 0 {
-					r.sched.After(0, done)
-					return
-				}
-				remaining := len(stores)
-				for _, st := range stores {
-					st := st
-					ingress[p.Dst].Accept(st, func() {
-						if r.actMem != nil {
-							r.actMem[st.Dst].Write(st)
-						}
-						remaining--
-						if remaining == 0 {
-							done()
-						}
-					})
-				}
-			}
+			s.ingest = r.ingest
 		}
 		var (
 			e   egress
@@ -228,6 +215,72 @@ func (r *runner) setup() error {
 		r.engines[g] = e
 	}
 	return nil
+}
+
+// ingestOp tracks one delivered packet's stores through the destination's
+// de-packetizer buffer. The stores slice and the single drain callback are
+// reused across packets: the old path allocated a store slice plus one
+// closure per disaggregated store, which dominated end-to-end allocation
+// profiles. Completion is positional — the ingress buffer's slot pool and
+// drain server are both strictly FIFO, so one packet's stores drain in
+// acceptance order even when packets interleave on the buffer.
+type ingestOp struct {
+	r         *runner
+	stores    []core.Store
+	pos       int
+	remaining int
+	done      func()
+	storeDone func()
+}
+
+func (r *runner) getIngestOp() *ingestOp {
+	if len(r.ifree) > 0 {
+		op := r.ifree[len(r.ifree)-1]
+		r.ifree[len(r.ifree)-1] = nil
+		r.ifree = r.ifree[:len(r.ifree)-1]
+		return op
+	}
+	op := &ingestOp{r: r}
+	op.storeDone = func() {
+		rr := op.r
+		if rr.actMem != nil {
+			st := op.stores[op.pos]
+			rr.actMem[st.Dst].Write(st)
+		}
+		op.pos++
+		op.remaining--
+		if op.remaining == 0 {
+			done := op.done
+			op.done = nil
+			clear(op.stores) // don't pin packet payloads via the scratch
+			op.stores = op.stores[:0]
+			op.pos = 0
+			rr.ifree = append(rr.ifree, op)
+			done()
+		}
+	}
+	return op
+}
+
+// ingest consumes a delivered packet at its destination: each disaggregated
+// store occupies the de-packetizer buffer until drained, and done fires
+// after the last store lands (writing actMem when data checking is on).
+func (r *runner) ingest(p *core.Packet, done func()) {
+	op := r.getIngestOp()
+	op.stores = core.DepacketizeAppend(op.stores[:0], p)
+	if len(op.stores) == 0 {
+		op.stores = op.stores[:0]
+		r.ifree = append(r.ifree, op)
+		r.sched.After(0, done)
+		return
+	}
+	op.pos = 0
+	op.remaining = len(op.stores)
+	op.done = done
+	buf := r.ingress[p.Dst]
+	for _, st := range op.stores {
+		buf.Accept(st, op.storeDone)
+	}
 }
 
 // startIteration launches iteration i at the current simulated time; when
