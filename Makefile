@@ -57,10 +57,15 @@ vet:
 	go vet ./...
 
 # Build and run the determinism-contract multichecker (see DESIGN.md,
-# "Determinism contract"): wallclock, unseededrand, maporder,
-# goroutinefree, sprintfkey.
+# "Determinism contract" and DESIGN.md §13): wallclock, unseededrand,
+# maporder, goroutinefree, sprintfkey, hotalloc, simunits, lockheld. Runs
+# under both queue selections (the des_heapq heap files carry their own
+# hotpath annotations), then audits every //finepack:allow for a real
+# analyzer name and a written justification.
 lint:
 	go run ./cmd/finepack-vet ./...
+	go run ./cmd/finepack-vet -tags des_heapq ./...
+	go run ./cmd/finepack-vet -allowances ./... > /dev/null
 
 # Fails when any file needs gofmt, listing the offenders. (The old
 # `gofmt -l . && test -z ...` chain exited 0 on drift: `gofmt -l`
@@ -98,6 +103,12 @@ bench-smoke:
 # event-slab carve, first-touch bucket growth).
 BENCH_BASELINE := BENCH_2026-08-08.json
 BENCH_GATES := BenchmarkSchedulerEvents,BenchmarkFig2Goodput
+# Second gate: the end-to-end hot paths hotalloc polices statically.
+# BenchmarkEndToEndSSSP and BenchmarkFig9Speedup allocs/op are pinned to
+# the PR-7 closure-churn-purge baseline, so an alloc the analyzer misses
+# (or an over-broad //finepack:allow) still fails CI dynamically.
+BENCH_E2E_BASELINE := BENCH_2026-08-08-pr7.json
+BENCH_E2E_GATES := BenchmarkEndToEndSSSP,BenchmarkFig9Speedup
 bench-compare:
 	mkdir -p .bench
 	go test -run='^$$' -bench='^(BenchmarkSchedulerEvents|BenchmarkFig2Goodput)$$' \
@@ -105,6 +116,11 @@ bench-compare:
 	go run ./cmd/benchjson -date 1970-01-01 < .bench/gate.txt > .bench/gate.json
 	go run ./cmd/benchjson -compare -gate $(BENCH_GATES) -max-regress-pct 10 \
 		$(BENCH_BASELINE) .bench/gate.json
+	go test -run='^$$' -bench='^(BenchmarkEndToEndSSSP|BenchmarkFig9Speedup)$$' \
+		-benchtime=1x -benchmem . | tee .bench/e2e.txt
+	go run ./cmd/benchjson -date 1970-01-01 < .bench/e2e.txt > .bench/e2e.json
+	go run ./cmd/benchjson -compare -gate $(BENCH_E2E_GATES) -max-regress-pct 10 \
+		$(BENCH_E2E_BASELINE) .bench/e2e.json
 	rm -rf .bench
 
 fuzz:

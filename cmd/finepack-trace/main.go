@@ -121,8 +121,8 @@ func info(tr *trace.Trace) error {
 	fmt.Printf("warp stores: %d\n", tr.NumWarpStores())
 	total, useful := tr.CopyBytes()
 	fmt.Printf("copy bytes:  %s total, %s useful (%.0f%%)\n",
-		stats.HumanBytes(total), stats.HumanBytes(useful),
-		100*stats.Ratio(useful, total))
+		stats.HumanBytes(uint64(total)), stats.HumanBytes(uint64(useful)),
+		100*stats.Ratio(uint64(useful), uint64(total)))
 
 	t := stats.NewTable("per-GPU breakdown (iteration 0)",
 		"gpu", "compute ops", "warp stores", "copies")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os/exec"
 	"strings"
 	"testing"
@@ -58,6 +59,96 @@ func TestBinaryExitCode(t *testing.T) {
 		if !strings.Contains(string(out), "("+a.Name+")") {
 			t.Errorf("output lacks a finding tagged (%s):\n%s", a.Name, out)
 		}
+	}
+}
+
+// TestJSONSchema pins the -json output contract: the top-level keys, the
+// per-finding field names, and the exit-code behavior. CI tooling parses
+// this; renaming a field is a breaking change that must show up here.
+func TestJSONSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run; skipped with -short")
+	}
+	cmd := exec.Command("go", "run", ".", "-json", "./testdata/src/knownbad")
+	out, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 on findings, got err=%v", err)
+	}
+	var report struct {
+		Findings   []map[string]any `json:"findings"`
+		Suppressed []map[string]any `json:"suppressed"`
+	}
+	if err := json.Unmarshal(out, &report); err != nil {
+		t.Fatalf("output is not the expected JSON shape: %v\n%s", err, out)
+	}
+	if len(report.Findings) != len(suite.All()) {
+		t.Errorf("json findings = %d, want %d (one per analyzer)", len(report.Findings), len(suite.All()))
+	}
+	if report.Suppressed == nil {
+		t.Error("suppressed key missing; schema requires an (empty) array")
+	}
+	wantKeys := []string{"file", "line", "col", "analyzer", "message", "suppressed"}
+	for _, f := range report.Findings {
+		if len(f) != len(wantKeys) {
+			t.Fatalf("finding has %d keys, want %d: %v", len(f), len(wantKeys), f)
+		}
+		for _, k := range wantKeys {
+			if _, ok := f[k]; !ok {
+				t.Fatalf("finding lacks pinned key %q: %v", k, f)
+			}
+		}
+	}
+	// Spot-check value types on one entry.
+	f := report.Findings[0]
+	if _, ok := f["line"].(float64); !ok {
+		t.Errorf("line is not a number: %T", f["line"])
+	}
+	if _, ok := f["analyzer"].(string); !ok {
+		t.Errorf("analyzer is not a string: %T", f["analyzer"])
+	}
+}
+
+// TestAllowancesAudit runs -allowances over a fixture with one
+// unknown-analyzer directive and one justification-free directive; both
+// must be listed as BAD and fail the audit.
+func TestAllowancesAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run; skipped with -short")
+	}
+	cmd := exec.Command("go", "run", ".", "-allowances", "./testdata/src/badallow")
+	out, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 on bad allowances, got err=%v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "nosuchanalyzer") {
+		t.Errorf("audit does not name the unknown analyzer:\n%s", text)
+	}
+	if !strings.Contains(text, "missing its justification") {
+		t.Errorf("audit does not flag the justification-free directive:\n%s", text)
+	}
+	if n := strings.Count(text, "BAD"); n != 2 {
+		t.Errorf("audit reports %d BAD entries, want 2:\n%s", n, text)
+	}
+}
+
+// TestAllowancesCleanTree is the `make lint` audit invocation: every
+// allowance in the shipped tree must name a real analyzer and carry a
+// justification.
+func TestAllowancesCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run; skipped with -short")
+	}
+	cmd := exec.Command("go", "run", "./cmd/finepack-vet", "-allowances", "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("allowances audit failed on the shipped tree: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "BAD") {
+		t.Errorf("shipped tree has defective allowances:\n%s", out)
 	}
 }
 

@@ -1,0 +1,14 @@
+// Package badallow carries deliberately defective //finepack:allow
+// directives for the -allowances audit test: one naming an analyzer that
+// does not exist, one with no justification. Both must fail the audit (and
+// the plain run) — silencing a finding always costs a written reason.
+package badallow
+
+import "time"
+
+//finepack:allow nosuchanalyzer -- this analyzer name is not in the suite
+var x = 1
+
+func wait() {
+	time.Sleep(time.Millisecond) //finepack:allow wallclock
+}

@@ -7,6 +7,7 @@ package knownbad
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -33,4 +34,37 @@ func Spawn() {
 // sprintfkey: an fmt-built map key on an access path.
 func Lookup(m map[string]int, gpu, link int) int {
 	return m[fmt.Sprintf("%d-%d", gpu, link)]
+}
+
+// hotalloc: a capturing closure allocates on a declared hot path.
+//
+//finepack:hotpath fixture inner loop
+func Pump(events []int) int {
+	total := 0
+	add := func(v int) { total += v }
+	for _, e := range events {
+		add(e)
+	}
+	return total
+}
+
+// simunits: fixture-local unit classes and one cross-class conversion.
+//
+//finepack:unit time-ps
+type tick uint64
+
+//finepack:unit bytes
+type size uint64
+
+func Convert(t tick) size {
+	return size(t)
+}
+
+// lockheld: sleeping while holding the mutex.
+var mu sync.Mutex
+
+func Hold() {
+	mu.Lock()
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
 }

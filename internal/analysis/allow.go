@@ -28,12 +28,21 @@ type Allow struct {
 	Justification string // required free text after "--"
 	File          string
 	Line          int
-	Pos           token.Pos
+	// EndLine extends the suppressed range: zero keeps the default
+	// two-line scope (the directive's line and the one below); a directive
+	// placed in a function's doc comment is widened by the runner to the
+	// declaration's last line, exempting the whole function.
+	EndLine int
+	Pos     token.Pos
 }
 
 // Covers reports whether the directive suppresses a finding at file:line.
 func (a Allow) Covers(file string, line int) bool {
-	return a.File == file && (line == a.Line || line == a.Line+1)
+	end := a.EndLine
+	if end == 0 {
+		end = a.Line + 1
+	}
+	return a.File == file && line >= a.Line && line <= end
 }
 
 // ParseAllows scans every comment in files for //finepack:allow directives.

@@ -35,6 +35,11 @@ type Analyzer struct {
 	// analyzed regardless of Applies; see Scope.
 	Applies func(pkgPath string) bool
 
+	// Facts, when non-nil, runs over every package (dependency order)
+	// before any Run phase, exporting cross-package facts via
+	// Pass.ExportObjectFact. Fact passes must not report diagnostics.
+	Facts func(pass *Pass) error
+
 	// Run inspects one package and reports findings via pass.Report.
 	Run func(pass *Pass) error
 }
@@ -47,6 +52,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Graph is the whole-program call graph across every target package
+	// of this driver invocation, with the //finepack:hotpath-rooted hot
+	// set precomputed. Nil only when a caller runs a bare pass without
+	// the RunAll engine.
+	Graph *CallGraph
+
+	facts  *FactStore
 	report func(Diagnostic)
 }
 
@@ -66,11 +78,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // A Finding is a resolved diagnostic: position translated through the
 // FileSet and tagged with the analyzer that produced it. This is the unit
-// the driver prints and the tests assert on.
+// the driver prints and the tests assert on. Suppressed marks a finding
+// silenced by a justified //finepack:allow directive; the default text
+// output and exit code ignore suppressed findings, while machine output
+// (finepack-vet -json) carries them with the flag set.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {

@@ -17,10 +17,12 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"testing"
 
 	"finepack/internal/analysis"
@@ -32,14 +34,18 @@ var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 
 // Run analyzes each fixture package under testdata/src and reports any
-// mismatch between findings and want comments as test errors.
+// mismatch between findings and want comments as test errors. The pattern
+// "./..." picks up subdirectories too, so a fixture may be a small
+// multi-package tree — the way to exercise cross-package facts and
+// call-graph reachability (e.g. a hotpath root in one package calling an
+// allocating helper in another).
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
 		dir := filepath.Join(testdata, "src", pkg)
 		findings, err := driver.Run(driver.Config{
 			Dir:        dir,
-			Patterns:   []string{"."},
+			Patterns:   []string{"./..."},
 			Analyzers:  []*analysis.Analyzer{a},
 			KnownNames: suite.Names(),
 		})
@@ -51,16 +57,22 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 }
 
 // check matches findings against the fixture's want comments line by line.
+// Keys are fixture-relative paths ("sub/file.go:12") so files in different
+// subpackages of a multi-package fixture never collide.
 func check(t *testing.T, dir string, findings []analysis.Finding) {
 	t.Helper()
-	wants, err := parseWants(dir)
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := parseWants(absDir)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	got := make(map[string][]analysis.Finding)
 	for _, f := range findings {
-		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		key := fmt.Sprintf("%s:%d", relKey(absDir, f.Pos.Filename), f.Pos.Line)
 		got[key] = append(got[key], f)
 	}
 
@@ -95,19 +107,24 @@ func check(t *testing.T, dir string, findings []analysis.Finding) {
 	}
 }
 
-// parseWants extracts want regexps from every fixture file, keyed by
-// "file.go:line".
+// parseWants extracts want regexps from every fixture .go file under dir
+// (subdirectories included), keyed by "relative/path.go:line".
 func parseWants(dir string) (map[string][]*regexp.Regexp, error) {
 	fset := token.NewFileSet()
-	parsed, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
-	if err != nil {
-		return nil, fmt.Errorf("parse fixtures in %s: %w", dir, err)
-	}
 	byName := make(map[string]*ast.File)
-	for _, pkg := range parsed {
-		for filename, file := range pkg.Files {
-			byName[filename] = file
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
 		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse fixture %s: %w", path, err)
+		}
+		byName[path] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	names := make([]string, 0, len(byName))
 	for n := range byName {
@@ -123,7 +140,7 @@ func parseWants(dir string) (map[string][]*regexp.Regexp, error) {
 				if m == nil {
 					continue
 				}
-				key := fmt.Sprintf("%s:%d", filepath.Base(filename), fset.Position(c.Pos()).Line)
+				key := fmt.Sprintf("%s:%d", relKey(dir, filename), fset.Position(c.Pos()).Line)
 				for _, q := range quotedRE.FindAllString(m[1], -1) {
 					pat, err := strconv.Unquote(q)
 					if err != nil {
@@ -139,6 +156,15 @@ func parseWants(dir string) (map[string][]*regexp.Regexp, error) {
 		}
 	}
 	return wants, nil
+}
+
+// relKey renders filename relative to the fixture root with forward
+// slashes; falls back to the base name if Rel fails.
+func relKey(dir, filename string) string {
+	if rel, err := filepath.Rel(dir, filename); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.Base(filename)
 }
 
 func messages(fs []analysis.Finding) []string {

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotpathPrefix marks a function declaration as a hot-path root:
+//
+//	//finepack:hotpath [note]
+//
+// in the doc comment of a func declaration. Functions reachable from any
+// root through the call graph form the hot set that allocation-sensitive
+// analyzers (hotalloc) police. The directive is needed wherever indirect
+// dispatch breaks static edges — the DES run loop invokes event callbacks
+// through func values the graph cannot resolve, so each layer annotates its
+// own entry points (scheduler run loop, calendar-queue push/fire, the
+// interconnect transfer pipeline, egress/ingress per-store ops).
+const HotpathPrefix = "//finepack:hotpath"
+
+// A Unit is one type-checked target package: the shape both the driver and
+// the whole-program phases (call graph, facts) operate on.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// FuncID returns the stable cross-package identifier of a function or
+// method: its qualified name (generic instantiations normalize to their
+// origin). Source-checked and export-data views of the same function agree.
+func FuncID(fn *types.Func) string { return fn.Origin().FullName() }
+
+// CallGraph is the conservative whole-program call graph over every target
+// package of one driver invocation, plus the hot set reachable from the
+// //finepack:hotpath roots.
+//
+// Edges are gathered per function declaration (func literals attribute to
+// their enclosing declaration): static calls, method-value and plain
+// function-value references (a reference is a potential call), and
+// interface calls resolved conservatively to every analyzed concrete method
+// with the same name and parameter/result signature. Calls through plain
+// func values resolve to nothing — that is exactly where hotpath
+// annotations re-root the graph.
+type CallGraph struct {
+	edges map[string][]string
+	roots []string
+	hot   map[string]bool
+}
+
+// Hot reports whether the function is a hotpath root or reachable from one.
+func (g *CallGraph) Hot(id string) bool { return g.hot[id] }
+
+// Roots returns the annotated root IDs, sorted.
+func (g *CallGraph) Roots() []string { return g.roots }
+
+// Callees returns the sorted outgoing edges of one function.
+func (g *CallGraph) Callees(id string) []string { return g.edges[id] }
+
+// HotSize returns the number of functions in the hot set.
+func (g *CallGraph) HotSize() int { return len(g.hot) }
+
+// ifaceCall is one unresolved interface call site: resolution to concrete
+// methods happens after every package's declarations are registered.
+type ifaceCall struct {
+	caller string
+	name   string
+	sig    string
+}
+
+type graphBuilder struct {
+	edges   map[string]map[string]bool
+	methods map[string][]string // name+sig → concrete method IDs
+	pending []ifaceCall
+	roots   map[string]bool
+}
+
+// BuildGraph constructs the call graph and hot set across all units.
+func BuildGraph(units []*Unit) *CallGraph {
+	b := &graphBuilder{
+		edges:   make(map[string]map[string]bool),
+		methods: make(map[string][]string),
+		roots:   make(map[string]bool),
+	}
+	for _, u := range units {
+		for _, file := range u.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				b.addDecl(u, fd)
+			}
+		}
+	}
+	b.resolveInterfaces()
+	return b.finish()
+}
+
+// addDecl registers one function declaration: its identity, root marking,
+// concrete-method entry, and every outgoing edge in its body (func literals
+// included).
+func (b *graphBuilder) addDecl(u *Unit, fd *ast.FuncDecl) {
+	fn, ok := u.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	id := FuncID(fn)
+	if _, seen := b.edges[id]; !seen {
+		b.edges[id] = make(map[string]bool)
+	}
+	if hasHotpathDirective(fd.Doc) {
+		b.roots[id] = true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		b.methods[fn.Name()+sigKey(sig)] = append(b.methods[fn.Name()+sigKey(sig)], id)
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		callee, ok := u.Info.Uses[ident].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			// Interface method: dispatch target unknown; resolve later to
+			// every analyzed concrete method with matching name+signature.
+			b.pending = append(b.pending, ifaceCall{caller: id, name: callee.Name(), sig: sigKey(sig)})
+			return true
+		}
+		b.edges[id][FuncID(callee)] = true
+		return true
+	})
+}
+
+func (b *graphBuilder) resolveInterfaces() {
+	for _, c := range b.pending {
+		for _, target := range b.methods[c.name+c.sig] {
+			if b.edges[c.caller] == nil {
+				b.edges[c.caller] = make(map[string]bool)
+			}
+			b.edges[c.caller][target] = true
+		}
+	}
+}
+
+func (b *graphBuilder) finish() *CallGraph {
+	g := &CallGraph{
+		edges: make(map[string][]string, len(b.edges)),
+		hot:   make(map[string]bool),
+	}
+	for id, out := range b.edges {
+		targets := make([]string, 0, len(out))
+		for t := range out {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		g.edges[id] = targets
+	}
+	for r := range b.roots {
+		g.roots = append(g.roots, r)
+	}
+	sort.Strings(g.roots)
+
+	// BFS from the roots over the edge set.
+	queue := append([]string(nil), g.roots...)
+	for _, r := range queue {
+		g.hot[r] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.edges[cur] {
+			if !g.hot[next] {
+				g.hot[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return g
+}
+
+// hasHotpathDirective reports whether a doc comment group carries the
+// //finepack:hotpath directive.
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, HotpathPrefix)
+		if !ok {
+			continue
+		}
+		if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+			return true
+		}
+	}
+	return false
+}
+
+// sigKey renders a signature's parameter and result types with full package
+// qualification, the cross-package matching key for conservative interface
+// resolution. The receiver is excluded so an interface method and its
+// concrete implementations agree.
+func sigKey(sig *types.Signature) string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(types.TypeString(sig.Params().At(i).Type(), nil))
+	}
+	sb.WriteByte(')')
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(types.TypeString(sig.Results().At(i).Type(), nil))
+	}
+	return sb.String()
+}

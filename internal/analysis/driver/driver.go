@@ -7,6 +7,12 @@
 // parsed with go/parser and type-checked with go/types, importing
 // dependencies through the gc export-data importer — no network, no
 // GOPATH layout, and no third-party loader required.
+//
+// All target packages are loaded before any analyzer runs: the analysis
+// engine (analysis.RunAll) builds a whole-program call graph and a
+// cross-package fact store over the full target set, then analyzes each
+// package with those in scope. `go list -deps` emits dependencies before
+// dependents, so the fact phase sees a package's dependencies first.
 package driver
 
 import (
@@ -43,6 +49,17 @@ type Config struct {
 	// the names of Analyzers; pass the full suite's names when running a
 	// subset so directives for other analyzers don't read as unknown.
 	KnownNames map[string]bool
+
+	// Tags is a comma-separated build-tag list passed to `go list -tags`,
+	// so tag-gated files (e.g. the des_heapq queue selection) are analyzed
+	// under the same file set they compile with.
+	Tags string
+
+	// IncludeSuppressed keeps findings silenced by justified
+	// //finepack:allow directives in the result, flagged Suppressed=true.
+	// Off, the driver returns only live findings (the historical
+	// behavior).
+	IncludeSuppressed bool
 }
 
 // listPkg is the subset of `go list -json` output the driver consumes.
@@ -58,6 +75,13 @@ type listPkg struct {
 // returns the findings sorted by position. A non-empty findings slice is
 // not an error; err reports load or type-check failures only.
 func Run(cfg Config) ([]analysis.Finding, error) {
+	findings, _, err := Collect(cfg)
+	return findings, err
+}
+
+// Collect is Run plus the parsed //finepack:allow directives across the
+// target set, for audit tooling (finepack-vet -allowances).
+func Collect(cfg Config) ([]analysis.Finding, []analysis.Allow, error) {
 	if len(cfg.Patterns) == 0 {
 		cfg.Patterns = []string{"./..."}
 	}
@@ -69,7 +93,30 @@ func Run(cfg Config) ([]analysis.Finding, error) {
 		}
 	}
 
-	targets, exports, err := load(cfg.Dir, cfg.Patterns)
+	units, err := load(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	findings, allows, err := analysis.RunAll(units, cfg.Analyzers, known)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cfg.IncludeSuppressed {
+		live := findings[:0]
+		for _, f := range findings {
+			if !f.Suppressed {
+				live = append(live, f)
+			}
+		}
+		findings = live
+	}
+	return findings, allows, nil
+}
+
+// load lists, parses and type-checks every target package, in the
+// dependency order `go list -deps` emits.
+func load(cfg Config) ([]*analysis.Unit, error) {
+	targets, exports, err := list(cfg.Dir, cfg.Tags, cfg.Patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +130,7 @@ func Run(cfg Config) ([]analysis.Finding, error) {
 		return os.Open(exp)
 	})
 
-	var all []analysis.Finding
+	units := make([]*analysis.Unit, 0, len(targets))
 	for _, t := range targets {
 		files := make([]*ast.File, 0, len(t.GoFiles))
 		for _, name := range t.GoFiles {
@@ -104,21 +151,19 @@ func Run(cfg Config) ([]analysis.Finding, error) {
 		if err != nil {
 			return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
 		}
-		fs, err := analysis.RunPackage(fset, files, pkg, info, cfg.Analyzers, known)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, fs...)
+		units = append(units, &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info})
 	}
-	analysis.SortFindings(all)
-	return all, nil
+	return units, nil
 }
 
-// load runs `go list -export -deps -json` and splits the result into target
+// list runs `go list -export -deps -json` and splits the result into target
 // packages (to be analyzed) and an importpath→exportfile map covering every
 // dependency.
-func load(dir string, patterns []string) (targets []listPkg, exports map[string]string, err error) {
+func list(dir, tags string, patterns []string) (targets []listPkg, exports map[string]string, err error) {
 	args := []string{"list", "-export", "-deps", "-json=Dir,ImportPath,Export,GoFiles,DepOnly"}
+	if tags != "" {
+		args = append(args, "-tags="+tags)
+	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// A Fact is a typed piece of information an analyzer attaches to a package
+// object during the fact phase, visible to later passes over any package in
+// the same driver invocation. The driver visits target packages in
+// dependency order (as `go list -deps` emits them), so facts exported while
+// analyzing a dependency are available when its dependents run — the
+// stdlib-only analogue of golang.org/x/tools/go/analysis facts.
+//
+// Implementations must be pointer types; AFact is a marker method.
+type Fact interface{ AFact() }
+
+// factKey identifies one fact: the symbol it is attached to and the fact's
+// concrete type (one fact of each type per symbol).
+type factKey struct {
+	symbol string
+	typ    reflect.Type
+}
+
+// A FactStore holds the facts exported during one driver invocation.
+//
+// Facts are keyed by stable symbol ID (see ObjectID) rather than by
+// types.Object identity: a package type-checked from source and the same
+// package imported through gc export data yield distinct objects, but their
+// IDs agree, so a fact exported while analyzing package a is found when
+// package b (which sees a only through export data) imports it.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+// ObjectID returns the stable cross-package identifier for an object:
+// the qualified function name for funcs/methods (e.g.
+// "(*finepack/internal/core.Queue).Write"), package path + name otherwise.
+func ObjectID(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func (s *FactStore) export(symbol string, f Fact) {
+	s.m[factKey{symbol, reflect.TypeOf(f)}] = f
+}
+
+// get copies the stored fact for (symbol, type of ptr) into ptr and reports
+// whether one was found. ptr must be a pointer to a Fact implementation —
+// the same shape analyzers pass to ImportObjectFact.
+func (s *FactStore) get(symbol string, ptr Fact) bool {
+	f, ok := s.m[factKey{symbol, reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// ExportObjectFact attaches a fact to obj, visible to every later pass in
+// this driver invocation (including passes over other packages).
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.facts == nil || obj == nil {
+		return
+	}
+	p.facts.export(ObjectID(obj), f)
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into ptr,
+// reporting whether one exists. obj may come from source type-checking or
+// from export data; both resolve to the same fact.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	return p.facts.get(ObjectID(obj), ptr)
+}

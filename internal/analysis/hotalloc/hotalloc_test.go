@@ -1,0 +1,46 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"finepack/internal/analysis/analysistest"
+	"finepack/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a", "clean")
+}
+
+// TestCrossPackage pins the tentpole property: a root in one package makes
+// its callee in another package hot, and the finding lands in the callee's
+// package.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "crosspkg")
+}
+
+// TestScope pins hotalloc to the simulator layer: hot-path allocation
+// discipline is a property of the event loop, not of host-side daemons or
+// binaries.
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"finepack/internal/des",
+		"finepack/internal/sim",
+		"finepack/internal/core",
+		"finepack/internal/interconnect",
+		"finepack/internal/memsystem",
+	} {
+		if !hotalloc.Analyzer.Applies(pkg) {
+			t.Errorf("hotalloc no longer applies to %q; the hot-path contract lost coverage", pkg)
+		}
+	}
+	for _, pkg := range []string{
+		"finepack/internal/serve",
+		"finepack/internal/store",
+		"finepack/cmd/finepackd",
+		"finepack/examples/sssp",
+	} {
+		if hotalloc.Analyzer.Applies(pkg) {
+			t.Errorf("hotalloc applies to host-layer package %q", pkg)
+		}
+	}
+}

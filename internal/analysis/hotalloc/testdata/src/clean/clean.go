@@ -1,0 +1,43 @@
+// Package clean mirrors the PR-7 allocation-lean idiom the analyzer is
+// meant to defend — freelist reuse, pre-bound completion closures, presized
+// buffers — and must produce zero findings.
+package clean
+
+type op struct {
+	v          int
+	completeFn func()
+}
+
+type pool struct {
+	free []*op
+	done int
+}
+
+// get is the freelist miss path: it builds the pre-bound closure once per
+// pooled object, amortized to zero per event, so the whole function is
+// exempt by design.
+//
+//finepack:allow hotalloc -- freelist miss path: closure bound once per pooled op, amortized to zero per event
+func (p *pool) get() *op {
+	if n := len(p.free); n > 0 {
+		o := p.free[n-1]
+		p.free = p.free[:n-1]
+		return o
+	}
+	o := &op{}
+	o.completeFn = func() { p.done++ }
+	return o
+}
+
+//finepack:hotpath per-event op recycle loop
+func (p *pool) fire(vs []int) {
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		o := p.get()
+		o.v = v
+		o.completeFn()
+		out = append(out, o.v)
+		p.free = append(p.free, o)
+	}
+	_ = out
+}

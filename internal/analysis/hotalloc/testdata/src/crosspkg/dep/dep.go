@@ -1,0 +1,14 @@
+// Package dep holds the callee side of the cross-package fixture. Emit is
+// hot only because crosspkg.Drive (another package) is a hotpath root that
+// calls it; Cold has the same body but no caller in the hot set.
+package dep
+
+func Emit(v int) {
+	f := func() int { return v } // want "closure captures v"
+	_ = f()
+}
+
+func Cold(v int) {
+	f := func() int { return v }
+	_ = f()
+}

@@ -1,0 +1,14 @@
+// Package crosspkg is the multi-package hotalloc fixture: the hotpath root
+// lives here, the allocating helper lives in the dep subpackage, and the
+// finding must land there — proving reachability crosses package
+// boundaries through the whole-program call graph.
+package crosspkg
+
+import "finepack/internal/analysis/hotalloc/testdata/src/crosspkg/dep"
+
+//finepack:hotpath
+func Drive(vs []int) {
+	for _, v := range vs {
+		dep.Emit(v)
+	}
+}

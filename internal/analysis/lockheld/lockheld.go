@@ -1,0 +1,324 @@
+// Package lockheld polices mutex hygiene in the host layer.
+//
+// The simulator layer is single-threaded by contract (goroutinefree), so
+// locks live in the host layer: finepackd's serve/store plumbing guards
+// job tables and the WAL with sync.Mutex. Two classic mistakes survive
+// review there because each looks locally harmless:
+//
+//   - holding a mutex across a blocking operation — a channel send or
+//     receive, a select with no default, time.Sleep, sync.WaitGroup.Wait,
+//     or network/file IO (net, net/http, os, os/exec). One slow client
+//     then stalls every caller contending for the lock; in the worst case
+//     (channel send to a goroutine that needs the same lock) it deadlocks.
+//   - copying a lock by value — a by-value receiver or parameter of a
+//     lock-bearing struct, or an assignment that dereference-copies one.
+//     The copy's mutex guards nothing.
+//
+// The held-across-blocking check is a source-order scan per function body
+// (func literals scanned separately): x.Lock()/x.RLock() marks x held
+// until the matching Unlock at the same nesting text — a deliberate
+// flow-insensitivity that matches how straight-line handler code is
+// written. Pure os getters (Getenv and friends) are exempt.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"finepack/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:    "lockheld",
+	Doc:     "forbid holding host-layer mutexes across blocking operations (channel ops, sleeps, net/os IO) and lock-by-value copies",
+	Applies: analysis.Scope(analysis.IsHostLayer),
+	Run:     run,
+}
+
+// blockingPkgs are import paths whose calls are presumed to block.
+var blockingPkgs = map[string]bool{
+	"net":      true,
+	"net/http": true,
+	"os":       true,
+	"os/exec":  true,
+}
+
+// pureOS exempts os functions that never touch the filesystem or network.
+var pureOS = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Expand": true,
+	"Getpid": true, "Getppid": true, "Getuid": true, "Geteuid": true,
+	"Getgid": true, "Getegid": true, "IsExist": true, "IsNotExist": true,
+	"IsPermission": true, "IsTimeout": true, "IsPathSeparator": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSignatureCopies(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			// Scan the declaration and every func literal as separate
+			// straight-line bodies.
+			scanBody(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					scanBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// event is one lock-relevant occurrence in a body, replayed in source order.
+type event struct {
+	pos   token.Pos
+	kind  int    // evLock, evUnlock, evDeferUnlock, evBlock
+	key   string // lock identity (evLock/evUnlock), operation label (evBlock)
+	label string // display name of the lock
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evBlock
+)
+
+// scanBody replays body's lock/unlock/blocking events in source order and
+// reports blocking operations that occur while any lock is held. Nested
+// func literals are skipped — they execute on their own schedule.
+func scanBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var events []event
+	skip := make(map[ast.Node]bool) // select comm ops, reported via the select itself
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // literals execute on their own schedule; scanned separately
+		case *ast.DeferStmt:
+			if key, label, op := lockOp(pass, n.Call); op == "Unlock" || op == "RUnlock" {
+				events = append(events, event{pos: n.Pos(), kind: evDeferUnlock, key: key, label: label})
+				return false
+			}
+		case *ast.CallExpr:
+			if key, label, op := lockOp(pass, n); op != "" {
+				kind := evLock
+				if op == "Unlock" || op == "RUnlock" {
+					kind = evUnlock
+				}
+				events = append(events, event{pos: n.Pos(), kind: kind, key: key, label: label})
+				return true
+			}
+			if label := blockingCall(pass, n); label != "" {
+				events = append(events, event{pos: n.Pos(), kind: evBlock, key: label})
+			}
+		case *ast.SendStmt:
+			if !skip[n] {
+				events = append(events, event{pos: n.Pos(), kind: evBlock, key: "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !skip[n] {
+				events = append(events, event{pos: n.Pos(), kind: evBlock, key: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				cc := clause.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				markCommOps(skip, cc.Comm)
+			}
+			if !hasDefault {
+				events = append(events, event{pos: n.Pos(), kind: evBlock, key: "select with no default"})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := make(map[string]string) // key → display label
+	for _, e := range events {
+		switch e.kind {
+		case evLock:
+			held[e.key] = e.label
+		case evUnlock:
+			delete(held, e.key)
+		case evDeferUnlock:
+			// Deferred: the lock stays held for the rest of the body.
+		case evBlock:
+			if len(held) == 0 {
+				continue
+			}
+			labels := make([]string, 0, len(held))
+			for _, l := range held {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			pass.Reportf(e.pos, "%s while holding %s; release the lock around blocking operations", e.key, strings.Join(labels, ", "))
+		}
+	}
+}
+
+// markCommOps records the send/receive nodes a select clause owns so they
+// are not double-reported beside the select itself.
+func markCommOps(skip map[ast.Node]bool, comm ast.Stmt) {
+	ast.Inspect(comm, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			skip[n] = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				skip[n] = true
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes x.Lock/RLock/Unlock/RUnlock on sync mutexes; key pairs
+// RLock with RUnlock separately from the write lock.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (key, label, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock":
+		return types.ExprString(sel.X), types.ExprString(sel.X), fn.Name()
+	case "RLock", "RUnlock":
+		return "r:" + types.ExprString(sel.X), types.ExprString(sel.X), fn.Name()
+	}
+	return "", "", ""
+}
+
+// blockingCall labels calls presumed to block: time.Sleep, sync waits, and
+// anything in net/os territory that is not a pure getter.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch path := fn.Pkg().Path(); {
+	case path == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case path == "sync" && fn.Name() == "Wait":
+		return fn.FullName()
+	case blockingPkgs[path]:
+		if path == "os" && pureOS[fn.Name()] {
+			return ""
+		}
+		return fn.FullName()
+	}
+	return ""
+}
+
+// checkSignatureCopies flags by-value receivers and parameters whose types
+// carry a lock, plus dereference/ident assignments that copy one inside the
+// body.
+func checkSignatureCopies(pass *analysis.Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, what string, t types.Type) {
+		pass.Reportf(pos, "%s copies %s, which contains a lock; use a pointer", what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			if t := fieldType(pass, f); t != nil && containsLock(t) {
+				report(f.Pos(), "by-value receiver of "+fd.Name.Name, t)
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			if t := fieldType(pass, f); t != nil && containsLock(t) {
+				report(f.Pos(), "by-value parameter of "+fd.Name.Name, t)
+			}
+		}
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if lhs, ok := assign.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+				continue // a blank assignment copies into nothing
+			}
+			switch ast.Unparen(rhs).(type) {
+			case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr:
+			default:
+				continue // fresh values (literals, calls) are not copies
+			}
+			if tv, ok := pass.TypesInfo.Types[rhs]; ok && tv.Type != nil && containsLock(tv.Type) {
+				report(rhs.Pos(), "assignment", tv.Type)
+			}
+		}
+		return true
+	})
+}
+
+// fieldType resolves a receiver/parameter field's type, nil for pointers
+// (pointers never copy the pointee).
+func fieldType(pass *analysis.Pass, f *ast.Field) types.Type {
+	tv, ok := pass.TypesInfo.Types[f.Type]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return nil
+	}
+	return tv.Type
+}
+
+// containsLock reports whether t transitively embeds a sync.Mutex or
+// sync.RWMutex by value.
+func containsLock(t types.Type) bool {
+	return containsLockDepth(t, 0)
+}
+
+func containsLockDepth(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup" || obj.Name() == "Cond" || obj.Name() == "Pool") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockDepth(u.Elem(), depth+1)
+	}
+	return false
+}

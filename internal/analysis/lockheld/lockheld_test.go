@@ -1,0 +1,34 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"finepack/internal/analysis/analysistest"
+	"finepack/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, "testdata", lockheld.Analyzer, "a")
+}
+
+// TestScope: lockheld is a host-layer analyzer — the simulator layer is
+// single-threaded by contract (goroutinefree) and holds no locks.
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"finepack/internal/serve",
+		"finepack/internal/store",
+		"finepack/cmd/finepackd",
+	} {
+		if !lockheld.Analyzer.Applies(pkg) {
+			t.Errorf("lockheld no longer applies to %q", pkg)
+		}
+	}
+	for _, pkg := range []string{
+		"finepack/internal/des",
+		"finepack/internal/sim",
+	} {
+		if lockheld.Analyzer.Applies(pkg) {
+			t.Errorf("lockheld applies to simulator package %q; that layer is goroutine-free by contract", pkg)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package a is a lockheld fixture: blocking while holding a mutex fires,
+// lock-by-value copies fire, released and allowlisted patterns stay
+// silent.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+func (s *state) sleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *state) chanHeldDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want "channel send while holding s.mu"
+	<-s.ch    // want "channel receive while holding s.mu"
+}
+
+func (s *state) ioHeldRead() {
+	s.rw.RLock()
+	_, _ = os.ReadFile("x") // want "os.ReadFile while holding s.rw"
+	s.rw.RUnlock()
+}
+
+func (s *state) selectHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select with no default while holding s.mu"
+	case v := <-s.ch:
+		s.n = v
+	case s.ch <- s.n:
+	}
+}
+
+// released: the blocking operations happen after Unlock.
+func (s *state) released() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	<-s.ch
+}
+
+// nonBlockingSelect: a default clause makes the select a poll.
+func (s *state) nonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+}
+
+// pure os getters are exempt.
+func (s *state) envHeld() {
+	s.mu.Lock()
+	_ = os.Getenv("HOME")
+	s.mu.Unlock()
+}
+
+// closures are separate schedules: the literal blocks, but it does not run
+// under the enclosing Lock.
+func (s *state) closureNotHeld() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { time.Sleep(time.Millisecond) }
+}
+
+func byValue(mu sync.Mutex) { // want "by-value parameter of byValue copies sync.Mutex"
+	_ = mu
+}
+
+func (s state) valueRecv() int { // want "by-value receiver of valueRecv copies state"
+	return s.n
+}
+
+func copyAssign(s *state) int {
+	c := *s // want "assignment copies state"
+	return c.n
+}
+
+//finepack:allow lockheld -- fixture: snapshot copy is intentional and the lock is quiescent
+func allowedCopy(s *state) int {
+	c := *s
+	return c.n
+}

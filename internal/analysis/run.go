@@ -3,45 +3,126 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
-	"go/token"
-	"go/types"
 	"sort"
 )
 
-// RunPackage runs every applicable analyzer over one type-checked package,
-// applies //finepack:allow suppression, and returns the surviving findings
-// sorted by position. knownNames is the full suite's analyzer-name set,
-// used to validate directives even when only a subset of analyzers runs
-// (as analysistest does).
-func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, knownNames map[string]bool) ([]Finding, error) {
-	allows, findings := ParseAllows(fset, files, knownNames)
-	for _, a := range analyzers {
-		if a.Applies != nil && !a.Applies(pkg.Path()) {
-			continue
-		}
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-		}
-		name := a.Name
-		pass.report = func(d Diagnostic) {
-			pos := fset.Position(d.Pos)
-			for _, al := range allows {
-				if al.Analyzer == name && al.Covers(pos.Filename, pos.Line) {
-					return
-				}
+// RunAll is the whole-program engine behind the driver: it builds the
+// cross-package call graph and fact store over every unit, runs each
+// analyzer's fact phase in dependency order (units must arrive
+// dependencies-first, as `go list -deps` emits them), then runs each
+// analyzer's Run phase per unit with //finepack:allow suppression applied.
+//
+// Suppressed findings are returned with Suppressed=true rather than
+// dropped, so machine consumers (finepack-vet -json) can surface them;
+// callers deciding pass/fail should count only unsuppressed findings.
+// knownNames is the full suite's analyzer-name set, used to validate
+// directives even when only a subset of analyzers runs (as analysistest
+// does). The parsed allows are returned for audit tooling.
+func RunAll(units []*Unit, analyzers []*Analyzer, knownNames map[string]bool) ([]Finding, []Allow, error) {
+	graph := BuildGraph(units)
+	facts := NewFactStore()
+
+	// Fact phase: dependency order, so facts exported by a dependency are
+	// importable when its dependents run.
+	for _, u := range units {
+		for _, a := range analyzers {
+			if a.Facts == nil {
+				continue
 			}
-			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+			if a.Applies != nil && !a.Applies(u.Pkg.Path()) {
+				continue
+			}
+			pass := newPass(a, u, graph, facts)
+			pass.report = func(d Diagnostic) {
+				panic(fmt.Sprintf("%s: Report called during fact phase", a.Name))
+			}
+			if err := a.Facts(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s: facts: %s: %w", a.Name, u.Pkg.Path(), err)
+			}
 		}
 	}
-	SortFindings(findings)
-	return findings, nil
+
+	var all []Finding
+	var allAllows []Allow
+	for _, u := range units {
+		allows, bad := ParseAllows(u.Fset, u.Files, knownNames)
+		allows = extendDeclScopedAllows(u, allows)
+		all = append(all, bad...)
+		allAllows = append(allAllows, allows...)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(u.Pkg.Path()) {
+				continue
+			}
+			pass := newPass(a, u, graph, facts)
+			name := a.Name
+			pass.report = func(d Diagnostic) {
+				pos := u.Fset.Position(d.Pos)
+				f := Finding{Analyzer: name, Pos: pos, Message: d.Message}
+				for _, al := range allows {
+					if al.Analyzer == name && al.Covers(pos.Filename, pos.Line) {
+						f.Suppressed = true
+						break
+					}
+				}
+				all = append(all, f)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, u.Pkg.Path(), err)
+			}
+		}
+	}
+	SortFindings(all)
+	sortAllows(allAllows)
+	return all, allAllows, nil
+}
+
+func newPass(a *Analyzer, u *Unit, graph *CallGraph, facts *FactStore) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Pkg,
+		TypesInfo: u.Info,
+		Graph:     graph,
+		facts:     facts,
+	}
+}
+
+// extendDeclScopedAllows widens allows written in a function's doc comment
+// to cover the whole declaration: the escape hatch for functions that are
+// exempt by design (e.g. a freelist's miss path building pre-bound closures
+// once per pooled object). A directive on a line inside a body keeps its
+// usual two-line scope.
+func extendDeclScopedAllows(u *Unit, allows []Allow) []Allow {
+	for _, file := range u.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for i := range allows {
+				if allows[i].Pos >= fd.Doc.Pos() && allows[i].Pos < fd.Doc.End() {
+					allows[i].EndLine = u.Fset.Position(fd.End()).Line
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// sortAllows orders allows by file, line, analyzer for deterministic audit
+// output.
+func sortAllows(as []Allow) {
+	sort.Slice(as, func(i, j int) bool {
+		a, b := as[i], as[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
 }
 
 // SortFindings orders findings by file, line, column, analyzer, message so

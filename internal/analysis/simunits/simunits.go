@@ -1,0 +1,242 @@
+// Package simunits enforces unit safety on the simulator's numeric
+// plumbing.
+//
+// FinePack's core quantities live in three unit classes, declared with a
+// directive on their defined types:
+//
+//	//finepack:unit time-ps
+//	type Time uint64
+//
+// Classes: time-ps (picoseconds — des.Time, core.PicoSeconds), bytes
+// (core.Bytes and the queue/wire byte counters), credits (flow-control
+// credit counts). Go's defined types already stop silent cross-assignment;
+// what they cannot stop is an explicit conversion that changes meaning —
+// Bytes(t) compiles no matter what t measures. This analyzer closes that
+// hole, across package boundaries, by exporting a UnitFact for every
+// annotated type during the fact phase and checking use sites everywhere:
+//
+//   - conversions whose source and destination carry different unit
+//     classes (including sources laundered through plain integer
+//     conversions, uint64(t) and the like);
+//   - conversions between time.Duration (nanoseconds) and a time-ps type
+//     in either direction — the ns-vs-ps confusion is silent and off by
+//     10^3, so the scaling must be spelled out in arithmetic;
+//   - additive/comparison operators (+, -, %, ==, !=, <, <=, >, >=) whose
+//     operands peel back to different classes. * and / are exempt: they
+//     legitimately combine classes into rates (bytes per picosecond).
+//
+// A //finepack:unit directive with an unknown class is itself a finding.
+package simunits
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"finepack/internal/analysis"
+)
+
+// UnitPrefix introduces the type-level unit declaration directive.
+const UnitPrefix = "//finepack:unit"
+
+// Classes is the closed set of unit classes.
+var Classes = map[string]bool{
+	"time-ps": true,
+	"bytes":   true,
+	"credits": true,
+}
+
+// UnitFact marks a defined type as carrying a unit class. Exported during
+// the fact phase on the type name's object, imported wherever the type is
+// used — including packages that see the type only through export data.
+type UnitFact struct{ Class string }
+
+func (*UnitFact) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:    "simunits",
+	Doc:     "forbid conversions and additive arithmetic that mix unit classes (time-ps, bytes, credits) or confuse time.Duration nanoseconds with picosecond types",
+	Applies: analysis.InternalOnly(),
+	Facts:   exportUnits,
+	Run:     run,
+}
+
+// exportUnits publishes a UnitFact for every annotated type declaration.
+// Unknown classes are skipped here (fact passes must not report) and
+// diagnosed by the run phase.
+func exportUnits(pass *analysis.Pass) error {
+	forEachUnitDirective(pass, func(ts *ast.TypeSpec, class string, pos token.Pos) {
+		if !Classes[class] {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+			pass.ExportObjectFact(obj, &UnitFact{Class: class})
+		}
+	})
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	// Re-scan directives for validation findings.
+	forEachUnitDirective(pass, func(ts *ast.TypeSpec, class string, pos token.Pos) {
+		if !Classes[class] {
+			pass.Reportf(pos, "unknown unit class %q on type %s (valid: bytes, credits, time-ps)", class, ts.Name.Name)
+		}
+	})
+
+	u := &checker{pass: pass}
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			u.checkConversion(n)
+		case *ast.BinaryExpr:
+			u.checkBinary(n)
+		}
+	}, (*ast.CallExpr)(nil), (*ast.BinaryExpr)(nil))
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// checkConversion flags T(x) when T and x disagree on unit class, or when
+// either side is time.Duration and the other is a time-ps type.
+func (c *checker) checkConversion(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type
+	arg := call.Args[0]
+	dstClass := c.classOfType(dst)
+	srcClass := c.classOfExpr(arg)
+
+	switch {
+	case dstClass != "" && isDuration(exprType(c.pass, arg)):
+		c.pass.Reportf(call.Pos(), "converting time.Duration (nanoseconds) straight to %s type %s confuses ns with ps; scale explicitly (e.g. ps = ns * 1000)", dstClass, typeName(dst))
+	case srcClass == "time-ps" && isDuration(dst):
+		c.pass.Reportf(call.Pos(), "converting a time-ps value straight to time.Duration (nanoseconds) confuses ps with ns; scale explicitly (e.g. ns = ps / 1000)")
+	case dstClass != "" && srcClass != "" && dstClass != srcClass:
+		c.pass.Reportf(call.Pos(), "conversion mixes unit classes: %s value converted to %s type %s", srcClass, dstClass, typeName(dst))
+	}
+}
+
+// checkBinary flags additive and comparison operators whose operands peel
+// back to different unit classes.
+func (c *checker) checkBinary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB, token.REM,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return // *, /, shifts, logical ops: out of scope
+	}
+	x, y := c.classOfExpr(b.X), c.classOfExpr(b.Y)
+	if x == "" || y == "" || x == y {
+		return
+	}
+	c.pass.Reportf(b.OpPos, "%s mixes unit classes: left operand is %s, right operand is %s", b.Op, x, y)
+}
+
+// classOfExpr resolves an expression's unit class, peeling parens and plain
+// numeric conversions so `uint64(t) + uint64(b)` still reads as
+// time-ps vs bytes.
+func (c *checker) classOfExpr(e ast.Expr) string {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := c.pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+			if class := c.classOfType(tv.Type); class != "" {
+				return class // conversion *into* a unit type adopts its class
+			}
+			if isPlainNumeric(tv.Type) {
+				return c.classOfExpr(call.Args[0]) // laundering conversion: peel
+			}
+			return ""
+		}
+	}
+	return c.classOfType(exprType(c.pass, e))
+}
+
+// classOfType returns the unit class attached (via UnitFact) to a named
+// type, or "".
+func (c *checker) classOfType(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	var fact UnitFact
+	if c.pass.ImportObjectFact(named.Obj(), &fact) {
+		return fact.Class
+	}
+	return ""
+}
+
+// forEachUnitDirective invokes fn for every //finepack:unit directive found
+// in a type declaration's doc comments (both the group's and the spec's).
+func forEachUnitDirective(pass *analysis.Pass, fn func(ts *ast.TypeSpec, class string, pos token.Pos)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc} {
+					if doc == nil {
+						continue
+					}
+					for _, cm := range doc.List {
+						rest, ok := strings.CutPrefix(cm.Text, UnitPrefix)
+						if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+							continue
+						}
+						// Only the first token is the class; anything after
+						// it is free-text commentary.
+						class := ""
+						if fields := strings.Fields(rest); len(fields) > 0 {
+							class = fields[0]
+						}
+						fn(ts, class, cm.Pos())
+					}
+				}
+			}
+		}
+	}
+}
+
+func exprType(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isDuration reports whether t is time.Duration.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// isPlainNumeric reports whether t is an unannotated integer/float type —
+// the kind a laundering conversion passes through.
+func isPlainNumeric(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsInteger|types.IsFloat) != 0 && !isDuration(t)
+}
+
+// typeName renders a named type compactly for diagnostics.
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

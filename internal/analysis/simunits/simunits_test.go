@@ -1,0 +1,42 @@
+package simunits_test
+
+import (
+	"testing"
+
+	"finepack/internal/analysis/analysistest"
+	"finepack/internal/analysis/simunits"
+)
+
+func TestSimunits(t *testing.T) {
+	analysistest.Run(t, "testdata", simunits.Analyzer, "a")
+}
+
+// TestCrossPackage pins fact propagation: the //finepack:unit directives
+// live in a subpackage the consumer imports through export data, and the
+// misuse still fires.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", simunits.Analyzer, "crosspkg")
+}
+
+// TestScope: unit safety applies across all of internal/ — host-layer
+// plumbing moves byte counts and timeouts too — but not to binaries or
+// examples.
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"finepack/internal/des",
+		"finepack/internal/core",
+		"finepack/internal/serve",
+	} {
+		if !simunits.Analyzer.Applies(pkg) {
+			t.Errorf("simunits no longer applies to %q", pkg)
+		}
+	}
+	for _, pkg := range []string{
+		"finepack/cmd/finepack-sim",
+		"finepack/examples/sssp",
+	} {
+		if simunits.Analyzer.Applies(pkg) {
+			t.Errorf("simunits applies to out-of-scope package %q", pkg)
+		}
+	}
+}

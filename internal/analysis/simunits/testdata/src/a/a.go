@@ -1,0 +1,39 @@
+// Package a is a simunits fixture: cross-class conversions, laundered
+// arithmetic, and ns-vs-ps confusion fire; rates, untyped constants, and
+// allowed reinterpretations stay silent.
+package a
+
+import "time"
+
+//finepack:unit time-ps
+type Pico uint64
+
+//finepack:unit bytes
+type Bytes uint64
+
+//finepack:unit credits
+type Credits int
+
+//finepack:unit furlongs // want "unknown unit class \"furlongs\""
+type Flits uint32
+
+func bad(t Pico, b Bytes, cr Credits) {
+	_ = Bytes(t)               // want "time-ps value converted to bytes type Bytes"
+	_ = Credits(b)             // want "bytes value converted to credits type Credits"
+	_ = uint64(t) + uint64(b)  // want "mixes unit classes: left operand is time-ps, right operand is bytes"
+	_ = uint64(cr) < uint64(b) // want "mixes unit classes: left operand is credits, right operand is bytes"
+	_ = Pico(time.Millisecond) // want "confuses ns with ps"
+	_ = time.Duration(t)       // want "confuses ps with ns"
+	_ = Credits(uint64(t))     // want "time-ps value converted to credits"
+}
+
+func clean(t Pico, b Bytes) uint64 {
+	_ = t + 5 // untyped constants adopt the unit
+	_ = t + Pico(1000)
+	_ = t > 0
+	rate := uint64(b) / uint64(t) // division forms a rate: exempt by design
+	_ = Bytes(uint64(len("x")))   // plain integer into a unit type: a declaration, not a mix
+	reinterpreted := Bytes(t)     //finepack:allow simunits -- fixture: deliberate reinterpretation
+	_ = reinterpreted
+	return rate
+}

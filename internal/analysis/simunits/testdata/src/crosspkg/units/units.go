@@ -1,0 +1,10 @@
+// Package units declares the unit-annotated types; the misuse sits in the
+// parent package, so the finding only fires if UnitFacts survive the
+// package boundary.
+package units
+
+//finepack:unit time-ps
+type Pico uint64
+
+//finepack:unit bytes
+type Bytes uint64

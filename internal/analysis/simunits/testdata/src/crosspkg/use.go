@@ -1,0 +1,15 @@
+// Package crosspkg is the multi-package simunits fixture: the types carry
+// their //finepack:unit directives in the units subpackage, which this
+// package sees only through export data — the fact store must bridge the
+// gap.
+package crosspkg
+
+import "finepack/internal/analysis/simunits/testdata/src/crosspkg/units"
+
+func Mix(t units.Pico, b units.Bytes) units.Bytes {
+	return units.Bytes(t) // want "time-ps value converted to bytes type Bytes"
+}
+
+func Fine(t units.Pico) units.Pico {
+	return t + units.Pico(500)
+}

@@ -6,7 +6,10 @@ package suite
 import (
 	"finepack/internal/analysis"
 	"finepack/internal/analysis/goroutinefree"
+	"finepack/internal/analysis/hotalloc"
+	"finepack/internal/analysis/lockheld"
 	"finepack/internal/analysis/maporder"
+	"finepack/internal/analysis/simunits"
 	"finepack/internal/analysis/sprintfkey"
 	"finepack/internal/analysis/unseededrand"
 	"finepack/internal/analysis/wallclock"
@@ -16,7 +19,10 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		goroutinefree.Analyzer,
+		hotalloc.Analyzer,
+		lockheld.Analyzer,
 		maporder.Analyzer,
+		simunits.Analyzer,
 		sprintfkey.Analyzer,
 		unseededrand.Analyzer,
 		wallclock.Analyzer,

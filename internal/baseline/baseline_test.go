@@ -153,7 +153,7 @@ func TestFinePackBeatsWriteCombiningOnSparse(t *testing.T) {
 	}
 	wc.FlushAll()
 	fp.FlushAll(core.CauseRelease)
-	wcWire := wc.Stats().WireBytes
+	wcWire := core.Bytes(wc.Stats().WireBytes)
 	fpWire := fp.Stats().WireBytes
 	if fpWire >= wcWire {
 		t.Fatalf("FinePack wire %d ≥ write-combining wire %d on sparse stream",

@@ -122,14 +122,14 @@ func TestWireNeverExceedsPlainP2P(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var plainWire uint64
+		var plainWire Bytes
 		for i := 0; i < 3000; i++ {
 			addr := uint64(rng.Intn(1 << 21))
 			size := 1 + rng.Intn(16)
 			if err := q.Write(Store{Dst: 0, Addr: addr, Size: size}); err != nil {
 				t.Fatal(err)
 			}
-			plainWire += uint64(cfg.TLP.WireBytes(size))
+			plainWire += Bytes(cfg.TLP.WireBytes(size))
 		}
 		q.FlushAll(CauseRelease)
 		return q.Stats().WireBytes <= plainWire
@@ -154,7 +154,7 @@ func TestPackingEfficiencyDenseStream(t *testing.T) {
 		t.Fatalf("avg stores/packet = %.1f, want ≥ 40 for dense stream", avg)
 	}
 	// Goodput should beat per-store plain TLPs by ~3× (paper's headline).
-	plainWire := 512 * uint64(cfg.TLP.WireBytes(8))
+	plainWire := 512 * Bytes(cfg.TLP.WireBytes(8))
 	if st.WireBytes*2 > plainWire {
 		t.Fatalf("FinePack wire %d vs plain %d: want ≥2× reduction",
 			st.WireBytes, plainWire)

@@ -83,7 +83,7 @@ var causeNames = [numCauses]string{
 
 func (c FlushCause) String() string {
 	if c < 0 || c >= numCauses {
-		return fmt.Sprintf("cause(%d)", int(c))
+		return fmt.Sprintf("cause(%d)", int(c)) //finepack:allow hotalloc -- out-of-range causes only; every real cause hits the static name table
 	}
 	return causeNames[c]
 }

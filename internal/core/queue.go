@@ -48,10 +48,10 @@ type QueueStats struct {
 	// StoresIn counts stores written into the queue.
 	StoresIn uint64
 	// BytesIn counts payload bytes written into the queue.
-	BytesIn uint64
+	BytesIn Bytes
 	// BytesOverwritten counts bytes coalesced away by same-address
 	// overwrite: traffic plain P2P would have sent redundantly.
-	BytesOverwritten uint64
+	BytesOverwritten Bytes
 	// Packets counts FinePack outer transactions emitted.
 	Packets uint64
 	// PlainPackets counts fallback plain TLPs (runs whose offset could
@@ -66,10 +66,10 @@ type QueueStats struct {
 	// DataBytes, SubheaderBytes, PayloadBytes and WireBytes decompose
 	// emitted traffic: data, sub-header compression overhead, outer
 	// payload (data+subheaders) and total on-wire bytes.
-	DataBytes      uint64
-	SubheaderBytes uint64
-	PayloadBytes   uint64
-	WireBytes      uint64
+	DataBytes      Bytes
+	SubheaderBytes Bytes
+	PayloadBytes   Bytes
+	WireBytes      Bytes
 	// Flushes tallies window flushes by cause.
 	Flushes [NumFlushCauses]uint64
 }
@@ -173,6 +173,8 @@ func storeSegments(s Store) (segs [2]segment, n int) {
 }
 
 // newWindow returns a ready-to-use window at base, recycled if possible.
+//
+//finepack:allow hotalloc -- the map is allocated once per pooled window on the freelist miss path and recycled thereafter
 func (q *Queue) newWindow(base uint64) *window {
 	if n := len(q.freeWindows); n > 0 {
 		w := q.freeWindows[n-1]
@@ -225,15 +227,17 @@ func (p *partition) findWindow(cfg Config, addr uint64) *window {
 // Write buffers one remote store. It implements the arrival rules of
 // §IV-B: window membership and payload-capacity checks, flush-and-restart
 // on failure, associative merge on success.
+//
+//finepack:hotpath runs once per warp store
 func (q *Queue) Write(s Store) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
 	if s.Size > CacheLineBytes {
-		return fmt.Errorf("core: store of %dB exceeds one cache line; the L1 splits larger stores", s.Size)
+		return fmt.Errorf("core: store of %dB exceeds one cache line; the L1 splits larger stores", s.Size) //finepack:allow hotalloc -- model-bug branch; never taken on a well-formed trace
 	}
 	q.stats.StoresIn++
-	q.stats.BytesIn += uint64(s.Size)
+	q.stats.BytesIn += Bytes(s.Size)
 
 	p := q.part(s.Dst)
 	segArr, nseg := storeSegments(s)
@@ -319,7 +323,7 @@ func (q *Queue) mergeSegment(p *partition, w *window, s Store, seg segment) {
 		p.entries++
 	}
 	segMask := MaskForRange(seg.from, seg.to)
-	q.stats.BytesOverwritten += uint64(e.mask.OverlapCount(segMask))
+	q.stats.BytesOverwritten += Bytes(e.mask.OverlapCount(segMask))
 
 	oldCost := e.cost
 	for i := seg.from; i < seg.to; i++ {
@@ -563,7 +567,7 @@ func (q *Queue) flushWindow(p *partition, w *window, cause FlushCause) {
 			if offset >= q.cfg.AddressableRange() {
 				fb := NewPlainPacket(q.cfg, p.dst, absolute, data)
 				fb.Cause = cause
-				fallbacks = append(fallbacks, fb)
+				fallbacks = append(fallbacks, fb) //finepack:allow hotalloc -- stays nil except for the rare line that straddles the window end
 				continue
 			}
 			pkt.Subs = append(pkt.Subs, SubPacket{Offset: offset, Data: data})
@@ -575,7 +579,7 @@ func (q *Queue) flushWindow(p *partition, w *window, cause FlushCause) {
 		q.stats.Packets++
 		q.stats.StoresPerPacketSum += uint64(pkt.StoresMerged)
 		q.stats.SubPackets += uint64(len(pkt.Subs))
-		q.stats.SubheaderBytes += uint64(pkt.SubheaderOverhead(q.cfg))
+		q.stats.SubheaderBytes += Bytes(pkt.SubheaderOverhead(q.cfg))
 		q.accountWire(pkt)
 		q.emit(pkt)
 	}
@@ -624,7 +628,7 @@ func (q *Queue) DumpState(w io.Writer) {
 }
 
 func (q *Queue) accountWire(pkt *Packet) {
-	q.stats.DataBytes += uint64(pkt.DataBytes())
-	q.stats.PayloadBytes += uint64(pkt.PayloadBytes)
-	q.stats.WireBytes += uint64(pkt.WireBytes)
+	q.stats.DataBytes += Bytes(pkt.DataBytes())
+	q.stats.PayloadBytes += Bytes(pkt.PayloadBytes)
+	q.stats.WireBytes += Bytes(pkt.WireBytes)
 }

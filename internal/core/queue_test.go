@@ -380,13 +380,13 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	cfg := q.Config()
 	wantPayload := 32 + 2*cfg.SubheaderBytes
-	if st.PayloadBytes != uint64(wantPayload) {
+	if st.PayloadBytes != Bytes(wantPayload) {
 		t.Fatalf("payload = %d, want %d", st.PayloadBytes, wantPayload)
 	}
-	if st.SubheaderBytes != uint64(2*cfg.SubheaderBytes) {
+	if st.SubheaderBytes != Bytes(2*cfg.SubheaderBytes) {
 		t.Fatalf("subheaders = %d", st.SubheaderBytes)
 	}
-	if st.WireBytes != uint64(cfg.TLP.WireBytes(wantPayload)) {
+	if st.WireBytes != Bytes(cfg.TLP.WireBytes(wantPayload)) {
 		t.Fatalf("wire = %d", st.WireBytes)
 	}
 	if st.AvgStoresPerPacket() != 2 {

@@ -21,6 +21,8 @@ type Store struct {
 }
 
 // Validate reports whether the store is well formed.
+//
+//finepack:allow hotalloc -- error branches fire only on malformed stores, which abort the run
 func (s Store) Validate() error {
 	if s.Size <= 0 {
 		return fmt.Errorf("core: store size %d must be positive", s.Size)

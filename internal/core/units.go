@@ -1,0 +1,32 @@
+// Unit-carrying defined types for the simulator's core quantities.
+//
+// The paper's accounting mixes three axes that are all "just integers" in
+// naive code: simulated time (picoseconds — NVLink flit timing makes ns too
+// coarse, see des.Time), byte counts (payload, sub-header, wire), and
+// flow-control credits (the VC buffer currency of §II). Carrying them as
+// defined types makes cross-axis assignment a compile error, and the
+// //finepack:unit directives below let finepack-vet's simunits analyzer
+// chase the remaining hole — explicit conversions and arithmetic laundered
+// through plain integers — across package boundaries.
+package core
+
+// PicoSeconds is a simulated duration or timestamp in picoseconds, the
+// same scale as des.Time. Configuration surfaces (for example
+// sim.Config.FlushTimeout) use this type so a raw "500" cannot silently
+// read as nanoseconds.
+//
+//finepack:unit time-ps
+type PicoSeconds uint64
+
+// Bytes counts payload, sub-header, or wire bytes.
+//
+//finepack:unit bytes
+type Bytes uint64
+
+// Credits counts link-layer flow-control credits (one credit buys one
+// credit unit of wire bytes; the unit size is an interconnect parameter,
+// so Credits and Bytes must never mix without an explicit scaled
+// conversion).
+//
+//finepack:unit credits
+type Credits int

@@ -21,7 +21,12 @@ import (
 )
 
 // Time is a simulated timestamp in picoseconds. Picoseconds keep byte-level
-// events on a >100GB/s link exact: one byte at 128GB/s is ~7.8ps.
+// events on a >100GB/s link exact: one byte at 128GB/s is ~7.8ps. Time and
+// core.PicoSeconds share the time-ps unit class, so converting between
+// them is legal; converting either to a byte or credit type is a
+// simunits finding.
+//
+//finepack:unit time-ps
 type Time uint64
 
 // Common durations.
@@ -196,6 +201,8 @@ func (s *Scheduler) Pending() int {
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it
 // always indicates a model bug and silently clamping would hide it.
+//
+//finepack:hotpath every simulated action schedules through At
 func (s *Scheduler) At(t Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
@@ -298,13 +305,15 @@ func (s *Scheduler) popCohort() {
 // same-timestamp events in one batch, then fire them one at a time with
 // per-event deadline, budget, and halt checks, exactly as the original
 // pop-one-fire-one heap loop behaved.
+//
+//finepack:hotpath the DES event loop fires every simulated event
 func (s *Scheduler) run(deadline Time, budget uint64) (Time, error) {
 	if s.inRun {
 		panic("des: re-entrant Run")
 	}
 	s.inRun = true
 	s.halted = false
-	defer func() { s.inRun = false }()
+	defer func() { s.inRun = false }() //finepack:allow hotalloc -- one closure per Run invocation, not per event
 	start := s.fired
 	var err error
 	for !s.halted {
@@ -335,7 +344,7 @@ func (s *Scheduler) run(deadline Time, budget uint64) (Time, error) {
 			break
 		}
 		if budget > 0 && s.fired-start >= budget {
-			err = fmt.Errorf("des: event budget of %d exceeded at %v (pending=%d)",
+			err = fmt.Errorf("des: event budget of %d exceeded at %v (pending=%d)", //finepack:allow hotalloc -- budget exhaustion ends the run; formatting here is terminal
 				budget, s.now, s.Pending())
 			break
 		}

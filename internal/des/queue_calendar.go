@@ -112,6 +112,8 @@ func (q *calendarQueue) peek() *Event { return q.scan() }
 // popCohort pops every event sharing the minimum timestamp — contiguous at
 // the head of one bucket — marks them staged, and appends them to dst in
 // seq order.
+//
+//finepack:hotpath calendar dequeue, once per fired cohort
 func (q *calendarQueue) popCohort(dst []*Event) []*Event {
 	e := q.scan()
 	if e == nil {

@@ -33,6 +33,8 @@ func (h *eventHeap) Pop() any {
 }
 
 // push enqueues an event.
+//
+//finepack:hotpath heap enqueue, once per scheduled event (des_heapq builds)
 func (h *eventHeap) push(e *Event) { heap.Push(h, e) }
 
 // peek returns the minimum event without popping, or nil when empty.
@@ -48,6 +50,8 @@ func (h *eventHeap) remove(i int) { heap.Remove(h, i) }
 
 // popCohort appends every event sharing the minimum timestamp to dst in
 // seq order, marking each staged, and returns the extended slice.
+//
+//finepack:hotpath heap dequeue, once per fired cohort (des_heapq builds)
 func (h *eventHeap) popCohort(dst []*Event) []*Event {
 	if len(*h) == 0 {
 		return dst

@@ -25,7 +25,7 @@ type AblationRow struct {
 	// StoresPerPacket is the suite-mean packing factor.
 	StoresPerPacket float64
 	// WireBytes is the suite-total FinePack traffic.
-	WireBytes uint64
+	WireBytes core.Bytes
 	// TimeoutFlushes counts CauseTimeout flushes (timeout sweep only).
 	TimeoutFlushes uint64
 	// WindowMissFlushes counts CauseWindowMiss flushes.
@@ -112,13 +112,13 @@ func (s *Suite) AblationFlushTimeout() ([]AblationRow, error) {
 	// leaving the mechanism off.
 	points := []struct {
 		label   string
-		timeout des.Time
+		timeout core.PicoSeconds
 	}{
 		{"off", 0},
-		{"10ns", 10 * des.Nanosecond},
-		{"25ns", 25 * des.Nanosecond},
-		{"50ns", 50 * des.Nanosecond},
-		{"500ns", 500 * des.Nanosecond},
+		{"10ns", core.PicoSeconds(10 * des.Nanosecond)},
+		{"25ns", core.PicoSeconds(25 * des.Nanosecond)},
+		{"50ns", core.PicoSeconds(50 * des.Nanosecond)},
+		{"500ns", core.PicoSeconds(500 * des.Nanosecond)},
 	}
 	var jobs []runJob
 	for _, p := range points {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"finepack/internal/core"
 	"finepack/internal/sim"
 	"finepack/internal/stats"
 	"finepack/internal/svgchart"
@@ -39,7 +40,7 @@ type BERRow struct {
 	Slowdown map[sim.Paradigm]float64
 	// Replays and ReplayedWireBytes are summed over workloads.
 	Replays           map[sim.Paradigm]uint64
-	ReplayedWireBytes map[sim.Paradigm]uint64
+	ReplayedWireBytes map[sim.Paradigm]core.Bytes
 	// EffectiveWireFraction is first-transmission bytes over all bytes
 	// carried (aggregated over workloads): effective vs raw bandwidth.
 	EffectiveWireFraction map[sim.Paradigm]float64
@@ -86,7 +87,7 @@ func (s *Suite) BERSweep(bers []float64) ([]BERRow, error) {
 			BER:                   ber,
 			Slowdown:              map[sim.Paradigm]float64{},
 			Replays:               map[sim.Paradigm]uint64{},
-			ReplayedWireBytes:     map[sim.Paradigm]uint64{},
+			ReplayedWireBytes:     map[sim.Paradigm]core.Bytes{},
 			EffectiveWireFraction: map[sim.Paradigm]float64{},
 			RecoveredStalls:       map[sim.Paradigm]uint64{},
 		}
@@ -94,7 +95,7 @@ func (s *Suite) BERSweep(bers []float64) ([]BERRow, error) {
 		cfg.Faults.BER = ber
 		for _, par := range BERSweepParadigms() {
 			var slowdowns []float64
-			var wire, raw uint64
+			var wire, raw core.Bytes
 			for _, name := range s.Workloads() {
 				ref, err := baseline(name, par)
 				if err != nil {

@@ -79,9 +79,9 @@ func (s *Suite) AltDesign() ([]AltDesignRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		data += res.DataBytes
+		data += uint64(res.DataBytes)
 		if res.SubheaderBytes > 0 {
-			subs += res.SubheaderBytes / uint64(s.Cfg.FinePack.SubheaderBytes)
+			subs += uint64(res.SubheaderBytes) / uint64(s.Cfg.FinePack.SubheaderBytes)
 		}
 	}
 	measuredRun := 48
@@ -128,8 +128,8 @@ func AltDesignTable(rows []AltDesignRow) *stats.Table {
 // WCRow compares FinePack and write-combining-alone wire traffic.
 type WCRow struct {
 	Workload    string
-	FinePack    uint64
-	WriteComb   uint64
+	FinePack    core.Bytes
+	WriteComb   core.Bytes
 	ReductionPc float64
 }
 
@@ -138,7 +138,7 @@ type WCRow struct {
 func (s *Suite) WCCompare() ([]WCRow, float64, error) {
 	s.warmRuns(context.Background(), s.suiteJobs(s.NumGPUs, s.Cfg, sim.FinePack, sim.WriteCombining))
 	var rows []WCRow
-	var fpSum, wcSum uint64
+	var fpSum, wcSum core.Bytes
 	for _, name := range s.Workloads() {
 		fp, err := s.Run(name, sim.FinePack)
 		if err != nil {

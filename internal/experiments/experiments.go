@@ -19,7 +19,7 @@ import (
 	"runtime"
 	"sync"
 
-	"finepack/internal/des"
+	"finepack/internal/core"
 	"finepack/internal/obs"
 	"finepack/internal/pcie"
 	"finepack/internal/sim"
@@ -76,7 +76,7 @@ type resultKey struct {
 	subheader int
 	entries   int
 	windows   int
-	timeout   des.Time
+	timeout   core.PicoSeconds
 	// faults fingerprints the fault-injection config so runs with
 	// different error rates, seeds or scripted events never collide in
 	// the cache (the zero config prints identically everywhere).

@@ -46,8 +46,8 @@ func TestGoldenRegression(t *testing.T) {
 				Workload:        name,
 				Paradigm:        par.String(),
 				TimePs:          uint64(res.Time),
-				WireBytes:       res.WireBytes,
-				UsefulBytes:     res.UsefulBytes,
+				WireBytes:       uint64(res.WireBytes),
+				UsefulBytes:     uint64(res.UsefulBytes),
 				Packets:         res.Packets,
 				StoresPerPacket: res.AvgStoresPerPacket,
 			})

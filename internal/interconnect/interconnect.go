@@ -9,6 +9,7 @@ package interconnect
 import (
 	"fmt"
 
+	"finepack/internal/core"
 	"finepack/internal/des"
 	"finepack/internal/faults"
 )
@@ -90,11 +91,11 @@ type Network struct {
 
 	// Stats
 	PacketsSent uint64
-	BytesSent   uint64
+	BytesSent   core.Bytes
 	// perLink counts bytes per endpoint pair, indexed src*NumGPUs+dst —
 	// a flat slice, not a formatted-string map, because Send is the
 	// fabric's hottest path and key formatting would allocate per packet.
-	perLink []uint64
+	perLink []core.Bytes
 
 	// Reliability state, populated only when cfg.Faults is enabled
 	// (see replay.go). fi == nil selects the ideal, error-free path.
@@ -110,7 +111,7 @@ type Network struct {
 	// RecoveredStalls the credit-loop stalls the watchdog resolved by
 	// link-level reset.
 	Replays         uint64
-	ReplayedBytes   uint64
+	ReplayedBytes   core.Bytes
 	RecoveredStalls uint64
 	linkErrors      map[string]uint64
 	resets          []Reset
@@ -136,7 +137,7 @@ type xfer struct {
 	n         *Network
 	src, dst  int
 	wireBytes int
-	credits   int
+	credits   core.Credits
 	serialize des.Time
 	hopDelay  des.Time
 	start     des.Time
@@ -150,6 +151,7 @@ type xfer struct {
 	deliver      func()
 }
 
+//finepack:allow hotalloc -- the pipeline closures bind once per pooled xfer on the freelist miss path and are reused for the object's lifetime
 func (n *Network) getXfer() *xfer {
 	if len(n.xfree) > 0 {
 		x := n.xfree[len(n.xfree)-1]
@@ -173,7 +175,7 @@ func (n *Network) getXfer() *xfer {
 	x.ingressReq = func() { x.n.ingress[x.dst].Request(x.serialize, x.deliver) }
 	x.deliver = func() {
 		nw := x.n
-		nw.credits[x.dst].Release(x.credits)
+		nw.credits[x.dst].Release(int(x.credits))
 		if nw.obs != nil {
 			nw.obs.MessageDelivered(x.src, x.dst, x.wireBytes, x.start, nw.sched.Now())
 		}
@@ -199,7 +201,7 @@ func New(sched *des.Scheduler, cfg Config) (*Network, error) {
 		cfg:     cfg,
 		sched:   sched,
 		trunks:  make(map[[2]int]*des.Server),
-		perLink: make([]uint64, cfg.NumGPUs*cfg.NumGPUs),
+		perLink: make([]core.Bytes, cfg.NumGPUs*cfg.NumGPUs),
 	}
 	if cfg.Faults.Enabled() {
 		fi, err := faults.NewInjector(cfg.Faults)
@@ -263,6 +265,8 @@ func (n *Network) Hops(src, dst int) int {
 // the source egress port, any trunk link, and the destination ingress
 // port, with switch and propagation latency per hop, under the
 // destination's credit loop.
+//
+//finepack:hotpath per-packet transfer pipeline entry
 func (n *Network) Send(src, dst int, wireBytes int, done func()) {
 	if src == dst {
 		panic(fmt.Sprintf("interconnect: self-send on GPU %d", src))
@@ -271,15 +275,15 @@ func (n *Network) Send(src, dst int, wireBytes int, done func()) {
 		wireBytes = 1
 	}
 	n.PacketsSent++
-	n.BytesSent += uint64(wireBytes)
-	n.perLink[src*n.cfg.NumGPUs+dst] += uint64(wireBytes)
+	n.BytesSent += core.Bytes(wireBytes)
+	n.perLink[src*n.cfg.NumGPUs+dst] += core.Bytes(wireBytes)
 
 	serialize := des.DurationForBytes(uint64(wireBytes), n.cfg.Bandwidth)
 	hopDelay := n.cfg.SwitchLatency + n.cfg.PropagationLatency
-	credits := (wireBytes + creditUnit - 1) / creditUnit
+	credits := core.Credits((wireBytes + creditUnit - 1) / creditUnit)
 	// A message larger than the whole receiver buffer streams through it
 	// chunk by chunk; it can never hold more credits than exist.
-	if maxCredits := n.cfg.CreditBytes / creditUnit; credits > maxCredits {
+	if maxCredits := core.Credits(n.cfg.CreditBytes / creditUnit); credits > maxCredits {
 		credits = maxCredits
 	}
 
@@ -294,11 +298,11 @@ func (n *Network) Send(src, dst int, wireBytes int, done func()) {
 	x.serialize, x.hopDelay = serialize, hopDelay
 	x.start = n.sched.Now()
 	x.done = done
-	n.credits[dst].Acquire(credits, x.afterAcquire)
+	n.credits[dst].Acquire(int(credits), x.afterAcquire)
 }
 
 // LinkBytes returns bytes sent on the src→dst endpoint pair.
-func (n *Network) LinkBytes(src, dst int) uint64 {
+func (n *Network) LinkBytes(src, dst int) core.Bytes {
 	if src < 0 || dst < 0 || src >= n.cfg.NumGPUs || dst >= n.cfg.NumGPUs {
 		return 0
 	}
@@ -310,6 +314,7 @@ func (n *Network) EgressUtilization(gpu int) float64 {
 	return n.egress[gpu].Utilization()
 }
 
+//finepack:allow hotalloc -- link-error accounting runs only on the fault-injection path, off the headline benchmarks
 func linkName(src, dst int) string {
 	return fmt.Sprintf("%d->%d", src, dst)
 }

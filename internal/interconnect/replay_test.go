@@ -3,6 +3,7 @@ package interconnect
 import (
 	"testing"
 
+	"finepack/internal/core"
 	"finepack/internal/des"
 	"finepack/internal/faults"
 )
@@ -74,7 +75,7 @@ func TestReplayOnCorruptionEventuallyDelivers(t *testing.T) {
 }
 
 func TestReplayDeterminismAcrossIdenticalSeeds(t *testing.T) {
-	run := func(seed int64) (des.Time, uint64, uint64) {
+	run := func(seed int64) (des.Time, uint64, core.Bytes) {
 		sched := des.NewScheduler()
 		n, err := New(sched, faultCfg(faults.Config{BER: 3e-6, Seed: seed}))
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"finepack/internal/core"
 	"finepack/internal/des"
 	"finepack/internal/faults"
 )
@@ -34,13 +35,13 @@ func TestAllToAllConservation(t *testing.T) {
 	if arrived != sent {
 		t.Fatalf("arrived %d of %d", arrived, sent)
 	}
-	if n.BytesSent != bytes {
+	if n.BytesSent != core.Bytes(bytes) {
 		t.Fatalf("BytesSent = %d, want %d", n.BytesSent, bytes)
 	}
 	// Aggregate time is bounded below by the busiest port's serialization.
-	var maxPort uint64
+	var maxPort core.Bytes
 	for src := 0; src < 8; src++ {
-		var out uint64
+		var out core.Bytes
 		for dst := 0; dst < 8; dst++ {
 			out += n.LinkBytes(src, dst)
 		}
@@ -48,7 +49,7 @@ func TestAllToAllConservation(t *testing.T) {
 			maxPort = out
 		}
 	}
-	lower := des.DurationForBytes(maxPort, 32e9)
+	lower := des.DurationForBytes(uint64(maxPort), 32e9)
 	if end < lower {
 		t.Fatalf("finished at %v, below the serialization bound %v", end, lower)
 	}
@@ -160,7 +161,7 @@ func TestHighBERConservation(t *testing.T) {
 	if n.Replays < uint64(sent)/4 || n.Replays > uint64(sent)*4 {
 		t.Fatalf("replays = %d for %d packets at ~0.5 loss; expected the same order of magnitude", n.Replays, sent)
 	}
-	if n.ReplayedBytes != n.Replays*4096 {
+	if n.ReplayedBytes != core.Bytes(n.Replays*4096) {
 		t.Fatalf("replayed bytes %d inconsistent with %d replays of 4096B", n.ReplayedBytes, n.Replays)
 	}
 	var linkErrs uint64

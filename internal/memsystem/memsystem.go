@@ -142,10 +142,10 @@ func (t *ByteTracker) Add(addr uint64, size int) int {
 func (t *ByteTracker) Lines() int { return len(t.lines) }
 
 // Unique returns the number of distinct bytes recorded.
-func (t *ByteTracker) Unique() uint64 {
-	var n uint64
+func (t *ByteTracker) Unique() core.Bytes {
+	var n core.Bytes
 	for _, m := range t.lines {
-		n += uint64(m.Count())
+		n += core.Bytes(m.Count())
 	}
 	return n
 }
@@ -187,6 +187,7 @@ type ingressOp struct {
 	drained  func()
 }
 
+//finepack:allow hotalloc -- the stage closures bind once per pooled ingress op on the freelist miss path and are reused thereafter
 func (b *IngressBuffer) getOp() *ingressOp {
 	if len(b.free) > 0 {
 		op := b.free[len(b.free)-1]
@@ -234,6 +235,8 @@ func NewIngressBuffer(sched *des.Scheduler, entries int, drainBW float64) *Ingre
 // Accept ingests one disaggregated store: it occupies a slot until the
 // drain server has written it to local memory, then calls done (may be
 // nil). Stores spanning line boundaries occupy one slot per line.
+//
+//finepack:hotpath runs once per disaggregated store at the destination
 func (b *IngressBuffer) Accept(s core.Store, done func()) {
 	slots := 1
 	if core.LineAddr(s.Addr) != core.LineAddr(s.Addr+uint64(s.Size)-1) {

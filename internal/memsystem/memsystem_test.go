@@ -143,7 +143,7 @@ func TestByteTrackerMatchesReference(t *testing.T) {
 				return false
 			}
 		}
-		return tr.Unique() == uint64(len(ref))
+		return tr.Unique() == core.Bytes(len(ref))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)

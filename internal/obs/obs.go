@@ -215,6 +215,8 @@ func (r *Recorder) Metrics() *Registry {
 }
 
 // track interns a lane, assigning IDs in first-use order.
+//
+//finepack:allow hotalloc -- track names format once per track at first use and are cached in trackIdx
 func (r *Recorder) track(kind trackKind, a, b int32) int32 {
 	k := trackKey{kind: kind, a: a, b: b}
 	if id, ok := r.trackIdx[k]; ok {

@@ -39,7 +39,7 @@ type Config struct {
 	// that much store inactivity (§IV-B's optional mitigation; the paper
 	// — and the default — leave it off to maximize the coalescing
 	// window).
-	FlushTimeout des.Time
+	FlushTimeout core.PicoSeconds
 	// UMPageBytes is the Unified-Memory migration granularity.
 	UMPageBytes int
 	// UMFaultLatency is the per-page fault-handling cost on the

@@ -64,6 +64,7 @@ type sendOp struct {
 	fire    func()
 }
 
+//finepack:allow hotalloc -- the fire closure and complete binding happen once per pooled send op on the freelist miss path
 func (s *sender) getOp() *sendOp {
 	if len(s.free) > 0 {
 		op := s.free[len(s.free)-1]
@@ -96,6 +97,7 @@ func (s *sender) getOp() *sendOp {
 	return op
 }
 
+//finepack:hotpath egress: every emitted packet passes through here
 func (s *sender) send(p *core.Packet) {
 	if s.obs != nil {
 		s.obs.PacketEmitted(s.src, p.Dst, p.Cause.String(),
@@ -110,6 +112,8 @@ func (s *sender) send(p *core.Packet) {
 // transmit moves raw wire bytes toward dst under the outstanding/drain
 // bookkeeping, bypassing packet ingestion; arrived (may be nil) fires on
 // delivery.
+//
+//finepack:hotpath egress for the non-packetized paradigms
 func (s *sender) transmit(dst, wireBytes int, arrived func()) {
 	s.outstanding++
 	op := s.getOp()
@@ -143,7 +147,7 @@ func (s *sender) drain(done func()) {
 type p2pEgress struct {
 	cfg      core.Config
 	s        *sender
-	bytesOut uint64
+	bytesOut core.Bytes
 }
 
 func (e *p2pEgress) store(st core.Store) error {
@@ -154,7 +158,7 @@ func (e *p2pEgress) store(st core.Store) error {
 	for i := range data {
 		data[i] = st.Byte(i)
 	}
-	e.bytesOut += uint64(st.Size)
+	e.bytesOut += core.Bytes(st.Size)
 	e.s.send(core.NewPlainPacket(e.cfg, st.Dst, st.Addr, data))
 	return nil
 }
@@ -261,7 +265,7 @@ func (e *wcEgress) flush(done func()) {
 	e.s.drain(done)
 }
 
-func (e *wcEgress) accumulate(r *Result) { r.DataBytes += e.wc.Stats().DataBytes }
+func (e *wcEgress) accumulate(r *Result) { r.DataBytes += core.Bytes(e.wc.Stats().DataBytes) }
 
 func (e *wcEgress) pendingStores() int { return 0 }
 
@@ -348,7 +352,7 @@ func (e *umEgress) flush(done func()) {
 }
 
 func (e *umEgress) accumulate(r *Result) {
-	r.DataBytes += e.PagesMigrated * uint64(e.pageBytes)
+	r.DataBytes += core.Bytes(e.PagesMigrated * uint64(e.pageBytes))
 	r.UMPagesMigrated += e.PagesMigrated
 }
 
@@ -402,7 +406,7 @@ func (e *gpsEgress) flush(done func()) {
 
 func (e *gpsEgress) accumulate(r *Result) {
 	sentPackets := e.g.Stats().Packets - e.g.ElidedPackets
-	r.DataBytes += sentPackets * core.CacheLineBytes
+	r.DataBytes += core.Bytes(sentPackets * core.CacheLineBytes)
 }
 
 func (e *gpsEgress) pendingStores() int { return 0 }

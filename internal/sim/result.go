@@ -27,13 +27,13 @@ type Result struct {
 	BarrierTime des.Time
 
 	// WireBytes is everything sent on the interconnect.
-	WireBytes uint64
+	WireBytes core.Bytes
 	// DataBytes is the payload portion (stores or copy regions).
-	DataBytes uint64
+	DataBytes core.Bytes
 	// UsefulBytes is the subset of DataBytes the destination needed:
 	// unique bytes per synchronization epoch for store paradigms, the
 	// consumed region subset for DMA (Fig 10's "Useful bytes").
-	UsefulBytes uint64
+	UsefulBytes core.Bytes
 	// Packets counts interconnect transactions.
 	Packets uint64
 	// StoresSent counts L1 store transactions entering the transport.
@@ -47,7 +47,7 @@ type Result struct {
 	// the wire bytes those retransmissions re-serialized (WireBytes keeps
 	// counting each packet once; RawWireBytes() adds the replay traffic).
 	Replays           uint64
-	ReplayedWireBytes uint64
+	ReplayedWireBytes core.Bytes
 	// RecoveredStalls counts credit-loop stalls the watchdog resolved by
 	// link-level reset (graceful degradation instead of deadlock).
 	RecoveredStalls uint64
@@ -57,7 +57,7 @@ type Result struct {
 
 	// FinePack-specific detail (zero for other paradigms).
 	AvgStoresPerPacket float64
-	SubheaderBytes     uint64
+	SubheaderBytes     core.Bytes
 	Flushes            [core.NumFlushCauses]uint64
 
 	// cross-GPU sums used to derive AvgStoresPerPacket.
@@ -75,7 +75,7 @@ func (r *Result) Speedup() float64 {
 
 // ProtocolBytes returns wire bytes that are not payload: TLP headers,
 // framing, CRCs and FinePack sub-headers (Fig 10's "Protocol overhead").
-func (r *Result) ProtocolBytes() uint64 {
+func (r *Result) ProtocolBytes() core.Bytes {
 	if r.WireBytes < r.DataBytes {
 		return 0
 	}
@@ -84,7 +84,7 @@ func (r *Result) ProtocolBytes() uint64 {
 
 // WastedBytes returns payload the destination never needed: redundant
 // same-address rewrites and over-transfer (Fig 10's "Wasted bytes").
-func (r *Result) WastedBytes() uint64 {
+func (r *Result) WastedBytes() core.Bytes {
 	if r.DataBytes < r.UsefulBytes {
 		return 0
 	}
@@ -113,7 +113,7 @@ func (r *Result) ExposedCommFraction() float64 {
 
 // RawWireBytes returns every byte the links actually carried, including
 // Ack/Nak replay traffic.
-func (r *Result) RawWireBytes() uint64 {
+func (r *Result) RawWireBytes() core.Bytes {
 	return r.WireBytes + r.ReplayedWireBytes
 }
 

@@ -201,7 +201,7 @@ func (r *runner) setup() error {
 		case P2P:
 			e = &p2pEgress{cfg: r.cfg.FinePack, s: s}
 		case FinePack:
-			e, err = newFPEgress(r.cfg.FinePack, r.cfg.FlushTimeout, s)
+			e, err = newFPEgress(r.cfg.FinePack, des.Time(r.cfg.FlushTimeout), s)
 		case WriteCombining:
 			e, err = newWCEgress(r.cfg.FinePack, s)
 		case GPS:
@@ -233,6 +233,7 @@ type ingestOp struct {
 	storeDone func()
 }
 
+//finepack:allow hotalloc -- the stage closures bind once per pooled ingest op on the freelist miss path
 func (r *runner) getIngestOp() *ingestOp {
 	if len(r.ifree) > 0 {
 		op := r.ifree[len(r.ifree)-1]
@@ -265,6 +266,8 @@ func (r *runner) getIngestOp() *ingestOp {
 // ingest consumes a delivered packet at its destination: each disaggregated
 // store occupies the de-packetizer buffer until drained, and done fires
 // after the last store lands (writing actMem when data checking is on).
+//
+//finepack:hotpath ingress: every delivered packet passes through here
 func (r *runner) ingest(p *core.Packet, done func()) {
 	op := r.getIngestOp()
 	op.stores = core.DepacketizeAppend(op.stores[:0], p)
@@ -422,7 +425,7 @@ func (r *runner) scheduleReads(g, iter int, t0 des.Time, done func()) {
 		}
 		src := src
 		bytes := n * lineWire
-		r.res.DataBytes += uint64(n) * 128
+		r.res.DataBytes += core.Bytes(n) * 128
 		outstanding++
 		r.sched.At(t0, func() {
 			r.net.Send(src, g, bytes, func() {

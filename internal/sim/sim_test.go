@@ -227,7 +227,7 @@ func TestUMParadigm(t *testing.T) {
 	if um.UMPagesMigrated == 0 {
 		t.Fatal("no pages migrated")
 	}
-	if um.DataBytes != um.UMPagesMigrated*uint64(cfg.UMPageBytes) {
+	if um.DataBytes != core.Bytes(um.UMPagesMigrated*uint64(cfg.UMPageBytes)) {
 		t.Fatalf("data bytes %d != pages %d × %d",
 			um.DataBytes, um.UMPagesMigrated, cfg.UMPageBytes)
 	}

@@ -293,7 +293,7 @@ func (s *Store) reconcileArtifactsLocked() {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.wal.Close()
+	return s.wal.Close() //finepack:allow lockheld -- Close must serialize against appends; closing a local file does not wait on IO
 }
 
 // Degraded reports whether a write error has disabled persistence, and
@@ -501,7 +501,7 @@ func (s *Store) Artifact(id, name string) ([]byte, error) {
 	if e.evicted {
 		return nil, ErrEvicted
 	}
-	data, err := os.ReadFile(s.artifactPath(id, name))
+	data, err := os.ReadFile(s.artifactPath(id, name)) //finepack:allow lockheld -- artifact read must be atomic with eviction bookkeeping; artifacts are small local files
 	if err != nil {
 		s.dropArtifactsLocked(e)
 		return nil, ErrEvicted

@@ -20,7 +20,7 @@ type Characteristics struct {
 	// StoreBytes is the total payload pushed (including rewrites).
 	StoreBytes uint64
 	// UniqueBytes is the distinct-byte footprint per epoch, summed.
-	UniqueBytes uint64
+	UniqueBytes core.Bytes
 	// RedundancyX = StoreBytes / UniqueBytes (≥ 1).
 	RedundancyX float64
 	// MeanStoreBytes is the average L1-egress transaction size.
@@ -28,7 +28,7 @@ type Characteristics struct {
 	// Sub32Fraction is the share of transactions ≤ 32B (Fig 1/4).
 	Sub32Fraction float64
 	// CopyBytes/CopyUseful summarize the memcpy variant.
-	CopyBytes, CopyUseful uint64
+	CopyBytes, CopyUseful core.Bytes
 	// ComputeOpsPerByte is total kernel work over unique communicated
 	// bytes: the arithmetic intensity that decides whether communication
 	// can hide under compute.

@@ -25,7 +25,7 @@ func TestDescribeTinyTrace(t *testing.T) {
 		t.Fatalf("store bytes = %d, want 40", c.StoreBytes)
 	}
 	// No rewrites: unique equals pushed.
-	if c.UniqueBytes != c.StoreBytes || c.RedundancyX != 1 {
+	if uint64(c.UniqueBytes) != c.StoreBytes || c.RedundancyX != 1 {
 		t.Fatalf("unique=%d redundancy=%v", c.UniqueBytes, c.RedundancyX)
 	}
 	if c.ActivePairs != 2 || c.MaxPairs != 2 {

@@ -9,6 +9,7 @@ package trace
 import (
 	"fmt"
 
+	"finepack/internal/core"
 	"finepack/internal/gpusim"
 	"finepack/internal/stats"
 )
@@ -21,9 +22,9 @@ type Copy struct {
 	// Dst is the destination GPU.
 	Dst int
 	// Bytes is the transferred region size.
-	Bytes uint64
+	Bytes core.Bytes
 	// UsefulBytes is the subset the destination actually needed.
-	UsefulBytes uint64
+	UsefulBytes core.Bytes
 }
 
 // GPUWork is one GPU's work for one iteration.
@@ -112,7 +113,7 @@ func (t *Trace) NumWarpStores() uint64 {
 }
 
 // CopyBytes sums memcpy-paradigm bytes (total, useful).
-func (t *Trace) CopyBytes() (total, useful uint64) {
+func (t *Trace) CopyBytes() (total, useful core.Bytes) {
 	for _, it := range t.Iterations {
 		for _, w := range it.PerGPU {
 			for _, c := range w.Copies {

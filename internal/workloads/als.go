@@ -3,6 +3,7 @@ package workloads
 import (
 	"math/rand"
 
+	"finepack/internal/core"
 	"finepack/internal/trace"
 )
 
@@ -107,8 +108,8 @@ func (a *ALS) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				useful := uint64(len(idx)) * uint64(a.FactorBytes)
 				w.Copies = append(w.Copies, trace.Copy{
 					Dst:         dst,
-					Bytes:       uint64(float64(useful) * a.DMAOverTransfer),
-					UsefulBytes: useful,
+					Bytes:       core.Bytes(uint64(float64(useful) * a.DMAOverTransfer)),
+					UsefulBytes: core.Bytes(useful),
 				})
 			}
 			iter.PerGPU[src] = w

@@ -3,6 +3,7 @@ package workloads
 import (
 	"math/rand"
 
+	"finepack/internal/core"
 	"finepack/internal/trace"
 )
 
@@ -74,8 +75,8 @@ func (c *CT) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				useful := uint64(perDst) * uint64(c.ElemBytes)
 				w.Copies = append(w.Copies, trace.Copy{
 					Dst:         dst,
-					Bytes:       useful * 14 / 10,
-					UsefulBytes: useful,
+					Bytes:       core.Bytes(useful * 14 / 10),
+					UsefulBytes: core.Bytes(useful),
 				})
 			}
 			iter.PerGPU[src] = w

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"finepack/internal/core"
 	"finepack/internal/trace"
 )
 
@@ -54,14 +55,14 @@ func (d *Diffusion) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				base := replicaBase + uint64(lo)*rowBytes
 				w.Stores = append(w.Stores, pushContiguous(g-1, base, int(rowBytes))...)
 				w.Copies = append(w.Copies, trace.Copy{
-					Dst: g - 1, Bytes: rowBytes, UsefulBytes: rowBytes,
+					Dst: g - 1, Bytes: core.Bytes(rowBytes), UsefulBytes: core.Bytes(rowBytes),
 				})
 			}
 			if g < numGPUs-1 {
 				base := replicaBase + uint64(hi-1)*rowBytes
 				w.Stores = append(w.Stores, pushContiguous(g+1, base, int(rowBytes))...)
 				w.Copies = append(w.Copies, trace.Copy{
-					Dst: g + 1, Bytes: rowBytes, UsefulBytes: rowBytes,
+					Dst: g + 1, Bytes: core.Bytes(rowBytes), UsefulBytes: core.Bytes(rowBytes),
 				})
 			}
 			iter.PerGPU[g] = w

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"finepack/internal/core"
 	"finepack/internal/gpusim"
 	"finepack/internal/trace"
 )
@@ -96,7 +97,7 @@ func (e *EQWP) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				}
 				w.Stores = append(w.Stores, stores...)
 				w.Copies = append(w.Copies, trace.Copy{
-					Dst: dst, Bytes: faceBytes, UsefulBytes: faceBytes,
+					Dst: dst, Bytes: core.Bytes(faceBytes), UsefulBytes: core.Bytes(faceBytes),
 				})
 			}
 			if px > 0 {
@@ -117,7 +118,7 @@ func (e *EQWP) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 					}
 				}
 				w.Copies = append(w.Copies, trace.Copy{
-					Dst: dst, Bytes: yFaceBytes, UsefulBytes: yFaceBytes,
+					Dst: dst, Bytes: core.Bytes(yFaceBytes), UsefulBytes: core.Bytes(yFaceBytes),
 				})
 			}
 			if py > 0 {

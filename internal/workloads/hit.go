@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"finepack/internal/core"
 	"finepack/internal/trace"
 )
 
@@ -80,8 +81,8 @@ func (h *HIT) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				tileBytes := uint64(rowsPer) * uint64(rowsPer) * uint64(h.ElemBytes)
 				w.Copies = append(w.Copies, trace.Copy{
 					Dst:         dst,
-					Bytes:       uint64(float64(tileBytes) * h.DMAOverTransfer),
-					UsefulBytes: tileBytes,
+					Bytes:       core.Bytes(uint64(float64(tileBytes) * h.DMAOverTransfer)),
+					UsefulBytes: core.Bytes(tileBytes),
 				})
 			}
 			iter.PerGPU[src] = w

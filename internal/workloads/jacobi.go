@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"finepack/internal/core"
 	"finepack/internal/trace"
 )
 
@@ -66,7 +67,7 @@ func (j *Jacobi) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				base := replicaBase + uint64(lo)*rowBytes
 				w.Stores = append(w.Stores, pushContiguous(g-1, base, haloBytes)...)
 				w.Copies = append(w.Copies, trace.Copy{
-					Dst: g - 1, Bytes: uint64(haloBytes), UsefulBytes: uint64(haloBytes),
+					Dst: g - 1, Bytes: core.Bytes(uint64(haloBytes)), UsefulBytes: core.Bytes(uint64(haloBytes)),
 				})
 			}
 			if g < numGPUs-1 {
@@ -74,7 +75,7 @@ func (j *Jacobi) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				base := replicaBase + uint64(hi-j.HaloDepth)*rowBytes
 				w.Stores = append(w.Stores, pushContiguous(g+1, base, haloBytes)...)
 				w.Copies = append(w.Copies, trace.Copy{
-					Dst: g + 1, Bytes: uint64(haloBytes), UsefulBytes: uint64(haloBytes),
+					Dst: g + 1, Bytes: core.Bytes(uint64(haloBytes)), UsefulBytes: core.Bytes(uint64(haloBytes)),
 				})
 			}
 			iter.PerGPU[g] = w

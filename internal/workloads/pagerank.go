@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"finepack/internal/core"
 	"finepack/internal/datasets"
 	"finepack/internal/trace"
 )
@@ -90,8 +91,8 @@ func (pr *Pagerank) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				span := uint64(b[len(b)-1]-b[0]+1) * elem
 				w.Copies = append(w.Copies, trace.Copy{
 					Dst:         dst,
-					Bytes:       span,
-					UsefulBytes: uint64(len(b)) * elem,
+					Bytes:       core.Bytes(span),
+					UsefulBytes: core.Bytes(uint64(len(b)) * elem),
 				})
 			}
 			iter.PerGPU[src] = w

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"finepack/internal/core"
 	"finepack/internal/datasets"
 	"finepack/internal/trace"
 )
@@ -119,8 +120,8 @@ func (s *SSSP) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				useful := uint64(len(frontier)) * elem
 				w.Copies = append(w.Copies, trace.Copy{
 					Dst:         dst,
-					Bytes:       3 * useful,
-					UsefulBytes: useful,
+					Bytes:       core.Bytes(3 * useful),
+					UsefulBytes: core.Bytes(useful),
 				})
 			}
 			iter.PerGPU[src] = w

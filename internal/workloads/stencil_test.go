@@ -3,6 +3,7 @@ package workloads
 import (
 	"testing"
 
+	"finepack/internal/core"
 	"finepack/internal/gpusim"
 	"finepack/internal/trace"
 )
@@ -17,7 +18,7 @@ func storeFootprint(stores []gpusim.WarpStore) uint64 {
 }
 
 // copyBytesFor sums copy bytes for one GPU's work.
-func copyBytesFor(w trace.GPUWork) (total, useful uint64) {
+func copyBytesFor(w trace.GPUWork) (total, useful core.Bytes) {
 	for _, c := range w.Copies {
 		total += c.Bytes
 		useful += c.UsefulBytes
@@ -42,7 +43,7 @@ func TestJacobiHaloGeometry(t *testing.T) {
 			t.Errorf("gpu %d: halo store bytes = %d, want %d", g, got, wantBytes)
 		}
 		total, useful := copyBytesFor(w)
-		if total != wantBytes || useful != wantBytes {
+		if total != core.Bytes(wantBytes) || useful != core.Bytes(wantBytes) {
 			t.Errorf("gpu %d: halo copies %d/%d, want %d (no over-transfer)",
 				g, useful, total, wantBytes)
 		}

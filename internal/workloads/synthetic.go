@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"finepack/internal/core"
 	"finepack/internal/trace"
 )
 
@@ -91,8 +92,8 @@ func (sw *Synthetic) Generate(numGPUs int, p Params) (*trace.Trace, error) {
 				useful := uint64(perDst) * uint64(elem)
 				w.Copies = append(w.Copies, trace.Copy{
 					Dst:         dst,
-					Bytes:       uint64(float64(useful) * sw.CopyOverTransfer),
-					UsefulBytes: useful,
+					Bytes:       core.Bytes(uint64(float64(useful) * sw.CopyOverTransfer)),
+					UsefulBytes: core.Bytes(useful),
 				})
 			}
 			iter.PerGPU[src] = w
