@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-smoke bench-compare vet lint fmt ci fuzz-smoke trace-smoke serve-smoke crash-smoke figures report clean
+.PHONY: all build test test-short bench bench-smoke bench-compare vet lint fmt ci fuzz-smoke trace-smoke serve-smoke crash-smoke stream-smoke figures report clean
 
 all: build vet lint test
 
@@ -14,6 +14,7 @@ ci: build vet fmt lint
 	$(MAKE) bench-compare
 	$(MAKE) fuzz-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) stream-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) crash-smoke
 
@@ -31,6 +32,16 @@ trace-smoke:
 		-trace-json .smoke/trace.json -metrics-out .smoke/metrics.prom \
 		-timeline-svg .smoke/timeline.svg observe
 	rm -rf .smoke
+
+# Streaming-memory smoke: synthesize a trace ≥100× the largest built-in
+# workload (2,097,152 warp stores), stream it from disk through a full
+# simulator run, and fail if the sampled peak heap exceeds the O(window)
+# ceiling — materializing the same trace would hold ~600 MB, so the gate
+# catches anything on the v2 reader/ingest path that starts retaining
+# whole traces. BenchmarkStreamedSSSP is the same run under -bench for
+# trend tracking.
+stream-smoke:
+	STREAM_SMOKE=1 go test -run='^TestStreamedMemoryCeiling$$' -count=1 -timeout 600s -v .
 
 # End-to-end daemon smoke: boot finepackd on a loopback port, poll
 # /readyz, submit a small job, diff its metrics artifact against the
@@ -127,6 +138,8 @@ fuzz:
 	go test -fuzz=FuzzDecodePacket -fuzztime=30s ./internal/core/
 	go test -fuzz=FuzzQueueWrite -fuzztime=30s ./internal/core/
 	go test -fuzz=FuzzLoad -fuzztime=30s ./internal/trace/
+	go test -fuzz=FuzzReader -fuzztime=30s ./internal/tracestream/
+	go test -fuzz=FuzzProfile -fuzztime=30s ./internal/tracestream/
 
 # Regenerate the checked-in artifacts under docs/.
 figures:

@@ -16,7 +16,11 @@
 package finepack_test
 
 import (
+	"os"
+	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"finepack/internal/core"
 	"finepack/internal/des"
@@ -24,6 +28,7 @@ import (
 	"finepack/internal/gpusim"
 	"finepack/internal/obs"
 	"finepack/internal/sim"
+	"finepack/internal/tracestream"
 	"finepack/internal/workloads"
 )
 
@@ -464,5 +469,153 @@ func BenchmarkEndToEndSSSPObserved(b *testing.B) {
 		}
 		b.ReportMetric(res.Speedup(), "speedup-x")
 		b.ReportMetric(float64(rec.EventCount()), "trace-events")
+	}
+}
+
+// streamSmokeProfile describes the stream-smoke synthesis input: an
+// SSSP-flavored training-phase trace of 4 GPUs × 128 iterations × 4096
+// warps = 2,097,152 warp stores — ≥100× the largest built-in workload
+// (eqwp, 20,736 warp stores at default parameters), which is the
+// acceptance scale the streaming engine must cover without materializing.
+func streamSmokeProfile() tracestream.Profile {
+	return tracestream.Profile{
+		Name:              "sssp-synth",
+		NumGPUs:           4,
+		Iterations:        128,
+		Seed:              9,
+		ComputeOpsPerIter: 2e7,
+		WarpsPerGPUIter:   4096,
+		SizeMix: []tracestream.SizeClass{
+			{ElemSize: 4, Lanes: 32, Weight: 0.85},
+			{ElemSize: 4, Lanes: 8, Weight: 0.15},
+		},
+		Contiguous:     0.9,
+		AtomicFraction: 0.05,
+	}
+}
+
+// BenchmarkStreamedSSSP synthesizes the stream-smoke trace to a v2 file
+// once, then measures a full simulator run fed from that file through
+// the chunked reader. B/op here is cumulative churn (the simulator
+// allocates per event regardless of input path); the O(window) claim is
+// about peak heap, which TestStreamedMemoryCeiling pins in CI.
+func BenchmarkStreamedSSSP(b *testing.B) {
+	p := streamSmokeProfile()
+	path := filepath.Join(b.TempDir(), "stream.fps")
+	src, err := tracestream.NewSynthSource(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tracestream.WriteFile(path, src); err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := tracestream.OpenFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.RunSource(f.Source(), sim.FinePack, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup(), "speedup-x")
+		b.ReportMetric(float64(p.NumWarpStores()), "warp-stores")
+	}
+}
+
+// streamSmokePeakCeiling bounds the live heap while the stream-smoke
+// trace simulates. Materializing the 2,097,152-warp trace would pin
+// ~600 MB (64 M lane addresses alone are 537 MB) before the simulator
+// starts; a streamed run holds one iteration window (~4 MB decoded) plus
+// simulator state, so a 256 MB ceiling cleanly separates the two — it
+// fails if anything on the path starts retaining the whole trace.
+const streamSmokePeakCeiling = 256 << 20
+
+// TestStreamedMemoryCeiling is the `make stream-smoke` gate: run the
+// ≥100×-eqwp synthesized trace through the full simulator from disk
+// while sampling the live heap, and fail if the peak exceeds the
+// O(window) ceiling. Opt-in via STREAM_SMOKE=1 because the run simulates
+// two million warp stores (~15 s): too heavy for the default tier-1
+// suite, exactly right for its own CI step.
+func TestStreamedMemoryCeiling(t *testing.T) {
+	if os.Getenv("STREAM_SMOKE") == "" {
+		t.Skip("set STREAM_SMOKE=1 (make stream-smoke) to run the streaming memory gate")
+	}
+	p := streamSmokeProfile()
+
+	// The acceptance scale is relative to the built-ins: recompute the
+	// largest one so workload growth cannot silently shrink the margin.
+	largest := uint64(0)
+	for _, w := range workloads.All() {
+		tr, err := w.Generate(4, workloads.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := tr.NumWarpStores(); n > largest {
+			largest = n
+		}
+	}
+	if p.NumWarpStores() < 100*largest {
+		t.Fatalf("smoke profile has %d warp stores; need ≥100× the largest built-in workload (%d)",
+			p.NumWarpStores(), largest)
+	}
+
+	path := filepath.Join(t.TempDir(), "stream.fps")
+	src, err := tracestream.NewSynthSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracestream.WriteFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sample the live heap while the run streams. ReadMemStats
+	// stop-the-world pauses are microseconds at this cadence.
+	stop := make(chan struct{})
+	peakc := make(chan uint64)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				peakc <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	f, err := tracestream.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunSource(f.Source(), sim.FinePack, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	peak := <-peakc
+
+	t.Logf("streamed %d warp stores (%.0f× largest built-in): peak heap %d MB, speedup %.2fx",
+		p.NumWarpStores(), float64(p.NumWarpStores())/float64(largest), peak>>20, res.Speedup())
+	if peak > streamSmokePeakCeiling {
+		t.Fatalf("peak heap %d bytes exceeds the %d-byte O(window) ceiling — something on the streaming path retains the trace",
+			peak, streamSmokePeakCeiling)
 	}
 }

@@ -46,6 +46,7 @@ func main() {
 	flag.BoolVar(&csvOut, "csv", false, "emit CSV instead of tables")
 	flag.StringVar(&svgDir, "svg", "", "also write figure SVGs into this directory")
 	registerObserveFlags()
+	registerStreamFlags()
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -168,6 +169,9 @@ experiments:
   observe     one instrumented run; write -trace-json / -metrics-out /
               -timeline-svg artifacts (workload/paradigm via -trace-workload,
               -trace-paradigm)
+  stream      one run fed from a trace file or synthesis profile
+              (-stream-trace / -stream-synth, paradigm via -stream-paradigm);
+              streams in O(window) memory
   report      one self-contained markdown report with every experiment
   diag        raw per-run quantities for every workload and paradigm
   all         everything above
@@ -199,6 +203,7 @@ func run(s *experiments.Suite, name string) error {
 		"scaling":    showScaling,
 		"ber-sweep":  showBERSweep,
 		"observe":    showObserve,
+		"stream":     showStream,
 		"report":     showReport,
 	}
 	if name == "all" {

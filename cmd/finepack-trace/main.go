@@ -1,13 +1,19 @@
-// Command finepack-trace generates, inspects and summarizes workload
-// traces — the offline counterpart of the NVBit collection step the paper
-// describes. Usage:
+// Command finepack-trace generates, inspects, converts and summarizes
+// workload traces — the offline counterpart of the NVBit collection step
+// the paper describes. Usage:
 //
 //	finepack-trace gen  -workload sssp -o sssp.trace [flags]
 //	finepack-trace info sssp.trace
 //	finepack-trace hist sssp.trace
+//	finepack-trace convert -o sssp.fps sssp.trace
+//	finepack-trace synth -profile prof.json -o big.fps
+//
+// Every inspection command accepts either trace encoding: the v1 gob
+// file or the chunked, seekable v2 stream (DESIGN.md §14).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +24,7 @@ import (
 	"finepack/internal/sim"
 	"finepack/internal/stats"
 	"finepack/internal/trace"
+	"finepack/internal/tracestream"
 	"finepack/internal/workloads"
 )
 
@@ -31,13 +38,17 @@ func main() {
 	case "gen":
 		err = gen(os.Args[2:])
 	case "info":
-		err = withTrace(os.Args[2:], info)
+		err = infoCmd(os.Args[2:])
 	case "hist":
 		err = withTrace(os.Args[2:], hist)
 	case "describe":
 		err = withTrace(os.Args[2:], describe)
 	case "replay":
 		err = replay(os.Args[2:])
+	case "convert":
+		err = convert(os.Args[2:])
+	case "synth":
+		err = synth(os.Args[2:])
 	case "json":
 		err = withTrace(os.Args[2:], func(tr *trace.Trace) error {
 			return tr.SaveJSON(os.Stdout)
@@ -57,16 +68,25 @@ func usage() {
 
 commands:
   gen   -workload <name> -o <file> [-gpus N] [-scale F] [-iters N] [-seed N]
+        [-format gob|stream]
         generate a workload trace and write it to a file
         workloads: %s
-  info      <file>  print trace summary (stores, copies, per-GPU breakdown)
+  info      <file>  print trace summary; a v2 stream is summarized from its
+                    header and seek index without decoding the body
   hist      <file>  print the store-size histogram (Fig 4 view)
   describe  <file>  print paradigm-determining characteristics (sizes,
                     redundancy, intensity, pattern coverage)
   replay    [-paradigm name] [-trace-json f] [-metrics-out f] <file>
                     simulate the trace (default: all paradigms) and print
-                    timing/traffic results; the obs flags record one
-                    instrumented run (they require -paradigm)
+                    timing/traffic results; v2 streams replay in O(window)
+                    memory; the obs flags record one instrumented run (they
+                    require -paradigm)
+  convert   -o <out> [-format stream|gob] <file>
+                    re-encode a trace between the gob v1 format and the
+                    chunked v2 stream (either direction)
+  synth     -profile <json> -o <out>
+                    expand a statistical synthesis profile into a v2 stream
+                    file, one iteration window at a time
   json      <file>  export the trace as JSON
 `, strings.Join(workloads.Names(), " "))
 }
@@ -74,12 +94,13 @@ commands:
 func gen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	var (
-		name  = fs.String("workload", "", "workload name")
-		out   = fs.String("o", "", "output file")
-		gpus  = fs.Int("gpus", 4, "number of GPUs")
-		scale = fs.Float64("scale", 1.0, "problem-size multiplier")
-		iters = fs.Int("iters", 3, "iterations")
-		seed  = fs.Int64("seed", 1, "generation seed")
+		name   = fs.String("workload", "", "workload name")
+		out    = fs.String("o", "", "output file")
+		gpus   = fs.Int("gpus", 4, "number of GPUs")
+		scale  = fs.Float64("scale", 1.0, "problem-size multiplier")
+		iters  = fs.Int("iters", 3, "iterations")
+		seed   = fs.Int64("seed", 1, "generation seed")
+		format = fs.String("format", "gob", "output encoding: gob (v1) or stream (chunked v2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,7 +116,15 @@ func gen(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := tr.SaveFile(*out); err != nil {
+	switch *format {
+	case "gob":
+		err = tr.SaveFile(*out)
+	case "stream":
+		err = tracestream.WriteFile(*out, trace.NewSliceSource(tr))
+	default:
+		return fmt.Errorf("unknown -format %q (want gob or stream)", *format)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %d GPUs, %d iterations, %d warp stores\n",
@@ -103,15 +132,137 @@ func gen(args []string) error {
 	return nil
 }
 
+// withTrace materializes either trace encoding for whole-trace analysis
+// commands. Streaming commands (replay, convert, synth) use sources
+// directly and never materialize.
 func withTrace(args []string, fn func(*trace.Trace) error) error {
 	if len(args) != 1 {
 		return fmt.Errorf("expected one trace file argument")
+	}
+	src, closer, err := tracestream.OpenSource(args[0])
+	if err != nil {
+		return err
+	}
+	defer closer()
+	tr, err := trace.Materialize(src)
+	if err != nil {
+		return err
+	}
+	return fn(tr)
+}
+
+func infoCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected one trace file argument")
+	}
+	f, err := tracestream.OpenFile(args[0])
+	if err == nil {
+		defer f.Close()
+		return streamInfo(f)
+	}
+	if !errors.Is(err, tracestream.ErrNotStream) {
+		return err
 	}
 	tr, err := trace.LoadFile(args[0])
 	if err != nil {
 		return err
 	}
-	return fn(tr)
+	return info(tr)
+}
+
+// streamInfo summarizes a v2 stream from the header and seek index alone
+// — no iteration chunk is decoded, so a multi-gigabyte file answers in
+// O(iterations) time and memory.
+func streamInfo(f *tracestream.File) error {
+	m := f.Meta()
+	fmt.Printf("format:      chunked stream v2\n")
+	fmt.Printf("workload:    %s\n", m.Name)
+	fmt.Printf("gpus:        %d\n", m.NumGPUs)
+	fmt.Printf("iterations:  %d\n", m.Iterations)
+	fmt.Printf("warp stores: %d\n", f.NumWarpStores())
+	fmt.Printf("file size:   %s\n", stats.HumanBytes(uint64(f.Size())))
+
+	t := stats.NewTable("per-iteration chunks (from seek index)",
+		"iter", "offset", "bytes", "warp stores")
+	for i := 0; i < m.Iterations; i++ {
+		off, size, stores := f.IterInfo(i)
+		t.AddRow(i, off, size, stores)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func convert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	var (
+		out    = fs.String("o", "", "output file")
+		format = fs.String("format", "stream", "output encoding: stream (chunked v2) or gob (v1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" || fs.NArg() != 1 {
+		return fmt.Errorf("convert requires -o and one input trace")
+	}
+	src, closer, err := tracestream.OpenSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer closer()
+	m := src.Meta()
+	switch *format {
+	case "stream":
+		// Window-at-a-time re-encode: a v1 input is already in memory, but
+		// a v2 input never is.
+		err = tracestream.WriteFile(*out, src)
+	case "gob":
+		var tr *trace.Trace
+		tr, err = trace.Materialize(src)
+		if err == nil {
+			err = tr.SaveFile(*out)
+		}
+	default:
+		return fmt.Errorf("unknown -format %q (want stream or gob)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s): %s, %d GPUs, %d iterations\n",
+		*out, *format, m.Name, m.NumGPUs, m.Iterations)
+	return nil
+}
+
+func synth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	var (
+		profile = fs.String("profile", "", "synthesis profile JSON file")
+		out     = fs.String("o", "", "output stream file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *profile == "" || *out == "" {
+		return fmt.Errorf("synth requires -profile and -o")
+	}
+	pf, err := os.Open(*profile)
+	if err != nil {
+		return err
+	}
+	p, err := tracestream.ParseProfile(pf)
+	pf.Close()
+	if err != nil {
+		return err
+	}
+	src, err := tracestream.NewSynthSource(*p)
+	if err != nil {
+		return err
+	}
+	if err := tracestream.WriteFile(*out, src); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s, %d GPUs, %d iterations, %d warp stores\n",
+		*out, p.Name, p.NumGPUs, p.Iterations, p.NumWarpStores())
+	return nil
 }
 
 func info(tr *trace.Trace) error {
@@ -148,10 +299,12 @@ func replay(args []string) error {
 	if observing && *par == "" {
 		return fmt.Errorf("-trace-json/-metrics-out record a single run; pick one with -paradigm")
 	}
-	tr, err := trace.LoadFile(fs.Arg(0))
+	src, closer, err := tracestream.OpenSource(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	defer closer()
+	m := src.Meta()
 	paradigms := []sim.Paradigm{
 		sim.P2P, sim.DMA, sim.FinePack, sim.WriteCombining,
 		sim.GPS, sim.UM, sim.RemoteRead, sim.Infinite,
@@ -164,14 +317,14 @@ func replay(args []string) error {
 		paradigms = []sim.Paradigm{p}
 	}
 	cfg := sim.DefaultConfig()
-	t := stats.NewTable(fmt.Sprintf("replay of %s (%d GPUs)", tr.Name, tr.NumGPUs),
+	t := stats.NewTable(fmt.Sprintf("replay of %s (%d GPUs)", m.Name, m.NumGPUs),
 		"paradigm", "time", "speedup", "wire bytes", "packets")
 	for _, p := range paradigms {
 		var rec *obs.Recorder
 		if observing {
 			rec = obs.New(obs.Config{})
 		}
-		res, err := sim.RunObserved(tr, p, cfg, rec)
+		res, err := sim.RunSourceObserved(src, p, cfg, rec)
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -45,6 +46,7 @@ var (
 	walMax      = flag.Int64("wal-max-bytes", 64<<20, "compact the WAL once it grows past this size")
 	cacheBytes  = flag.Int64("artifact-cache-bytes", 0, "on-disk artifact budget; past it, cold artifacts are evicted and recomputed on demand (0 = unbounded)")
 	rateLimit   = flag.Float64("rate-limit", 0, "per-client job submissions per second, burst 2x (0 = unlimited)")
+	blobMax     = flag.Int64("trace-max-bytes", store.DefaultBlobMaxBytes, "max accepted trace upload size")
 	smoke       = flag.Bool("smoke", false, "run the self-contained smoke check and exit")
 	smokeUpdate = flag.Bool("smoke-update", false, "with -smoke: rewrite the golden artifact instead of diffing")
 	smokeGolden = flag.String("smoke-golden", "cmd/finepackd/testdata/smoke_metrics.prom", "with -smoke: golden metrics artifact path")
@@ -76,6 +78,17 @@ func run() error {
 		defer st.Close()
 	}
 
+	// Uploaded traces live beside the WAL when durable, in memory when
+	// not — either way jobs referencing them resolve by content hash.
+	blobDir := ""
+	if *dataDir != "" {
+		blobDir = filepath.Join(*dataDir, "traces")
+	}
+	blobs, err := store.NewBlobStore(blobDir, *blobMax)
+	if err != nil {
+		return fmt.Errorf("opening trace store: %w", err)
+	}
+
 	srv, engine := newStack(stackConfig{
 		workers:     *workers,
 		queueLen:    *queueLen,
@@ -83,6 +96,7 @@ func run() error {
 		parallelism: *parallelism,
 		store:       st,
 		rateLimit:   *rateLimit,
+		blobs:       blobs,
 	})
 	if st != nil {
 		recovered, requeued := engine.Recovered()
@@ -137,14 +151,20 @@ type stackConfig struct {
 	queueLen    int
 	jobTimeout  time.Duration
 	parallelism int
-	store       *store.Store // nil = in-memory only
-	rateLimit   float64      // submissions/s/client; 0 = unlimited
+	store       *store.Store     // nil = in-memory only
+	rateLimit   float64          // submissions/s/client; 0 = unlimited
+	blobs       *store.BlobStore // nil = no trace uploads
 }
 
 // newStack wires the production metric/runner/engine/server stack.
 func newStack(cfg stackConfig) (*serve.Server, *serve.Engine) {
 	m := serve.NewMetrics()
 	runner := serve.NewSuiteRunner(cfg.parallelism, m.Executed)
+	var traces *serve.TraceRegistry
+	if cfg.blobs != nil {
+		traces = serve.NewTraceRegistry(cfg.blobs)
+		runner.Traces = traces
+	}
 	engine := serve.NewEngine(serve.EngineConfig{
 		Workers:        cfg.workers,
 		QueueLen:       cfg.queueLen,
@@ -156,6 +176,9 @@ func newStack(cfg stackConfig) (*serve.Server, *serve.Engine) {
 	srv := serve.NewServer(engine, m)
 	if cfg.rateLimit > 0 {
 		srv.SetRateLimiter(serve.NewRateLimiter(cfg.rateLimit, 2*cfg.rateLimit))
+	}
+	if traces != nil {
+		srv.SetTraces(traces)
 	}
 	return srv, engine
 }

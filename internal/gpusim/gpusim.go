@@ -71,23 +71,27 @@ func Coalesce(w WarpStore) ([]core.Store, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	_, out := coalesceAppend(w, nil, nil)
+	return out, nil
+}
+
+// lineAcc accumulates one cache line's enabled-byte mask during warp
+// coalescing.
+type lineAcc struct {
+	line uint64
+	mask core.ByteMask
+}
+
+// coalesceAppend is the coalescing core shared by Coalesce and Coalescer:
+// it merges w's lane writes into line-run stores appended to out, using
+// lines as scratch, and returns both slices so streaming callers can
+// reuse their backing arrays across warps. w must already be validated.
+//
+//finepack:hotpath warp coalescing, once per warp store in a streamed replay
+func coalesceAppend(w WarpStore, lines []lineAcc, out []core.Store) ([]lineAcc, []core.Store) {
 	// Group enabled bytes by cache line. Warp footprints are tiny
 	// (≤ 32 lanes × 16B = 512B = at most 33 lines), so a small
 	// insertion-ordered slice beats a map.
-	type lineAcc struct {
-		line uint64
-		mask core.ByteMask
-	}
-	var lines []lineAcc
-	touch := func(line uint64) *lineAcc {
-		for i := range lines {
-			if lines[i].line == line {
-				return &lines[i]
-			}
-		}
-		lines = append(lines, lineAcc{line: line})
-		return &lines[len(lines)-1]
-	}
 	for _, addr := range w.Addrs {
 		remaining := w.ElemSize
 		a := addr
@@ -98,7 +102,18 @@ func Coalesce(w WarpStore) ([]core.Store, error) {
 			if n > remaining {
 				n = remaining
 			}
-			touch(line).mask.Set(from, from+n)
+			idx := -1
+			for i := range lines {
+				if lines[i].line == line {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				lines = append(lines, lineAcc{line: line})
+				idx = len(lines) - 1
+			}
+			lines[idx].mask.Set(from, from+n)
 			a += uint64(n)
 			remaining -= n
 		}
@@ -110,17 +125,28 @@ func Coalesce(w WarpStore) ([]core.Store, error) {
 			lines[j], lines[j-1] = lines[j-1], lines[j]
 		}
 	}
-	var out []core.Store
+	// Walk each mask's contiguous runs inline rather than materializing a
+	// Run slice per line: this path runs once per warp store in streamed
+	// replays, where a per-line slice would dominate the garbage profile.
 	for i := range lines {
-		for _, run := range lines[i].mask.Runs() {
+		b := 0
+		for b < core.CacheLineBytes {
+			if !lines[i].mask.Get(b) {
+				b++
+				continue
+			}
+			start := b
+			for b < core.CacheLineBytes && lines[i].mask.Get(b) {
+				b++
+			}
 			out = append(out, core.Store{
 				Dst:  w.Dst,
-				Addr: lines[i].line + uint64(run.Start),
-				Size: run.Len,
+				Addr: lines[i].line + uint64(start),
+				Size: b - start,
 			})
 		}
 	}
-	return out, nil
+	return lines, out
 }
 
 // ComputeModel converts kernel work into simulated compute time. The rate

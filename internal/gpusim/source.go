@@ -1,0 +1,69 @@
+package gpusim
+
+import "finepack/internal/core"
+
+// StoreSource yields a stream of warp stores, the generator-driven
+// counterpart of a []WarpStore slice. Consumers that only need the store
+// stream (histograms, characterization, packing models) pull from a
+// source and never hold more than one warp in memory, whatever the
+// backing — a materialized trace, a chunked trace file, or a synthesizer.
+type StoreSource interface {
+	// NextWarpStore returns the next warp store; ok reports whether one
+	// was produced (false means the stream ended cleanly). The returned
+	// store's Addrs slice is only valid until the following call.
+	NextWarpStore() (ws WarpStore, ok bool, err error)
+}
+
+// Coalescer performs L1 write coalescing with reused scratch buffers: the
+// streaming counterpart of Coalesce for consumers that process millions
+// of warp stores and cannot afford two allocations per warp. The returned
+// slice is valid until the next call on the same Coalescer.
+type Coalescer struct {
+	lines []lineAcc
+	out   []core.Store
+}
+
+// Coalesce coalesces one warp store into the reused buffer; see Coalesce
+// for the model. The result is overwritten by the next Coalesce, Expand,
+// or observed call.
+func (c *Coalescer) Coalesce(w WarpStore) ([]core.Store, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	lines, out := coalesceAppend(w, c.lines[:0], c.out[:0])
+	c.lines, c.out = lines, out
+	return out, nil
+}
+
+// Expand converts an atomic warp operation into its per-lane transactions
+// in the reused buffer, without coalescing (§IV-C).
+func (c *Coalescer) Expand(w WarpStore) ([]core.Store, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	out := c.out[:0]
+	for _, addr := range w.Addrs {
+		out = append(out, core.Store{Dst: w.Dst, Addr: addr, Size: w.ElemSize})
+	}
+	c.out = out
+	return out, nil
+}
+
+// CoalesceObserved is Coalesce plus observer notification, mirroring the
+// package-level CoalesceObserved on the buffer-reusing path.
+func (c *Coalescer) CoalesceObserved(w WarpStore, o StoreObserver) ([]core.Store, error) {
+	out, err := c.Coalesce(w)
+	if err == nil && o != nil {
+		o.WarpCoalesced(w.Dst, len(w.Addrs), len(out))
+	}
+	return out, err
+}
+
+// ExpandObserved is Expand plus observer notification.
+func (c *Coalescer) ExpandObserved(w WarpStore, o StoreObserver) ([]core.Store, error) {
+	out, err := c.Expand(w)
+	if err == nil && o != nil {
+		o.WarpCoalesced(w.Dst, len(w.Addrs), len(out))
+	}
+	return out, err
+}

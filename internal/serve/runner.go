@@ -3,11 +3,15 @@ package serve
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"sync"
 
 	"finepack/internal/des"
 	"finepack/internal/experiments"
+	"finepack/internal/obs"
 	"finepack/internal/sim"
+	"finepack/internal/trace"
+	"finepack/internal/tracestream"
 )
 
 // Progress is one job progress update, emitted while the simulation runs
@@ -53,6 +57,9 @@ type SuiteRunner struct {
 	// Parallelism bounds each Suite's internal worker pool (report jobs
 	// fan out runs). Zero selects GOMAXPROCS.
 	Parallelism int
+	// Traces resolves uploaded trace blobs for TraceID jobs. Nil means
+	// the daemon has no trace store; TraceID jobs then fail cleanly.
+	Traces TraceOpener
 	// onRun is invoked once per executed job body, feeding the daemon's
 	// finepackd_sim_executions_total metric and the exactly-once tests.
 	onRun func()
@@ -108,7 +115,65 @@ func (r *SuiteRunner) Run(ctx context.Context, spec JobSpec, progress func(Progr
 	return r.runObserve(ctx, spec, progress)
 }
 
+// TraceOpener resolves an uploaded trace blob into a streaming iteration
+// source. TraceRegistry is the production implementation.
+type TraceOpener interface {
+	OpenTrace(id string) (trace.IterationSource, func() error, error)
+}
+
+// runTraceObserve executes an observe job whose input is an uploaded
+// trace or a synthesis profile rather than a generated workload. The
+// source streams straight into the simulator — an uploaded v2 file or a
+// synthesized stream replays in O(window) memory, so trace jobs far
+// larger than any built-in workload fit the daemon. Suite caches are
+// bypassed: the job-level content-addressed dedup already guarantees
+// exactly-once per distinct (trace, config) pair.
+func (r *SuiteRunner) runTraceObserve(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error) {
+	par, err := sim.ParadigmFromString(spec.Paradigm)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		src    trace.IterationSource
+		closer func() error
+	)
+	if spec.Synth != nil {
+		src, err = tracestream.NewSynthSource(*spec.Synth)
+		closer = func() error { return nil }
+	} else {
+		if r.Traces == nil {
+			return nil, fmt.Errorf("serve: no trace store configured; cannot run trace_id jobs")
+		}
+		src, closer, err = r.Traces.OpenTrace(spec.TraceID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer closer()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	oc := spec.obsConfig()
+	oc.Progress = func(at des.Time, events uint64) {
+		progress(Progress{Stage: "running", SimMicros: at.Micros(), Events: events})
+	}
+	if r.onRun != nil {
+		r.onRun()
+	}
+	cfg, _ := spec.simConfig()
+	rec := obs.New(oc)
+	res, err := sim.RunSourceObserved(src, par, cfg, rec)
+	if err != nil {
+		return nil, err
+	}
+	progress(Progress{Stage: "rendering"})
+	return renderObserve(res.Workload, par, res, rec)
+}
+
 func (r *SuiteRunner) runObserve(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error) {
+	if spec.TraceID != "" || spec.Synth != nil {
+		return r.runTraceObserve(ctx, spec, progress)
+	}
 	s := r.suite(spec)
 	par, err := sim.ParadigmFromString(spec.Paradigm)
 	if err != nil {
@@ -128,10 +193,15 @@ func (r *SuiteRunner) runObserve(ctx context.Context, spec JobSpec, progress fun
 		return nil, err
 	}
 	progress(Progress{Stage: "rendering"})
+	return renderObserve(spec.Workload, par, res, rec)
+}
 
+// renderObserve assembles the standard observe-job artifact set from a
+// finished run.
+func renderObserve(workload string, par sim.Paradigm, res *sim.Result, rec *obs.Recorder) (*Artifacts, error) {
 	a := &Artifacts{}
 	var buf bytes.Buffer
-	ObserveTable(spec.Workload, par, res, rec).Render(&buf)
+	ObserveTable(workload, par, res, rec).Render(&buf)
 	a.Put(ArtifactReport, append([]byte(nil), buf.Bytes()...))
 	buf.Reset()
 	if err := rec.WriteTrace(&buf); err != nil {

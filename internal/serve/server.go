@@ -26,6 +26,11 @@ import (
 //	DELETE /v1/jobs/{id}                 cancel
 //	GET    /v1/jobs/{id}/events          SSE progress stream
 //	GET    /v1/jobs/{id}/artifacts/{name} artifact bytes
+//	POST   /v1/traces                    upload a trace (201 created,
+//	                                     200 deduped, 400 invalid, 503 when
+//	                                     the trace store is disabled)
+//	GET    /v1/traces                    list stored trace IDs
+//	GET    /v1/traces/{id}               trace metadata without replay
 //	GET    /healthz                      liveness
 //	GET    /readyz                       readiness JSON (503 while
 //	                                     draining; degraded stores stay
@@ -35,6 +40,7 @@ type Server struct {
 	engine  *Engine
 	metrics *Metrics
 	limiter *RateLimiter
+	traces  *TraceRegistry
 	mux     *http.ServeMux
 }
 
@@ -51,6 +57,9 @@ func NewServer(e *Engine, m *Metrics) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -137,6 +146,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
 		return
+	}
+	if spec.TraceID != "" {
+		// Resolve the referenced trace up front: a dangling trace_id fails
+		// at submit time with the right status, not minutes later in the
+		// worker.
+		if s.traces == nil {
+			writeError(w, http.StatusBadRequest, "trace store disabled; trace_id jobs unavailable")
+			return
+		}
+		if !store.ValidBlobID(spec.TraceID) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed trace_id %q", spec.TraceID))
+			return
+		}
+		if !s.traces.Has(spec.TraceID) {
+			writeError(w, http.StatusNotFound, "no such trace "+spec.TraceID)
+			return
+		}
 	}
 	job, created, err := s.engine.Submit(spec)
 	switch {

@@ -26,6 +26,8 @@ import (
 	"finepack/internal/obs"
 	"finepack/internal/pcie"
 	"finepack/internal/sim"
+	"finepack/internal/store"
+	"finepack/internal/tracestream"
 	"finepack/internal/workloads"
 )
 
@@ -80,6 +82,18 @@ type JobSpec struct {
 	// past it the job is aborted between runs. 0 selects the daemon's
 	// default job timeout (possibly none).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// TraceID references an uploaded trace blob (POST /v1/traces) to
+	// replay instead of a generated workload (observe only). The blob ID
+	// is the content hash of the trace bytes, so trace identity folds
+	// into the job ID. Mutually exclusive with Synth; when set, Workload,
+	// GPUs, Scale, Iters and Seed must be unset — the trace fixes them.
+	TraceID string `json:"trace_id,omitempty"`
+	// Synth replays a deterministic synthesized trace expanded from the
+	// profile instead of a generated workload (observe only). The
+	// normalized profile is part of the canonical spec, so profile
+	// identity folds into the job ID. Mutually exclusive with TraceID,
+	// under the same field restrictions.
+	Synth *tracestream.Profile `json:"synth,omitempty"`
 }
 
 // Normalize validates the spec and fills defaults, returning the
@@ -92,6 +106,46 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	default:
 		return s, fmt.Errorf("serve: unknown job kind %q (want %q or %q)", s.Kind, KindObserve, KindReport)
 	}
+	traceInput := s.TraceID != "" || s.Synth != nil
+	if traceInput {
+		if s.Kind != KindObserve {
+			return s, fmt.Errorf("serve: trace/synth input requires an observe job")
+		}
+		if s.TraceID != "" && s.Synth != nil {
+			return s, fmt.Errorf("serve: trace_id and synth are mutually exclusive")
+		}
+		if s.Workload != "" {
+			return s, fmt.Errorf("serve: trace-input jobs take no workload (the trace is the workload)")
+		}
+		if s.GPUs != 0 || s.Scale != 0 || s.Iters != 0 || s.Seed != 0 {
+			return s, fmt.Errorf("serve: trace-input jobs take no gpus/scale/iters/seed (the trace fixes them)")
+		}
+		if s.TraceID != "" && !store.ValidBlobID(s.TraceID) {
+			return s, fmt.Errorf("serve: malformed trace_id %q", s.TraceID)
+		}
+		if s.Synth != nil {
+			// Normalize a private copy: validation fills defaults, and the
+			// fully explicit profile is what hashes into the job ID (two
+			// spellings of one profile dedupe).
+			p := *s.Synth
+			if err := p.Validate(); err != nil {
+				return s, fmt.Errorf("serve: %v", err)
+			}
+			s.Synth = &p
+		}
+		if s.Paradigm == "" {
+			s.Paradigm = "finepack"
+		}
+		if _, err := sim.ParadigmFromString(s.Paradigm); err != nil {
+			return s, fmt.Errorf("serve: %v", err)
+		}
+		if s.SampleUs < 0 {
+			return s, fmt.Errorf("serve: sample_us must be >= 0")
+		}
+		if s.MaxEvents < 0 {
+			return s, fmt.Errorf("serve: max_events must be >= 0")
+		}
+	}
 	if s.Kind == KindReport {
 		// Report jobs sweep every workload and paradigm; per-run knobs
 		// must be unset so equivalent submissions hash identically.
@@ -101,7 +155,7 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if s.SampleUs != 0 || s.MaxEvents != 0 {
 			return s, fmt.Errorf("serve: report jobs take no observability knobs")
 		}
-	} else {
+	} else if !traceInput {
 		if s.Workload == "" {
 			s.Workload = "sssp"
 		}
@@ -121,26 +175,28 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 			return s, fmt.Errorf("serve: max_events must be >= 0")
 		}
 	}
-	if s.GPUs == 0 {
-		s.GPUs = 4
-	}
-	if s.GPUs < 2 || s.GPUs > 64 {
-		return s, fmt.Errorf("serve: gpus %d outside [2,64]", s.GPUs)
-	}
-	if s.Scale == 0 {
-		s.Scale = 1.0
-	}
-	if s.Scale < 0.01 || s.Scale > 8 {
-		return s, fmt.Errorf("serve: scale %g outside [0.01,8]", s.Scale)
-	}
-	if s.Iters == 0 {
-		s.Iters = 3
-	}
-	if s.Iters < 1 || s.Iters > 64 {
-		return s, fmt.Errorf("serve: iters %d outside [1,64]", s.Iters)
-	}
-	if s.Seed == 0 {
-		s.Seed = 1
+	if !traceInput {
+		if s.GPUs == 0 {
+			s.GPUs = 4
+		}
+		if s.GPUs < 2 || s.GPUs > 64 {
+			return s, fmt.Errorf("serve: gpus %d outside [2,64]", s.GPUs)
+		}
+		if s.Scale == 0 {
+			s.Scale = 1.0
+		}
+		if s.Scale < 0.01 || s.Scale > 8 {
+			return s, fmt.Errorf("serve: scale %g outside [0.01,8]", s.Scale)
+		}
+		if s.Iters == 0 {
+			s.Iters = 3
+		}
+		if s.Iters < 1 || s.Iters > 64 {
+			return s, fmt.Errorf("serve: iters %d outside [1,64]", s.Iters)
+		}
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
 	}
 	if s.PCIeGen == 0 {
 		s.PCIeGen = 4

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"finepack/internal/store"
+	"finepack/internal/trace"
+	"finepack/internal/tracestream"
+)
+
+// TraceInfo is the wire form of an uploaded trace's metadata — everything
+// the reader learns from the header and index without decoding a single
+// iteration chunk.
+type TraceInfo struct {
+	ID         string  `json:"id"`
+	Format     int     `json:"format"` // 1 = gob, 2 = chunked stream
+	Name       string  `json:"name"`
+	GPUs       int     `json:"gpus"`
+	Iterations int     `json:"iterations"`
+	WarpStores uint64  `json:"warp_stores"`
+	Bytes      int64   `json:"bytes"`
+	SingleOps  float64 `json:"single_gpu_ops_per_iter"`
+}
+
+// TraceRegistry validates, stores, and opens uploaded traces over a
+// content-addressed blob store. Uploads are accepted in either trace
+// format — the chunked v2 stream (validated from header/index/checksums,
+// then spot-opened) or the v1 gob encoding (fully loaded under
+// trace.Load's bounds) — and replayed through the format-appropriate
+// source at job time.
+type TraceRegistry struct {
+	blobs *store.BlobStore
+}
+
+// NewTraceRegistry wraps a blob store.
+func NewTraceRegistry(b *store.BlobStore) *TraceRegistry {
+	return &TraceRegistry{blobs: b}
+}
+
+// MaxUploadBytes reports the largest accepted upload.
+func (t *TraceRegistry) MaxUploadBytes() int64 { return t.blobs.MaxBytes() }
+
+// Add validates an uploaded trace and stores it, returning its info.
+// created is false when the identical bytes were already stored.
+func (t *TraceRegistry) Add(b []byte) (TraceInfo, bool, error) {
+	info, err := describeTrace(b)
+	if err != nil {
+		return TraceInfo{}, false, err
+	}
+	id, created, err := t.blobs.Put(b)
+	if err != nil {
+		return TraceInfo{}, false, err
+	}
+	info.ID = id
+	return info, created, nil
+}
+
+// describeTrace validates trace bytes in either format and summarizes
+// them.
+func describeTrace(b []byte) (TraceInfo, error) {
+	info := TraceInfo{Bytes: int64(len(b))}
+	r, err := tracestream.NewReader(bytes.NewReader(b), int64(len(b)))
+	if err == nil {
+		// v2: the framing is verified; decode every window once so a job
+		// can never trip over a chunk that passed CRC but fails
+		// validation.
+		if _, err := drain(r.Source()); err != nil {
+			return info, fmt.Errorf("serve: trace stream invalid: %w", err)
+		}
+		m := r.Meta()
+		info.Format = 2
+		info.Name = m.Name
+		info.GPUs = m.NumGPUs
+		info.Iterations = m.Iterations
+		info.WarpStores = r.NumWarpStores()
+		info.SingleOps = m.SingleGPUOpsPerIter
+		return info, nil
+	}
+	if !isNotStream(err) {
+		return info, fmt.Errorf("serve: %w", err)
+	}
+	tr, err := trace.Load(bytes.NewReader(b))
+	if err != nil {
+		return info, fmt.Errorf("serve: not a v2 stream and not a v1 trace: %w", err)
+	}
+	info.Format = 1
+	info.Name = tr.Name
+	info.GPUs = tr.NumGPUs
+	info.Iterations = len(tr.Iterations)
+	info.WarpStores = tr.NumWarpStores()
+	info.SingleOps = tr.SingleGPUOpsPerIter
+	return info, nil
+}
+
+// drain pulls every window out of a source, surfacing the first error.
+func drain(src trace.IterationSource) (int, error) {
+	n := 0
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func isNotStream(err error) bool {
+	for e := err; e != nil; {
+		if e == tracestream.ErrNotStream {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// Info summarizes a stored trace by ID.
+func (t *TraceRegistry) Info(id string) (TraceInfo, error) {
+	r, size, close, err := t.blobs.Open(id)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	defer close()
+	b := make([]byte, size)
+	if _, err := r.ReadAt(b, 0); err != nil {
+		return TraceInfo{}, err
+	}
+	info, err := describeTrace(b)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	info.ID = id
+	return info, nil
+}
+
+// Has reports whether a trace blob exists.
+func (t *TraceRegistry) Has(id string) bool { return t.blobs.Has(id) }
+
+// IDs lists stored trace IDs.
+func (t *TraceRegistry) IDs() ([]string, error) { return t.blobs.IDs() }
+
+// OpenTrace implements TraceOpener: a v2 blob streams (dir-backed blobs
+// straight off disk), a v1 blob loads and adapts.
+func (t *TraceRegistry) OpenTrace(id string) (trace.IterationSource, func() error, error) {
+	r, size, close, err := t.blobs.Open(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	sr, err := tracestream.NewReader(r, size)
+	if err == nil {
+		return sr.Source(), close, nil
+	}
+	if !isNotStream(err) {
+		close()
+		return nil, nil, err
+	}
+	tr, err := trace.Load(io.NewSectionReader(r, 0, size))
+	if err != nil {
+		close()
+		return nil, nil, fmt.Errorf("serve: trace %s: %w", id, err)
+	}
+	close()
+	return trace.NewSliceSource(tr), func() error { return nil }, nil
+}
+
+// SetTraces installs the trace upload registry; nil (the default)
+// disables the /v1/traces endpoints and TraceID jobs.
+func (s *Server) SetTraces(t *TraceRegistry) { s.traces = t }
+
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusServiceUnavailable, "trace store disabled")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.traces.MaxUploadBytes())
+	b, err := io.ReadAll(body)
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("trace upload exceeds %d bytes or failed: %v", s.traces.MaxUploadBytes(), err))
+		return
+	}
+	info, created, err := s.traces.Add(b)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	w.Header().Set("Location", "/v1/traces/"+info.ID)
+	writeJSON(w, code, info)
+}
+
+func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusServiceUnavailable, "trace store disabled")
+		return
+	}
+	id := r.PathValue("id")
+	if !store.ValidBlobID(id) || !s.traces.Has(id) {
+		writeError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	info, err := s.traces.Info(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusServiceUnavailable, "trace store disabled")
+		return
+	}
+	ids, err := s.traces.IDs()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"traces": ids})
+}

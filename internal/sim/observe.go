@@ -17,6 +17,15 @@ func RunObserved(tr *trace.Trace, par Paradigm, cfg Config, rec *obs.Recorder) (
 	return run(tr, par, cfg, rec)
 }
 
+// RunSourceObserved is RunSource with an attached observability recorder
+// (nil rec selects the plain disabled path, exactly as with RunObserved).
+func RunSourceObserved(src trace.IterationSource, par Paradigm, cfg Config, rec *obs.Recorder) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return runSource(src, par, cfg, rec)
+}
+
 // attachObservability wires the recorder into the scheduler, fabric, and
 // warp-coalescing paths. Interface fields are only assigned when rec is
 // non-nil so a typed nil never defeats the observers' nil fast paths.
@@ -41,8 +50,8 @@ func (r *runner) startSampler() {
 	s := &sampler{
 		r:           r,
 		every:       r.obsRec.SampleEvery(),
-		prevEgress:  make([]des.Time, r.tr.NumGPUs),
-		prevIngress: make([]des.Time, r.tr.NumGPUs),
+		prevEgress:  make([]des.Time, r.meta.NumGPUs),
+		prevIngress: make([]des.Time, r.meta.NumGPUs),
 	}
 	r.sched.After(s.every, s.tick)
 }
@@ -60,7 +69,7 @@ func (s *sampler) tick() {
 	r := s.r
 	now := r.sched.Now()
 	interval := float64(s.every)
-	for g := 0; g < r.tr.NumGPUs; g++ {
+	for g := 0; g < r.meta.NumGPUs; g++ {
 		eb := r.net.EgressBusy(g)
 		r.obsRec.SampleEgressUtilization(g, now, float64(eb-s.prevEgress[g])/interval)
 		s.prevEgress[g] = eb

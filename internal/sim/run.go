@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 
 	"finepack/internal/core"
 	"finepack/internal/des"
@@ -26,9 +27,32 @@ func SingleGPUTime(tr *trace.Trace, cfg Config) des.Time {
 	return per * des.Time(len(tr.Iterations))
 }
 
+// singleGPUTimeMeta is SingleGPUTime for a streaming source's metadata.
+func singleGPUTimeMeta(m trace.Meta, cfg Config) des.Time {
+	per := cfg.Compute.Duration(m.SingleGPUOpsPerIter)
+	return per * des.Time(m.Iterations)
+}
+
 // Run replays a trace under one paradigm and returns the measured result.
 func Run(tr *trace.Trace, par Paradigm, cfg Config) (*Result, error) {
 	return run(tr, par, cfg, nil)
+}
+
+// RunSource replays a streaming trace source under one paradigm. It is
+// Run for traces that never materialize: the runner holds one iteration
+// window at a time, so a synthesized or file-backed source replays in
+// O(window) memory regardless of trace length. A slice-backed source
+// produces a Result identical to Run on the underlying trace.
+//
+// Unlike Run, the trace is not validated up front (that would require a
+// full pass): sources are responsible for yielding valid iterations, and
+// a window that fails the source's own validation surfaces as a run
+// error at the iteration boundary.
+func RunSource(src trace.IterationSource, par Paradigm, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return runSource(src, par, cfg, nil)
 }
 
 // run is the shared body of Run and RunObserved (observe.go); rec nil
@@ -40,13 +64,23 @@ func run(tr *trace.Trace, par Paradigm, cfg Config, rec *obs.Recorder) (*Result,
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	if tr.NumGPUs < 2 {
-		return nil, fmt.Errorf("sim: trace has %d GPUs; multi-GPU run needs ≥2", tr.NumGPUs)
+	return runSource(trace.NewSliceSource(tr), par, cfg, rec)
+}
+
+// runSource is the streaming run core shared by every entry point. cfg
+// must already be validated; the source's iterations must be valid.
+func runSource(src trace.IterationSource, par Paradigm, cfg Config, rec *obs.Recorder) (*Result, error) {
+	meta := src.Meta()
+	if meta.NumGPUs < 2 {
+		return nil, fmt.Errorf("sim: trace has %d GPUs; multi-GPU run needs ≥2", meta.NumGPUs)
+	}
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("sim: %s/%s: reset source: %w", meta.Name, par, err)
 	}
 
 	sched := des.NewScheduler()
 	bw := cfg.linkBandwidth()
-	netCfg := interconnect.DefaultConfig(tr.NumGPUs, bw)
+	netCfg := interconnect.DefaultConfig(meta.NumGPUs, bw)
 	netCfg.Faults = cfg.Faults
 	if par == Infinite {
 		// The opportunity bound elides all transfer costs.
@@ -60,10 +94,10 @@ func run(tr *trace.Trace, par Paradigm, cfg Config, rec *obs.Recorder) (*Result,
 	}
 
 	res := &Result{
-		Workload:      tr.Name,
+		Workload:      meta.Name,
 		Paradigm:      par,
-		NumGPUs:       tr.NumGPUs,
-		SingleGPUTime: SingleGPUTime(tr, cfg),
+		NumGPUs:       meta.NumGPUs,
+		SingleGPUTime: singleGPUTimeMeta(meta, cfg),
 	}
 
 	r := &runner{
@@ -71,13 +105,14 @@ func run(tr *trace.Trace, par Paradigm, cfg Config, rec *obs.Recorder) (*Result,
 		net:   net,
 		cfg:   cfg,
 		par:   par,
-		tr:    tr,
+		src:   src,
+		meta:  meta,
 		res:   res,
 	}
 	if cfg.CheckData && (par == P2P || par == FinePack) {
 		r.refMem = make(map[int]*memsystem.Memory)
 		r.actMem = make(map[int]*memsystem.Memory)
-		for g := 0; g < tr.NumGPUs; g++ {
+		for g := 0; g < meta.NumGPUs; g++ {
 			r.refMem[g] = memsystem.NewMemory()
 			r.actMem[g] = memsystem.NewMemory()
 		}
@@ -93,14 +128,14 @@ func run(tr *trace.Trace, par Paradigm, cfg Config, rec *obs.Recorder) (*Result,
 		budget = defaultEventBudget
 	}
 	if _, err := sched.RunBudget(budget); err != nil {
-		return nil, fmt.Errorf("sim: %s/%s: %w", tr.Name, par, err)
+		return nil, fmt.Errorf("sim: %s/%s: %w", meta.Name, par, err)
 	}
 	if r.checkErr != nil {
 		return nil, r.checkErr
 	}
 	if !r.finished {
 		return nil, fmt.Errorf("sim: %s/%s deadlocked at %v (pending=%d)",
-			tr.Name, par, sched.Now(), sched.Pending())
+			meta.Name, par, sched.Now(), sched.Pending())
 	}
 
 	res.Time = r.endTime
@@ -126,13 +161,24 @@ func run(tr *trace.Trace, par Paradigm, cfg Config, rec *obs.Recorder) (*Result,
 
 // runner holds the per-run mutable state.
 type runner struct {
-	sched   *des.Scheduler
-	net     *interconnect.Network
-	cfg     Config
-	par     Paradigm
-	tr      *trace.Trace
+	sched *des.Scheduler
+	net   *interconnect.Network
+	cfg   Config
+	par   Paradigm
+	// src yields iteration windows; meta is its invariant metadata. cur
+	// is the window being replayed — everything it references is only
+	// valid until the next src.Next(), which startIteration only calls
+	// once the previous window's traffic has fully drained.
+	src     trace.IterationSource
+	meta    trace.Meta
+	cur     *trace.Iteration
 	res     *Result
 	engines []egress // store paradigms; nil entries for DMA/Infinite
+
+	// coal reuses coalescing scratch across every warp store in the run:
+	// the store-paradigm hot loop would otherwise allocate two slices per
+	// warp, which dominates streamed replays.
+	coal gpusim.Coalescer
 
 	// useful-byte tracking: unique bytes per (src,dst) per iteration,
 	// indexed src*NumGPUs+dst. A pre-sized flat slice: track() runs once
@@ -149,10 +195,14 @@ type runner struct {
 	ingress []*memsystem.IngressBuffer
 	ifree   []*ingestOp
 
-	finished  bool
-	endTime   des.Time
-	dmaTLPs   uint64
-	readCache map[int][][]int
+	finished bool
+	endTime  des.Time
+	dmaTLPs  uint64
+	// RemoteRead per-iteration read-set cache: valid for readIter only
+	// (iterations stream through in order, so one window's worth is all
+	// that is ever needed).
+	readIter  int
+	readCache [][]int
 
 	// Observability (nil when disabled). obsRec is the concrete recorder;
 	// warpObs is the same recorder as a gpusim observer, assigned only
@@ -173,22 +223,22 @@ func (r *runner) setup() error {
 	if !r.storeParadigm() {
 		return nil
 	}
-	r.trackers = make([]*memsystem.ByteTracker, r.tr.NumGPUs*r.tr.NumGPUs)
-	r.engines = make([]egress, r.tr.NumGPUs)
+	r.trackers = make([]*memsystem.ByteTracker, r.meta.NumGPUs*r.meta.NumGPUs)
+	r.engines = make([]egress, r.meta.NumGPUs)
 
 	// Destination-side de-packetizer ingress buffers, shared by all
 	// senders targeting a GPU. UM transfers whole pages outside the
 	// packet path and skips them.
 	var ingress []*memsystem.IngressBuffer
 	if r.par != UM {
-		ingress = make([]*memsystem.IngressBuffer, r.tr.NumGPUs)
-		for g := 0; g < r.tr.NumGPUs; g++ {
+		ingress = make([]*memsystem.IngressBuffer, r.meta.NumGPUs)
+		for g := 0; g < r.meta.NumGPUs; g++ {
 			ingress[g] = memsystem.NewIngressBuffer(
 				r.sched, r.cfg.IngressEntries, r.cfg.LocalMemBandwidth)
 		}
 	}
 	r.ingress = ingress
-	for g := 0; g < r.tr.NumGPUs; g++ {
+	for g := 0; g < r.meta.NumGPUs; g++ {
 		s := &sender{sched: r.sched, net: r.net, src: g, obs: r.obsRec}
 		if ingress != nil {
 			s.ingest = r.ingest
@@ -299,12 +349,24 @@ func (r *runner) startIteration(i int) {
 			t.Reset()
 		}
 	}
-	if i >= len(r.tr.Iterations) {
+	if i >= r.meta.Iterations {
 		r.finished = true
 		r.endTime = r.sched.Now()
 		return
 	}
-	it := r.tr.Iterations[i]
+	// Pull the next window. Safe to do only now: every event referencing
+	// the previous window (store batches at ≤ t0+tc, the flush, the copy
+	// and drain completions) has fired before this barrier-crossing runs,
+	// so the source is free to reuse its decode buffers.
+	it, err := r.src.Next()
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("source ended early after %d of %d iterations", i, r.meta.Iterations)
+		}
+		r.fail(fmt.Errorf("sim: %s/%s: iteration %d: %w", r.meta.Name, r.par, i, err))
+		return
+	}
+	r.cur = it
 	t0 := r.sched.Now()
 
 	// Critical-path compute accounting for the overlap metrics.
@@ -322,7 +384,7 @@ func (r *runner) startIteration(i int) {
 		// itself (§VI-B: the flush cost "will be dwarfed by the cost of
 		// the synchronization barrier"). The next iteration starts at
 		// max(last kernel end + barrier, last byte delivered).
-		kernels, drains := r.tr.NumGPUs, r.tr.NumGPUs
+		kernels, drains := r.meta.NumGPUs, r.meta.NumGPUs
 		var barrierAt, drainsAt des.Time
 		maybeNext := func() {
 			if kernels != 0 || drains != 0 {
@@ -340,7 +402,7 @@ func (r *runner) startIteration(i int) {
 			}
 			r.sched.At(at, func() { r.startIteration(i + 1) })
 		}
-		for g := 0; g < r.tr.NumGPUs; g++ {
+		for g := 0; g < r.meta.NumGPUs; g++ {
 			w := it.PerGPU[g]
 			tc := r.cfg.Compute.Duration(w.ComputeOps)
 			if r.obsRec != nil {
@@ -367,14 +429,14 @@ func (r *runner) startIteration(i int) {
 
 	// memcpy/on-demand paradigms: transfers are serial with compute; the
 	// barrier closes after the last delivery.
-	remaining := r.tr.NumGPUs
+	remaining := r.meta.NumGPUs
 	gpuDone := func() {
 		remaining--
 		if remaining == 0 {
 			r.sched.After(r.cfg.BarrierLatency, func() { r.startIteration(i + 1) })
 		}
 	}
-	for g := 0; g < r.tr.NumGPUs; g++ {
+	for g := 0; g < r.meta.NumGPUs; g++ {
 		if r.obsRec != nil {
 			tc := r.cfg.Compute.Duration(it.PerGPU[g].ComputeOps)
 			r.obsRec.ComputePhase(g, i, t0, t0+tc)
@@ -387,13 +449,21 @@ func (r *runner) startIteration(i int) {
 	}
 }
 
+// fail records the first fatal error and halts the schedule; the run
+// entry point surfaces it after the event loop stops.
+func (r *runner) fail(err error) {
+	if r.checkErr == nil {
+		r.checkErr = err
+	}
+	r.sched.Halt()
+}
+
 // scheduleReads schedules one GPU's kernel under the RemoteRead paradigm:
 // the consumer's loads of remotely-produced lines interleave with compute,
 // stalling it by the latency the available memory-level parallelism cannot
 // hide, while the reply data occupies the producer→consumer links.
 func (r *runner) scheduleReads(g, iter int, t0 des.Time, done func()) {
-	it := r.tr.Iterations[iter]
-	tc := r.cfg.Compute.Duration(it.PerGPU[g].ComputeOps)
+	tc := r.cfg.Compute.Duration(r.cur.PerGPU[g].ComputeOps)
 
 	lines := r.readLines(iter, g)
 	var totalLines int
@@ -447,26 +517,25 @@ func (r *runner) scheduleReads(g, iter int, t0 des.Time, done func()) {
 // readLines returns, for iteration iter, the number of distinct remote
 // 128B lines consumer g reads from each producer: the lines the producers
 // would have pushed to g under the replication paradigms. Computed once
-// per run and cached.
+// per iteration window from the current window (all consumers of an
+// iteration ask synchronously, before the next window is pulled) and
+// cached for that window only, keeping RemoteRead O(window) like every
+// other paradigm.
 func (r *runner) readLines(iter, g int) []int {
-	if r.readCache == nil {
-		r.readCache = make(map[int][][]int)
-	}
-	perGPU, ok := r.readCache[iter]
-	if !ok {
-		perGPU = make([][]int, r.tr.NumGPUs)
-		for c := 0; c < r.tr.NumGPUs; c++ {
-			perGPU[c] = make([]int, r.tr.NumGPUs)
+	if r.readCache == nil || r.readIter != iter {
+		perGPU := make([][]int, r.meta.NumGPUs)
+		for c := 0; c < r.meta.NumGPUs; c++ {
+			perGPU[c] = make([]int, r.meta.NumGPUs)
 		}
 		trackers := make(map[[2]int]*memsystem.ByteTracker)
-		for src, w := range r.tr.Iterations[iter].PerGPU {
+		for src, w := range r.cur.PerGPU {
 			for _, ws := range w.Stores {
 				var txs []core.Store
 				var err error
 				if ws.Atomic {
-					txs, err = gpusim.Expand(ws)
+					txs, err = r.coal.Expand(ws)
 				} else {
-					txs, err = gpusim.Coalesce(ws)
+					txs, err = r.coal.Coalesce(ws)
 				}
 				if err != nil {
 					continue
@@ -486,9 +555,10 @@ func (r *runner) readLines(iter, g int) []int {
 			perGPU[key[1]][key[0]] = tk.Lines()
 			r.res.UsefulBytes += tk.Unique()
 		}
-		r.readCache[iter] = perGPU
+		r.readCache = perGPU
+		r.readIter = iter
 	}
-	return perGPU[g]
+	return r.readCache[g]
 }
 
 // scheduleCopies schedules one GPU's kernel under the memcpy paradigms:
@@ -554,12 +624,6 @@ func (r *runner) scheduleStores(g int, w trace.GPUWork, t0 des.Time, tc des.Time
 	if batches > n {
 		batches = n
 	}
-	fail := func(err error) {
-		if r.checkErr == nil {
-			r.checkErr = err
-		}
-		r.sched.Halt()
-	}
 	for b := 0; b < batches; b++ {
 		lo, hi := n*b/batches, n*(b+1)/batches
 		chunk := w.Stores[lo:hi]
@@ -572,9 +636,9 @@ func (r *runner) scheduleStores(g int, w trace.GPUWork, t0 des.Time, tc des.Time
 				if ws.Atomic {
 					// Atomics bypass L1 coalescing: one transaction
 					// per lane (§IV-C).
-					txs, err := gpusim.ExpandObserved(ws, r.warpObs)
+					txs, err := r.coal.ExpandObserved(ws, r.warpObs)
 					if err != nil {
-						fail(err)
+						r.fail(err)
 						return
 					}
 					for _, st := range txs {
@@ -584,15 +648,15 @@ func (r *runner) scheduleStores(g int, w trace.GPUWork, t0 des.Time, tc des.Time
 							r.refMem[st.Dst].Write(st)
 						}
 						if err := e.atomic(st); err != nil {
-							fail(err)
+							r.fail(err)
 							return
 						}
 					}
 					continue
 				}
-				txs, err := gpusim.CoalesceObserved(ws, r.warpObs)
+				txs, err := r.coal.CoalesceObserved(ws, r.warpObs)
 				if err != nil {
-					fail(err)
+					r.fail(err)
 					return
 				}
 				for _, st := range txs {
@@ -602,7 +666,7 @@ func (r *runner) scheduleStores(g int, w trace.GPUWork, t0 des.Time, tc des.Time
 						r.refMem[st.Dst].Write(st)
 					}
 					if err := e.store(st); err != nil {
-						fail(err)
+						r.fail(err)
 						return
 					}
 				}
@@ -617,7 +681,7 @@ func (r *runner) scheduleStores(g int, w trace.GPUWork, t0 des.Time, tc des.Time
 
 // track records a store's bytes in the per-(src,dst) unique-byte tracker.
 func (r *runner) track(src int, st core.Store) {
-	key := src*r.tr.NumGPUs + st.Dst
+	key := src*r.meta.NumGPUs + st.Dst
 	t := r.trackers[key]
 	if t == nil {
 		t = memsystem.NewByteTracker()
@@ -629,10 +693,10 @@ func (r *runner) track(src int, st core.Store) {
 // checkMemories verifies, at a barrier, that delivered bytes match program
 // order exactly (the weak-memory-model end-to-end invariant).
 func (r *runner) checkMemories(iter int) {
-	for g := 0; g < r.tr.NumGPUs; g++ {
+	for g := 0; g < r.meta.NumGPUs; g++ {
 		if !r.refMem[g].Equal(r.actMem[g]) {
 			r.checkErr = fmt.Errorf("sim: %s/%s: destination %d memory diverged at barrier %d",
-				r.tr.Name, r.par, g, iter)
+				r.meta.Name, r.par, g, iter)
 			r.sched.Halt()
 			return
 		}

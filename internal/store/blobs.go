@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// BlobStore is a content-addressed store for uploaded trace artifacts:
+// the blob's sha256 is its identity, so the same bytes uploaded twice
+// dedupe to one entry — and a JobSpec referencing a blob ID is thereby
+// referencing the exact trace content, which folds trace identity into
+// the content-addressed job ID.
+//
+// With a directory, blobs persist as individual files (written with the
+// same atomic-rename discipline as job artifacts) and survive restarts,
+// so WAL-recovered jobs can re-resolve their inputs. Without one, blobs
+// live in memory and die with the process.
+type BlobStore struct {
+	dir      string // "" selects memory-only
+	maxBytes int64
+
+	// mu guards mem only (see the mem* accessors). Dir mode takes no
+	// lock at all: the filesystem is the store, writeFileAtomic's
+	// temp+rename makes concurrent same-content Puts converge on
+	// identical bytes, and a lock held across Stat/ReadDir would
+	// serialize readers behind disk latency for nothing.
+	mu  sync.Mutex
+	mem map[string][]byte // memory-mode contents
+}
+
+// DefaultBlobMaxBytes bounds one uploaded blob: large enough for any
+// materialized trace worth uploading (bigger inputs should be synthesis
+// profiles), small enough that an upload cannot exhaust the host.
+const DefaultBlobMaxBytes = 256 << 20
+
+// NewBlobStore opens a blob store rooted at dir, or a memory-only store
+// when dir is empty. maxBytes caps a single blob (0 selects
+// DefaultBlobMaxBytes).
+func NewBlobStore(dir string, maxBytes int64) (*BlobStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultBlobMaxBytes
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: blob dir: %w", err)
+		}
+	}
+	s := &BlobStore{dir: dir, maxBytes: maxBytes}
+	if dir == "" {
+		s.mem = make(map[string][]byte)
+	}
+	return s, nil
+}
+
+// MaxBytes reports the per-blob size cap.
+func (s *BlobStore) MaxBytes() int64 { return s.maxBytes }
+
+// BlobID content-addresses blob bytes: "t" + hex of the first 16 bytes
+// of the sha256.
+func BlobID(b []byte) string {
+	sum := sha256.Sum256(b)
+	return "t" + hex.EncodeToString(sum[:16])
+}
+
+// ValidBlobID reports whether id has blob-ID shape. It doubles as the
+// path-traversal guard for the dir-backed layout: valid IDs are exactly
+// one lowercase-hex path element.
+func ValidBlobID(id string) bool {
+	if len(id) != 33 || id[0] != 't' {
+		return false
+	}
+	for _, c := range id[1:] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Put stores the blob and returns its content address. created is false
+// when the identical blob was already present.
+func (s *BlobStore) Put(b []byte) (id string, created bool, err error) {
+	if int64(len(b)) > s.maxBytes {
+		return "", false, fmt.Errorf("store: blob of %d bytes exceeds %d-byte limit", len(b), s.maxBytes)
+	}
+	id = BlobID(b)
+	if s.dir == "" {
+		return id, s.memPut(id, b), nil
+	}
+	path := filepath.Join(s.dir, id)
+	if _, err := os.Stat(path); err == nil {
+		// Content addressing: an existing file with this name holds
+		// these bytes.
+		return id, false, nil
+	}
+	if err := writeFileAtomic(path, b); err != nil {
+		return "", false, fmt.Errorf("store: writing blob: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return "", false, fmt.Errorf("store: syncing blob dir: %w", err)
+	}
+	return id, true, nil
+}
+
+// Has reports whether a blob is present.
+func (s *BlobStore) Has(id string) bool {
+	if !ValidBlobID(id) {
+		return false
+	}
+	if s.dir == "" {
+		_, ok := s.memGet(id)
+		return ok
+	}
+	_, err := os.Stat(filepath.Join(s.dir, id))
+	return err == nil
+}
+
+// Open returns a random-access view of a blob plus its size; close
+// releases it. Dir-backed blobs are read straight from the file — a
+// multi-gigabyte trace is never pulled into memory here.
+func (s *BlobStore) Open(id string) (r io.ReaderAt, size int64, close func() error, err error) {
+	if !ValidBlobID(id) {
+		return nil, 0, nil, fmt.Errorf("store: invalid blob id %q", id)
+	}
+	if s.dir == "" {
+		b, ok := s.memGet(id)
+		if !ok {
+			return nil, 0, nil, fmt.Errorf("store: blob %s not found", id)
+		}
+		return bytes.NewReader(b), int64(len(b)), func() error { return nil }, nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil, fmt.Errorf("store: blob %s not found", id)
+		}
+		return nil, 0, nil, fmt.Errorf("store: opening blob: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, nil, fmt.Errorf("store: blob %s: %w", id, err)
+	}
+	return f, st.Size(), f.Close, nil
+}
+
+// IDs lists stored blob IDs in lexical order.
+func (s *BlobStore) IDs() ([]string, error) {
+	if s.dir == "" {
+		return s.memIDs(), nil
+	}
+	var out []string
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing blobs: %w", err)
+	}
+	for _, e := range ents {
+		if ValidBlobID(e.Name()) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Memory-mode accessors. Only these touch mem, and they do nothing but
+// touch mem under mu — keeping every blocking filesystem call in the
+// public methods outside any lock.
+
+func (s *BlobStore) memPut(id string, b []byte) (created bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mem[id]; ok {
+		return false
+	}
+	s.mem[id] = append([]byte(nil), b...)
+	return true
+}
+
+func (s *BlobStore) memGet(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.mem[id]
+	return b, ok
+}
+
+func (s *BlobStore) memIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.mem))
+	for id := range s.mem {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

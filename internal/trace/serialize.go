@@ -23,9 +23,27 @@ func (t *Trace) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a trace written by Save and validates it.
+// MaxLoadBytes bounds the gob input Load will consume. Combined with
+// gob's own chunked (input-length-checked) slice allocation, this caps
+// decode memory at O(MaxLoadBytes) whatever counts a hostile stream
+// declares; traces past this size belong in the chunked v2 format
+// (internal/tracestream), which streams in O(window).
+const MaxLoadBytes = 1 << 30
+
+// MaxGPUs bounds the system size any loaded trace may declare; counts
+// beyond it are rejected before the per-element validation walk.
+const MaxGPUs = 4096
+
+// MaxLoadIterations bounds the iteration count a loaded v1 trace may
+// declare.
+const MaxLoadIterations = 1 << 26
+
+// Load reads a trace written by Save and validates it. Input is bounded:
+// a stream longer than MaxLoadBytes, or one declaring absurd GPU or
+// iteration counts, is rejected as hostile rather than decoded.
 func Load(r io.Reader) (*Trace, error) {
-	dec := gob.NewDecoder(bufio.NewReader(r))
+	lr := &io.LimitedReader{R: r, N: MaxLoadBytes + 1}
+	dec := gob.NewDecoder(bufio.NewReader(lr))
 	var tag string
 	if err := dec.Decode(&tag); err != nil {
 		return nil, fmt.Errorf("trace: decode tag: %w", err)
@@ -35,7 +53,16 @@ func Load(r io.Reader) (*Trace, error) {
 	}
 	var t Trace
 	if err := dec.Decode(&t); err != nil {
+		if lr.N <= 0 {
+			return nil, fmt.Errorf("trace: input exceeds %d-byte decode limit", int64(MaxLoadBytes))
+		}
 		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if lr.N <= 0 {
+		return nil, fmt.Errorf("trace: input exceeds %d-byte decode limit", int64(MaxLoadBytes))
+	}
+	if err := t.CheckBounds(); err != nil {
+		return nil, err
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -76,11 +103,15 @@ func (t *Trace) SaveJSON(w io.Writer) error {
 	return enc.Encode(t)
 }
 
-// LoadJSON reads a trace written by SaveJSON and validates it.
+// LoadJSON reads a trace written by SaveJSON and validates it, under the
+// same bounds as Load.
 func LoadJSON(r io.Reader) (*Trace, error) {
 	var t Trace
-	if err := json.NewDecoder(r).Decode(&t); err != nil {
+	if err := json.NewDecoder(io.LimitReader(r, MaxLoadBytes+1)).Decode(&t); err != nil {
 		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	if err := t.CheckBounds(); err != nil {
+		return nil, err
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

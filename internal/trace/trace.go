@@ -66,35 +66,59 @@ func (t *Trace) Validate() error {
 	if t.SingleGPUOpsPerIter <= 0 {
 		return fmt.Errorf("trace %q: single-GPU ops must be positive", t.Name)
 	}
-	for i, it := range t.Iterations {
-		if len(it.PerGPU) != t.NumGPUs {
-			return fmt.Errorf("trace %q iter %d: %d GPU entries, want %d",
-				t.Name, i, len(it.PerGPU), t.NumGPUs)
+	for i := range t.Iterations {
+		if err := t.Iterations[i].ValidateIn(t.Name, i, t.NumGPUs); err != nil {
+			return err
 		}
-		for g, w := range it.PerGPU {
-			for si, ws := range w.Stores {
-				if err := ws.Validate(); err != nil {
-					return fmt.Errorf("trace %q iter %d gpu %d store %d: %w",
-						t.Name, i, g, si, err)
-				}
-				if ws.Dst == g {
-					return fmt.Errorf("trace %q iter %d gpu %d store %d: self-store",
-						t.Name, i, g, si)
-				}
-				if ws.Dst < 0 || ws.Dst >= t.NumGPUs {
-					return fmt.Errorf("trace %q iter %d gpu %d store %d: dst %d out of range",
-						t.Name, i, g, si, ws.Dst)
-				}
+	}
+	return nil
+}
+
+// CheckBounds rejects traces whose top-level counts are beyond anything
+// this suite legitimately produces — the first line of defense when
+// decoding untrusted inputs, run before the O(stores) validation walk.
+func (t *Trace) CheckBounds() error {
+	if t.NumGPUs > MaxGPUs {
+		return fmt.Errorf("trace %q: %d GPUs exceeds limit %d", t.Name, t.NumGPUs, MaxGPUs)
+	}
+	if len(t.Iterations) > MaxLoadIterations {
+		return fmt.Errorf("trace %q: %d iterations exceeds limit %d", t.Name, len(t.Iterations), MaxLoadIterations)
+	}
+	return nil
+}
+
+// ValidateIn checks one iteration's structural consistency within a trace
+// of numGPUs GPUs; name and idx only label errors. Streaming sources call
+// this per decoded window, so a corrupt or hostile iteration errors out
+// before it reaches the simulator.
+func (it *Iteration) ValidateIn(name string, idx, numGPUs int) error {
+	if len(it.PerGPU) != numGPUs {
+		return fmt.Errorf("trace %q iter %d: %d GPU entries, want %d",
+			name, idx, len(it.PerGPU), numGPUs)
+	}
+	for g, w := range it.PerGPU {
+		for si, ws := range w.Stores {
+			if err := ws.Validate(); err != nil {
+				return fmt.Errorf("trace %q iter %d gpu %d store %d: %w",
+					name, idx, g, si, err)
 			}
-			for ci, c := range w.Copies {
-				if c.Dst == g || c.Dst < 0 || c.Dst >= t.NumGPUs {
-					return fmt.Errorf("trace %q iter %d gpu %d copy %d: bad dst %d",
-						t.Name, i, g, ci, c.Dst)
-				}
-				if c.UsefulBytes > c.Bytes {
-					return fmt.Errorf("trace %q iter %d gpu %d copy %d: useful %d > bytes %d",
-						t.Name, i, g, ci, c.UsefulBytes, c.Bytes)
-				}
+			if ws.Dst == g {
+				return fmt.Errorf("trace %q iter %d gpu %d store %d: self-store",
+					name, idx, g, si)
+			}
+			if ws.Dst < 0 || ws.Dst >= numGPUs {
+				return fmt.Errorf("trace %q iter %d gpu %d store %d: dst %d out of range",
+					name, idx, g, si, ws.Dst)
+			}
+		}
+		for ci, c := range w.Copies {
+			if c.Dst == g || c.Dst < 0 || c.Dst >= numGPUs {
+				return fmt.Errorf("trace %q iter %d gpu %d copy %d: bad dst %d",
+					name, idx, g, ci, c.Dst)
+			}
+			if c.UsefulBytes > c.Bytes {
+				return fmt.Errorf("trace %q iter %d gpu %d copy %d: useful %d > bytes %d",
+					name, idx, g, ci, c.UsefulBytes, c.Bytes)
 			}
 		}
 	}

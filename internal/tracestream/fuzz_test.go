@@ -1,0 +1,103 @@
+package tracestream
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"finepack/internal/workloads"
+)
+
+// fuzzSeedStream renders one small valid stream for the corpus.
+func fuzzSeedStream(f *testing.F) []byte {
+	tr, err := workloads.NewJacobi().Generate(2, workloads.Params{Scale: 0.1, Iterations: 2, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReader drives the v2 reader with arbitrary bytes: torn tails,
+// corrupt CRCs, and truncated footers must surface as errors — never a
+// panic, and never unbounded allocation (the decoder sizes every buffer
+// from already-checksummed payload lengths, so a hostile index or count
+// cannot demand more memory than the input's own size allows).
+func FuzzReader(f *testing.F) {
+	seed := fuzzSeedStream(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-1])          // torn trailer
+	f.Add(seed[:len(seed)/2])          // torn mid-chunk
+	f.Add([]byte{})                    // empty
+	f.Add([]byte("finepack-trace-v1")) // v1-ish prefix
+	corrupt := append([]byte(nil), seed...)
+	corrupt[len(corrupt)/3] ^= 0x40 // CRC-breaking body flip
+	f.Add(corrupt)
+	badTrailer := append([]byte(nil), seed...)
+	copy(badTrailer[len(badTrailer)-trailerLen:], "XXXX")
+	f.Add(badTrailer)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := NewReader(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			return
+		}
+		// A reader that opened must expose a coherent index and decode (or
+		// cleanly reject) every window, in order and at random.
+		src := r.Source()
+		n := 0
+		for {
+			it, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return
+			}
+			if len(it.PerGPU) != r.Meta().NumGPUs {
+				t.Fatalf("window %d has %d GPUs, meta says %d", n, len(it.PerGPU), r.Meta().NumGPUs)
+			}
+			n++
+		}
+		if n != r.Meta().Iterations {
+			t.Fatalf("drained %d windows, meta says %d", n, r.Meta().Iterations)
+		}
+		if r.Meta().Iterations > 0 {
+			if _, err := r.Source().ReadIteration(r.Meta().Iterations - 1); err != nil {
+				t.Fatalf("sequential drain succeeded but random access failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzProfile drives the synthesis-profile parser: errors are fine,
+// panics are not, and an accepted profile must synthesize its first
+// window without error.
+func FuzzProfile(f *testing.F) {
+	f.Add(`{"name":"x","gpus":2,"iterations":1,"warps_per_gpu_iter":4,"compute_ops_per_iter":1e6}`)
+	f.Add(`{"gpus":-1}`)
+	f.Add(`{`)
+	f.Add(strings.Repeat(`{"size_mix":[`, 4))
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		p, err := ParseProfile(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		src, err := NewSynthSource(*p)
+		if err != nil {
+			t.Fatalf("parsed profile rejected by synthesis: %v", err)
+		}
+		// Only expand small windows: a valid profile may legitimately
+		// describe a window of millions of warps, which is work, not a bug.
+		if p.NumGPUs*p.WarpsPerGPUIter <= 1<<16 {
+			if _, err := src.Next(); err != nil {
+				t.Fatalf("parsed profile failed to synthesize: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,377 @@
+package tracestream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"finepack/internal/core"
+	"finepack/internal/gpusim"
+	"finepack/internal/trace"
+)
+
+// Profile is a statistical description of a workload's communication
+// behavior, in the spirit of Eidola's proxy traces: instead of shipping
+// every warp store, it ships the distributions the stores are drawn from
+// — size mix, spatial locality, destination fan-out — plus a seed.
+// Synthesis is fully deterministic: the same profile always expands to
+// the same trace, on any machine, so a profile is as good an experiment
+// input as the trace it denotes (and folds into finepackd job identity
+// the same way).
+type Profile struct {
+	// Name labels the synthesized workload.
+	Name string `json:"name"`
+	// NumGPUs is the system size.
+	NumGPUs int `json:"gpus"`
+	// Iterations is the number of bulk-synchronous steps.
+	Iterations int `json:"iterations"`
+	// Seed drives every random draw (splitmix64 streams keyed per
+	// iteration and GPU, so any window regenerates independently).
+	Seed int64 `json:"seed"`
+	// ComputeOpsPerIter is each GPU's kernel work per iteration.
+	ComputeOpsPerIter float64 `json:"compute_ops_per_iter"`
+	// SingleGPUOpsPerIter is the Fig 9 single-GPU baseline; defaults to
+	// ComputeOpsPerIter × NumGPUs (perfect decomposition).
+	SingleGPUOpsPerIter float64 `json:"single_gpu_ops_per_iter,omitempty"`
+	// WarpsPerGPUIter is the number of remote warp stores each GPU emits
+	// per iteration.
+	WarpsPerGPUIter int `json:"warps_per_gpu_iter"`
+	// SizeMix weights the warp-store shapes to draw from; defaults to
+	// full 32-lane warps of 4B scalars.
+	SizeMix []SizeClass `json:"size_mix,omitempty"`
+	// Contiguous is the fraction of warps whose lanes write a contiguous
+	// run (perfect spatial locality); the rest scatter uniformly over the
+	// window. 1.0 synthesizes Fig 1's best case, 0.0 its worst.
+	Contiguous float64 `json:"contiguous"`
+	// WindowBytes is the per-destination replica window scattered writes
+	// land in and the bulk-copy (memcpy paradigm) region size. Defaults
+	// to 1 MiB.
+	WindowBytes uint64 `json:"window_bytes,omitempty"`
+	// Fanout is how many distinct destinations each GPU writes to
+	// (ring-ordered neighbors); defaults to NumGPUs-1 (all-to-all).
+	Fanout int `json:"fanout,omitempty"`
+	// AtomicFraction is the fraction of warps that are remote atomics
+	// (uncoalesced, §IV-C), as in SSSP's atomicMin relaxations.
+	AtomicFraction float64 `json:"atomic_fraction,omitempty"`
+}
+
+// SizeClass is one weighted warp-store shape in a Profile's size mix.
+type SizeClass struct {
+	// ElemSize is the per-lane store width in bytes (1–16).
+	ElemSize int `json:"elem_size"`
+	// Lanes is the number of active lanes (1–32).
+	Lanes int `json:"lanes"`
+	// Weight is the relative draw probability.
+	Weight float64 `json:"weight"`
+}
+
+// Synthesis bounds: generous enough for the paper's scale sweeps, tight
+// enough that a hostile profile cannot demand unbounded work per window.
+const (
+	maxSynthGPUs       = 1024
+	maxSynthIterations = 1 << 24
+	maxSynthWarps      = 1 << 22 // per GPU per iteration
+	maxSynthWindow     = 1 << 36 // 64 GiB replica window
+)
+
+// Validate checks the profile and fills defaults in place, so a
+// normalized profile is fully explicit (important for job identity: two
+// spellings of the same profile normalize to the same bytes).
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("tracestream: profile needs a name")
+	}
+	if p.NumGPUs < 2 || p.NumGPUs > maxSynthGPUs {
+		return fmt.Errorf("tracestream: profile gpus %d outside [2,%d]", p.NumGPUs, maxSynthGPUs)
+	}
+	if p.Iterations < 1 || p.Iterations > maxSynthIterations {
+		return fmt.Errorf("tracestream: profile iterations %d outside [1,%d]", p.Iterations, maxSynthIterations)
+	}
+	if p.WarpsPerGPUIter < 1 || p.WarpsPerGPUIter > maxSynthWarps {
+		return fmt.Errorf("tracestream: profile warps_per_gpu_iter %d outside [1,%d]", p.WarpsPerGPUIter, maxSynthWarps)
+	}
+	if !(p.ComputeOpsPerIter > 0) || math.IsInf(p.ComputeOpsPerIter, 0) {
+		return fmt.Errorf("tracestream: profile compute_ops_per_iter must be positive and finite")
+	}
+	if p.SingleGPUOpsPerIter == 0 {
+		p.SingleGPUOpsPerIter = p.ComputeOpsPerIter * float64(p.NumGPUs)
+	}
+	if !(p.SingleGPUOpsPerIter > 0) || math.IsInf(p.SingleGPUOpsPerIter, 0) {
+		return fmt.Errorf("tracestream: profile single_gpu_ops_per_iter must be positive and finite")
+	}
+	if len(p.SizeMix) == 0 {
+		p.SizeMix = []SizeClass{{ElemSize: 4, Lanes: gpusim.WarpSize, Weight: 1}}
+	}
+	var wsum float64
+	for i, c := range p.SizeMix {
+		if c.ElemSize < 1 || c.ElemSize > 16 {
+			return fmt.Errorf("tracestream: size_mix[%d] elem_size %d outside [1,16]", i, c.ElemSize)
+		}
+		if c.Lanes < 1 || c.Lanes > gpusim.WarpSize {
+			return fmt.Errorf("tracestream: size_mix[%d] lanes %d outside [1,%d]", i, c.Lanes, gpusim.WarpSize)
+		}
+		if !(c.Weight > 0) || math.IsInf(c.Weight, 0) {
+			return fmt.Errorf("tracestream: size_mix[%d] weight must be positive and finite", i)
+		}
+		wsum += c.Weight
+	}
+	if !(wsum > 0) {
+		return fmt.Errorf("tracestream: size_mix weights sum to zero")
+	}
+	if p.Contiguous < 0 || p.Contiguous > 1 {
+		return fmt.Errorf("tracestream: contiguous %v outside [0,1]", p.Contiguous)
+	}
+	if p.AtomicFraction < 0 || p.AtomicFraction > 1 {
+		return fmt.Errorf("tracestream: atomic_fraction %v outside [0,1]", p.AtomicFraction)
+	}
+	if p.WindowBytes == 0 {
+		p.WindowBytes = 1 << 20
+	}
+	if p.WindowBytes < 2*core.CacheLineBytes || p.WindowBytes > maxSynthWindow {
+		return fmt.Errorf("tracestream: window_bytes %d outside [%d,%d]", p.WindowBytes, 2*core.CacheLineBytes, maxSynthWindow)
+	}
+	if p.Fanout == 0 {
+		p.Fanout = p.NumGPUs - 1
+	}
+	if p.Fanout < 1 || p.Fanout > p.NumGPUs-1 {
+		return fmt.Errorf("tracestream: fanout %d outside [1,%d]", p.Fanout, p.NumGPUs-1)
+	}
+	return nil
+}
+
+// NumWarpStores returns the total store count the profile expands to.
+func (p *Profile) NumWarpStores() uint64 {
+	return uint64(p.Iterations) * uint64(p.NumGPUs) * uint64(p.WarpsPerGPUIter)
+}
+
+// ParseProfile decodes and validates a JSON profile, rejecting unknown
+// fields (a typoed knob silently reverting to its default would corrupt
+// an experiment).
+func ParseProfile(r io.Reader) (*Profile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Profile
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("tracestream: parse profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// splitmix64 is the same tiny deterministic generator internal/faults
+// uses: state marches by the golden-gamma increment, and each output is
+// the finalizer mix of the state. Good enough statistical quality for
+// traffic shaping, zero dependencies, and bit-stable forever.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0,1).
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// uintn returns a uniform draw in [0,n). The modulo bias at these n is
+// far below anything the traffic models resolve, and determinism is what
+// matters.
+func (s *splitmix64) uintn(n uint64) uint64 {
+	return s.next() % n
+}
+
+// mix64 finalizes a single value (for stream keying).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// synthStream returns the generator for one (seed, iteration, gpu) cell.
+// Keying per cell — rather than one sequential stream — means any
+// iteration regenerates without replaying its predecessors, which is
+// what makes Reset and random access O(1).
+func synthStream(seed int64, iter, gpu int) splitmix64 {
+	k := mix64(uint64(seed) ^ 0x632BE59BD9B4E019)
+	k = mix64(k ^ uint64(iter)*0x9E3779B97F4A7C15)
+	k = mix64(k ^ uint64(gpu)*0xC2B2AE3D27D4EB4F)
+	return splitmix64{state: k}
+}
+
+// synthReplicaBase spaces each destination GPU's replica window in the
+// synthesized address space, mirroring the workload generators' layout.
+const synthReplicaBase = 1 << 34
+
+// SynthSource expands a Profile into a stream of iterations, implementing
+// trace.IterationSource with O(window) memory. Every window is generated
+// independently from its (seed, iteration, gpu) streams, so Reset is
+// free and repeat runs are bit-identical.
+type SynthSource struct {
+	p     Profile
+	cum   []float64 // cumulative size-mix weights, normalized
+	i     int
+	it    trace.Iteration
+	arena []uint64     // lane-address arena, one window's worth
+	push  []core.Bytes // per-destination pushed bytes, reused
+}
+
+// NewSynthSource validates (and normalizes) the profile and returns its
+// deterministic expansion.
+func NewSynthSource(p Profile) (*SynthSource, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cum := make([]float64, len(p.SizeMix))
+	var sum float64
+	for i, c := range p.SizeMix {
+		sum += c.Weight
+		cum[i] = sum
+	}
+	for i := range cum {
+		cum[i] /= sum
+	}
+	return &SynthSource{p: p, cum: cum}, nil
+}
+
+// Profile returns the normalized profile the source expands.
+func (s *SynthSource) Profile() Profile { return s.p }
+
+// Meta implements trace.IterationSource.
+func (s *SynthSource) Meta() trace.Meta {
+	return trace.Meta{
+		Name:                s.p.Name,
+		NumGPUs:             s.p.NumGPUs,
+		SingleGPUOpsPerIter: s.p.SingleGPUOpsPerIter,
+		Iterations:          s.p.Iterations,
+	}
+}
+
+// Reset implements trace.IterationSource.
+func (s *SynthSource) Reset() error {
+	s.i = 0
+	return nil
+}
+
+// Next implements trace.IterationSource.
+func (s *SynthSource) Next() (*trace.Iteration, error) {
+	if s.i >= s.p.Iterations {
+		return nil, io.EOF
+	}
+	s.generate(s.i)
+	s.i++
+	return &s.it, nil
+}
+
+// generate fills the reused iteration with window iter's traffic.
+//
+//finepack:hotpath trace synthesis, once per streamed iteration window
+func (s *SynthSource) generate(iter int) {
+	p := &s.p
+	ng := p.NumGPUs
+	if cap(s.it.PerGPU) < ng {
+		s.it.PerGPU = make([]trace.GPUWork, ng)
+	}
+	s.it.PerGPU = s.it.PerGPU[:ng]
+	if cap(s.arena) < ng*p.WarpsPerGPUIter*gpusim.WarpSize {
+		s.arena = make([]uint64, 0, ng*p.WarpsPerGPUIter*gpusim.WarpSize)
+	}
+	arena := s.arena[:0]
+	if cap(s.push) < ng {
+		s.push = make([]core.Bytes, ng)
+	}
+	for g := 0; g < ng; g++ {
+		gw := &s.it.PerGPU[g]
+		gw.ComputeOps = p.ComputeOpsPerIter
+		if cap(gw.Stores) < p.WarpsPerGPUIter {
+			gw.Stores = make([]gpusim.WarpStore, 0, p.WarpsPerGPUIter)
+		}
+		gw.Stores = gw.Stores[:0]
+		gw.Copies = gw.Copies[:0]
+		push := s.push[:ng]
+		for d := range push {
+			push[d] = 0
+		}
+		rng := synthStream(p.Seed, iter, g)
+		// Per-destination contiguous-write cursors restart each window
+		// (windows must regenerate independently for O(1) seek).
+		for w := 0; w < p.WarpsPerGPUIter; w++ {
+			// Destination: one of the Fanout ring successors of g.
+			dst := (g + 1 + int(rng.uintn(uint64(p.Fanout)))) % ng
+			// Shape: weighted draw from the size mix.
+			cls := 0
+			u := rng.float64()
+			for cls < len(s.cum)-1 && u >= s.cum[cls] {
+				cls++
+			}
+			elem := p.SizeMix[cls].ElemSize
+			lanes := p.SizeMix[cls].Lanes
+			atomic := rng.float64() < p.AtomicFraction
+			base := uint64(dst) * synthReplicaBase
+			slots := p.WindowBytes / uint64(elem)
+			start := len(arena)
+			if rng.float64() < p.Contiguous {
+				// Contiguous run at a random aligned offset, wrapping
+				// inside the window.
+				off := rng.uintn(slots)
+				for l := 0; l < lanes; l++ {
+					slot := (off + uint64(l)) % slots
+					arena = append(arena, base+slot*uint64(elem))
+				}
+			} else {
+				// Scattered: independent aligned draws over the window.
+				for l := 0; l < lanes; l++ {
+					arena = append(arena, base+rng.uintn(slots)*uint64(elem))
+				}
+			}
+			gw.Stores = append(gw.Stores, gpusim.WarpStore{
+				Dst:      dst,
+				ElemSize: elem,
+				Atomic:   atomic,
+			})
+			// Addrs are fixed up after the arena stops growing; record
+			// only the span start here (length is lanes).
+			gw.Stores[len(gw.Stores)-1].Addrs = arena[start:len(arena):len(arena)]
+			push[dst] += core.Bytes(elem * lanes)
+		}
+		// Memcpy-paradigm equivalent: each touched destination receives
+		// the whole window, of which the pushed bytes were useful
+		// (§II-B over-transfer).
+		if cap(gw.Copies) < p.Fanout {
+			gw.Copies = make([]trace.Copy, 0, p.Fanout)
+		}
+		gw.Copies = gw.Copies[:0]
+		for d := 0; d < ng; d++ {
+			if push[d] == 0 {
+				continue
+			}
+			useful := push[d]
+			if useful > core.Bytes(p.WindowBytes) {
+				useful = core.Bytes(p.WindowBytes)
+			}
+			gw.Copies = append(gw.Copies, trace.Copy{
+				Dst:         d,
+				Bytes:       core.Bytes(p.WindowBytes),
+				UsefulBytes: useful,
+			})
+		}
+	}
+	s.arena = arena
+	// Re-slice every store's Addrs against the final arena backing: the
+	// appends above may have moved it.
+	k := 0
+	for g := range s.it.PerGPU {
+		stores := s.it.PerGPU[g].Stores
+		for si := range stores {
+			n := len(stores[si].Addrs)
+			stores[si].Addrs = arena[k : k+n : k+n]
+			k += n
+		}
+	}
+}
