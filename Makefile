@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-smoke bench-compare vet lint fmt ci fuzz-smoke trace-smoke serve-smoke crash-smoke stream-smoke figures report clean
+.PHONY: all build test test-short bench bench-smoke bench-compare vet lint fmt ci fuzz-smoke trace-smoke serve-smoke crash-smoke stream-smoke topo-smoke figures report clean
 
 all: build vet lint test
 
@@ -15,6 +15,7 @@ ci: build vet fmt lint
 	$(MAKE) fuzz-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) stream-smoke
+	$(MAKE) topo-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) crash-smoke
 
@@ -42,6 +43,14 @@ trace-smoke:
 # trend tracking.
 stream-smoke:
 	STREAM_SMOKE=1 go test -run='^TestStreamedMemoryCeiling$$' -count=1 -timeout 600s -v .
+
+# Multi-hop topology smoke: sweep the crossover mix (scattered stores +
+# a concurrent ring AllReduce) across all 32 GPUs of the hierarchical
+# pod4x8 preset under both FinePack and the P2P baseline, assert nonzero
+# inter-node traffic and per-hop accounting, and require the report
+# table to render byte-identically from a fresh sweep.
+topo-smoke:
+	TOPO_SMOKE=1 go test -run='^TestTopoSmoke$$' -count=1 -timeout 600s -v .
 
 # End-to-end daemon smoke: boot finepackd on a loopback port, poll
 # /readyz, submit a small job, diff its metrics artifact against the

@@ -22,12 +22,14 @@ import (
 	"testing"
 	"time"
 
+	"finepack/internal/collective"
 	"finepack/internal/core"
 	"finepack/internal/des"
 	"finepack/internal/experiments"
 	"finepack/internal/gpusim"
 	"finepack/internal/obs"
 	"finepack/internal/sim"
+	"finepack/internal/topo"
 	"finepack/internal/tracestream"
 	"finepack/internal/workloads"
 )
@@ -446,6 +448,41 @@ func BenchmarkEndToEndSSSP(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.Speedup(), "speedup-x")
+	}
+}
+
+// BenchmarkMultiHopAllReduce measures a full ring AllReduce across the
+// 32-GPU pod4x8 hierarchical preset under FinePack: every step of the
+// ring crosses node boundaries somewhere, so the timed loop exercises
+// route lookup and per-hop store-and-forward on the multi-hop fabric
+// end to end. Sources are stateful, so each iteration gets a fresh one
+// (construction is a few map-free allocations, negligible against the
+// simulated ring).
+func BenchmarkMultiHopAllReduce(b *testing.B) {
+	spec, err := topo.Preset(topo.PresetPod4x8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Topology = spec
+	cspec := collective.Spec{
+		Kind:         collective.RingAllReduce,
+		GPUs:         spec.NumGPUs(),
+		PayloadBytes: 64 << 10,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := collective.NewSource(cspec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.RunSource(src, sim.FinePack, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.InterNodeGoodput(), "inter-goodput")
+		b.ReportMetric(float64(res.InterNodeHopBytes), "inter-hop-B")
 	}
 }
 

@@ -47,6 +47,7 @@ func main() {
 	flag.StringVar(&svgDir, "svg", "", "also write figure SVGs into this directory")
 	registerObserveFlags()
 	registerStreamFlags()
+	registerTopoFlags()
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -56,6 +57,16 @@ func main() {
 	cfg := sim.DefaultConfig()
 	cfg.Faults.BER = *ber
 	cfg.Faults.Seed = *faultSeed
+	var topoErr error
+	if resolvedTopo, topoErr = resolveTopo(); topoErr != nil {
+		fmt.Fprintln(os.Stderr, "finepack-sim:", topoErr)
+		os.Exit(2)
+	}
+	cfg.Topology = resolvedTopo
+	if resolvedTopo != nil && *gpus == 4 {
+		// The topology fixes the system size unless -gpus overrides it.
+		*gpus = resolvedTopo.NumGPUs()
+	}
 	if *degrade != "" {
 		d, err := parseDegrade(*degrade)
 		if err != nil {
@@ -172,6 +183,10 @@ experiments:
   stream      one run fed from a trace file or synthesis profile
               (-stream-trace / -stream-synth, paradigm via -stream-paradigm);
               streams in O(window) memory
+  topo-crossover  goodput vs store fanout on a hierarchical multi-hop
+              fabric while a ring AllReduce shares it (default -topo pod4x8)
+  collective  one synthesized collective (ring/tree AllReduce, fused GEMM)
+              under p2p and finepack, honoring -topo
   report      one self-contained markdown report with every experiment
   diag        raw per-run quantities for every workload and paradigm
   all         everything above
@@ -183,28 +198,30 @@ flags:
 
 func run(s *experiments.Suite, name string) error {
 	exps := map[string]func(*experiments.Suite) error{
-		"fig2":       showFig2,
-		"fig4":       showFig4,
-		"fig9":       showFig9,
-		"fig10":      showFig10,
-		"fig11":      showFig11,
-		"fig12":      showFig12,
-		"fig13":      showFig13,
-		"tab2":       showTab2,
-		"alt-design": showAltDesign,
-		"wc":         showWC,
-		"gps":        showGPS,
-		"scale16":    showScale16,
-		"diag":       showDiag,
-		"ablations":  showAblations,
-		"nvlink-fp":  showNVLinkFP,
-		"overlap":    showOverlap,
-		"um":         showUM,
-		"scaling":    showScaling,
-		"ber-sweep":  showBERSweep,
-		"observe":    showObserve,
-		"stream":     showStream,
-		"report":     showReport,
+		"fig2":           showFig2,
+		"fig4":           showFig4,
+		"fig9":           showFig9,
+		"fig10":          showFig10,
+		"fig11":          showFig11,
+		"fig12":          showFig12,
+		"fig13":          showFig13,
+		"tab2":           showTab2,
+		"alt-design":     showAltDesign,
+		"wc":             showWC,
+		"gps":            showGPS,
+		"scale16":        showScale16,
+		"diag":           showDiag,
+		"ablations":      showAblations,
+		"nvlink-fp":      showNVLinkFP,
+		"overlap":        showOverlap,
+		"um":             showUM,
+		"scaling":        showScaling,
+		"ber-sweep":      showBERSweep,
+		"observe":        showObserve,
+		"stream":         showStream,
+		"report":         showReport,
+		"topo-crossover": showTopoCrossover,
+		"collective":     showCollective,
 	}
 	if name == "all" {
 		for _, n := range []string{

@@ -66,7 +66,9 @@ func showStream(*experiments.Suite) error {
 	defer closer()
 
 	m := src.Meta()
-	res, err := sim.RunSource(src, par, sim.DefaultConfig())
+	cfg := sim.DefaultConfig()
+	cfg.Topology = resolvedTopo
+	res, err := sim.RunSource(src, par, cfg)
 	if err != nil {
 		return err
 	}

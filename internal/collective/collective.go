@@ -1,0 +1,440 @@
+// Package collective synthesizes collective-communication workloads —
+// ring and tree AllReduce, plus the Flux-style tile-overlapped
+// AllGather-GEMM and GEMM-ReduceScatter fusions — as deterministic
+// trace.IterationSource streams. One trace iteration is one collective
+// step (the bulk-synchronous unit the simulator replays), so a ring
+// AllReduce over N GPUs spans 2(N-1) iterations per round: N-1
+// reduce-scatter steps followed by N-1 allgather steps, each moving one
+// payload chunk to the ring successor.
+//
+// Unlike the scatter-heavy application traces in internal/workloads,
+// collective traffic is dense and contiguous — the best case for bulk
+// transfer — which is exactly why it makes a good contention partner in
+// the multi-hop topology experiments: a ring AllReduce saturating the
+// inter-node fabric while fine-grained stores thread through the same
+// links is the scenario the topology-crossover figure measures.
+//
+// Synthesis is fully deterministic and allocation-stable: every window
+// is regenerated into reused buffers (the synth-source arena pattern),
+// so Reset is free and repeat runs are bit-identical.
+package collective
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"finepack/internal/core"
+	"finepack/internal/gpusim"
+	"finepack/internal/trace"
+)
+
+// Collective kinds.
+const (
+	// RingAllReduce is the bandwidth-optimal ring: N-1 reduce-scatter
+	// steps then N-1 allgather steps, chunk = payload/N per step.
+	RingAllReduce = "ring-allreduce"
+	// TreeAllReduce is the latency-optimal binomial tree: log2(N) reduce
+	// steps up the tree then log2(N) broadcast steps back down, whole
+	// payload per hop. Requires a power-of-two GPU count.
+	TreeAllReduce = "tree-allreduce"
+	// AllGatherGEMM overlaps an allgather ring with tile-granular GEMM
+	// compute on each shard as it arrives (Flux-style fusion).
+	AllGatherGEMM = "allgather-gemm"
+	// GEMMReduceScatter is the mirrored fusion: tile-granular partial
+	// GEMMs whose outputs scatter around the ring as they complete.
+	GEMMReduceScatter = "gemm-reducescatter"
+)
+
+// Synthesis bounds, mirroring tracestream's: generous for the paper's
+// sweeps, tight enough that a hostile spec cannot demand unbounded work.
+const (
+	maxCollectiveGPUs    = 1024
+	maxCollectivePayload = 1 << 30
+	maxCollectiveRounds  = 1 << 20
+)
+
+// replicaBase spaces each chunk's destination window in the synthesized
+// address space, mirroring the workload generators' symmetric-allocation
+// layout.
+const replicaBase uint64 = 1 << 34
+
+// Spec describes one collective-communication workload. Validate fills
+// defaults in place, so a normalized spec is fully explicit — two
+// spellings of the same collective canonicalize to the same bytes, which
+// is what finepackd's content-addressed job identity hashes.
+type Spec struct {
+	// Kind selects the algorithm (ring-allreduce, tree-allreduce,
+	// allgather-gemm, gemm-reducescatter).
+	Kind string `json:"kind"`
+	// Name labels the synthesized workload; defaults to Kind.
+	Name string `json:"name,omitempty"`
+	// GPUs is the number of ranks participating.
+	GPUs int `json:"gpus"`
+	// PayloadBytes is the per-rank collective payload (the gradient or
+	// activation buffer size).
+	PayloadBytes int `json:"payload_bytes"`
+	// ElemSize is the per-lane store width in bytes; defaults to 4
+	// (fp32 reductions).
+	ElemSize int `json:"elem_size,omitempty"`
+	// TileBytes is the compute/communication overlap granularity for the
+	// fused GEMM kinds: each shard moves as TileBytes-sized tiles at
+	// distinct offsets. Defaults to the whole shard (no sub-tiling);
+	// must be zero for the plain AllReduce kinds.
+	TileBytes int `json:"tile_bytes,omitempty"`
+	// ComputeOpsPerByte scales the reduction / GEMM work attached to
+	// each step; defaults to 1.
+	ComputeOpsPerByte float64 `json:"compute_ops_per_byte,omitempty"`
+	// Rounds is how many times the full collective repeats; defaults
+	// to 1.
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// Validate checks the spec and fills defaults in place.
+func (s *Spec) Validate() error {
+	switch s.Kind {
+	case RingAllReduce, TreeAllReduce, AllGatherGEMM, GEMMReduceScatter:
+	default:
+		return fmt.Errorf("collective: unknown kind %q (want %s, %s, %s or %s)",
+			s.Kind, RingAllReduce, TreeAllReduce, AllGatherGEMM, GEMMReduceScatter)
+	}
+	if s.Name == "" {
+		s.Name = s.Kind
+	}
+	if s.GPUs < 2 || s.GPUs > maxCollectiveGPUs {
+		return fmt.Errorf("collective: gpus %d outside [2,%d]", s.GPUs, maxCollectiveGPUs)
+	}
+	if s.Kind == TreeAllReduce && s.GPUs&(s.GPUs-1) != 0 {
+		return fmt.Errorf("collective: %s needs a power-of-two GPU count, got %d", TreeAllReduce, s.GPUs)
+	}
+	if s.ElemSize == 0 {
+		s.ElemSize = 4
+	}
+	if s.ElemSize < 1 || s.ElemSize > 16 {
+		return fmt.Errorf("collective: elem_size %d outside [1,16]", s.ElemSize)
+	}
+	if s.PayloadBytes < s.GPUs*s.ElemSize || s.PayloadBytes > maxCollectivePayload {
+		return fmt.Errorf("collective: payload_bytes %d outside [%d,%d]",
+			s.PayloadBytes, s.GPUs*s.ElemSize, maxCollectivePayload)
+	}
+	switch s.Kind {
+	case AllGatherGEMM, GEMMReduceScatter:
+		if s.TileBytes == 0 {
+			s.TileBytes = s.chunkBytes()
+		}
+		if s.TileBytes < s.ElemSize {
+			return fmt.Errorf("collective: tile_bytes %d below elem_size %d", s.TileBytes, s.ElemSize)
+		}
+		if r := s.TileBytes % s.ElemSize; r != 0 {
+			s.TileBytes += s.ElemSize - r
+		}
+	default:
+		if s.TileBytes != 0 {
+			return fmt.Errorf("collective: tile_bytes only applies to the fused GEMM kinds")
+		}
+	}
+	if s.ComputeOpsPerByte == 0 {
+		s.ComputeOpsPerByte = 1
+	}
+	if !(s.ComputeOpsPerByte > 0) {
+		return fmt.Errorf("collective: compute_ops_per_byte must be positive")
+	}
+	if s.Rounds == 0 {
+		s.Rounds = 1
+	}
+	if s.Rounds < 1 || s.Rounds > maxCollectiveRounds {
+		return fmt.Errorf("collective: rounds %d outside [1,%d]", s.Rounds, maxCollectiveRounds)
+	}
+	return nil
+}
+
+// CanonicalJSON returns the spec's canonical encoding: field declaration
+// order, defaults filled by a prior Validate. Marshaling a valid spec
+// cannot fail.
+func (s *Spec) CanonicalJSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic("collective: canonical marshal: " + err.Error())
+	}
+	return b
+}
+
+// ParseSpec decodes and validates a JSON spec, rejecting unknown fields.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("collective: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// stepsPerRound is the iteration count of one full collective.
+func (s *Spec) stepsPerRound() int {
+	switch s.Kind {
+	case RingAllReduce:
+		return 2 * (s.GPUs - 1)
+	case TreeAllReduce:
+		return 2 * log2(s.GPUs)
+	default: // AllGatherGEMM, GEMMReduceScatter
+		return s.GPUs - 1
+	}
+}
+
+// chunkBytes is the per-step transfer unit: the ring chunk / GEMM shard
+// (payload/N rounded up to whole elements), or the whole aligned payload
+// for the tree.
+func (s *Spec) chunkBytes() int {
+	n := s.PayloadBytes
+	if s.Kind != TreeAllReduce {
+		n = (n + s.GPUs - 1) / s.GPUs
+	}
+	if r := n % s.ElemSize; r != 0 {
+		n += s.ElemSize - r
+	}
+	return n
+}
+
+func log2(n int) int { return bits.Len(uint(n)) - 1 }
+
+// iterBuf is the reused iteration buffer shared by every source in this
+// package: warp-store lane addresses land in one arena (re-sliced after
+// it stops growing, the synth-source pattern), so steady-state synthesis
+// allocates nothing per window.
+type iterBuf struct {
+	it    trace.Iteration
+	arena []uint64
+}
+
+// reset prepares the buffer for a fresh window over ng GPUs.
+func (b *iterBuf) reset(ng int) {
+	if cap(b.it.PerGPU) < ng {
+		b.it.PerGPU = make([]trace.GPUWork, ng)
+	}
+	b.it.PerGPU = b.it.PerGPU[:ng]
+	for g := range b.it.PerGPU {
+		gw := &b.it.PerGPU[g]
+		gw.ComputeOps = 0
+		gw.Stores = gw.Stores[:0]
+		gw.Copies = gw.Copies[:0]
+	}
+	b.arena = b.arena[:0]
+}
+
+// emitContiguous appends GPU g's store of the dense byte range
+// [base, base+n) to dst as fully coalesced warp stores (32 lanes × elem).
+func (b *iterBuf) emitContiguous(g, dst int, base uint64, n, elem int) {
+	gw := &b.it.PerGPU[g]
+	warpBytes := gpusim.WarpSize * elem
+	for off := 0; off < n; off += warpBytes {
+		lanes := (n - off + elem - 1) / elem
+		if lanes > gpusim.WarpSize {
+			lanes = gpusim.WarpSize
+		}
+		start := len(b.arena)
+		for l := 0; l < lanes; l++ {
+			b.arena = append(b.arena, base+uint64(off+l*elem))
+		}
+		gw.Stores = append(gw.Stores, gpusim.WarpStore{
+			Dst:      dst,
+			ElemSize: elem,
+			Addrs:    b.arena[start:len(b.arena):len(b.arena)],
+		})
+	}
+}
+
+// addCopy appends GPU g's memcpy-paradigm equivalent of the step: dense
+// collective chunks transfer as fully useful bulk copies.
+func (b *iterBuf) addCopy(g, dst, bytes int) {
+	gw := &b.it.PerGPU[g]
+	gw.Copies = append(gw.Copies, trace.Copy{
+		Dst:         dst,
+		Bytes:       core.Bytes(bytes),
+		UsefulBytes: core.Bytes(bytes),
+	})
+}
+
+// fixup re-slices every store's Addrs against the final arena backing:
+// the appends may have moved it. Walk order matches emission order.
+func (b *iterBuf) fixup() {
+	k := 0
+	for g := range b.it.PerGPU {
+		stores := b.it.PerGPU[g].Stores
+		for si := range stores {
+			n := len(stores[si].Addrs)
+			stores[si].Addrs = b.arena[k : k+n : k+n]
+			k += n
+		}
+	}
+}
+
+// Source expands a Spec into its deterministic step stream, implementing
+// trace.IterationSource with O(window) memory.
+type Source struct {
+	s     Spec
+	steps int // per round
+	chunk int // per-step transfer unit
+	i     int
+	buf   iterBuf
+}
+
+// NewSource validates (and normalizes) the spec and returns its
+// deterministic expansion.
+func NewSource(s Spec) (*Source, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Source{s: s, steps: s.stepsPerRound(), chunk: s.chunkBytes()}, nil
+}
+
+// Spec returns the normalized spec the source expands.
+func (src *Source) Spec() Spec { return src.s }
+
+// singleGPUOps is the Fig 9 baseline: the aggregate reduction/GEMM work
+// of one iteration under perfect decomposition, averaged over a round.
+func (src *Source) singleGPUOps() float64 {
+	s := &src.s
+	n := float64(s.GPUs)
+	switch s.Kind {
+	case RingAllReduce:
+		// (N-1) reduce steps × N ranks × chunk, over 2(N-1) steps.
+		return n * s.ComputeOpsPerByte * float64(src.chunk) / 2
+	case TreeAllReduce:
+		// N-1 pairwise reductions of the whole payload, over 2·log2(N).
+		return s.ComputeOpsPerByte * float64(src.chunk) * (n - 1) / float64(src.steps)
+	default:
+		// Every rank GEMMs one shard every step.
+		return n * s.ComputeOpsPerByte * float64(src.chunk)
+	}
+}
+
+// Meta implements trace.IterationSource.
+func (src *Source) Meta() trace.Meta {
+	return trace.Meta{
+		Name:                src.s.Name,
+		NumGPUs:             src.s.GPUs,
+		SingleGPUOpsPerIter: src.singleGPUOps(),
+		Iterations:          src.s.Rounds * src.steps,
+	}
+}
+
+// Reset implements trace.IterationSource.
+func (src *Source) Reset() error {
+	src.i = 0
+	return nil
+}
+
+// Next implements trace.IterationSource.
+func (src *Source) Next() (*trace.Iteration, error) {
+	if src.i >= src.s.Rounds*src.steps {
+		return nil, io.EOF
+	}
+	src.fill(src.i % src.steps)
+	src.i++
+	return &src.buf.it, nil
+}
+
+// fill regenerates the reused window with collective step `step`.
+//
+//finepack:hotpath collective synthesis, once per streamed iteration window
+func (src *Source) fill(step int) {
+	src.buf.reset(src.s.GPUs)
+	switch src.s.Kind {
+	case RingAllReduce:
+		src.fillRing(step)
+	case TreeAllReduce:
+		src.fillTree(step)
+	default:
+		src.fillFusedGEMM(step)
+	}
+	src.buf.fixup()
+}
+
+// fillRing emits one ring step: every rank pushes one chunk to its ring
+// successor. During reduce-scatter (the first N-1 steps) rank g forwards
+// chunk (g-step) mod N and reduces the chunk arriving from its
+// predecessor; during allgather it forwards chunk (g+1-s) mod N with no
+// reduction work.
+func (src *Source) fillRing(step int) {
+	s := &src.s
+	n := s.GPUs
+	reduce := step < n-1
+	for g := 0; g < n; g++ {
+		var idx int
+		if reduce {
+			idx = ((g-step)%n + n) % n
+		} else {
+			idx = ((g+1-(step-(n-1)))%n + 2*n) % n
+		}
+		dst := (g + 1) % n
+		base := replicaBase + uint64(idx)*uint64(src.chunk)
+		src.buf.emitContiguous(g, dst, base, src.chunk, s.ElemSize)
+		src.buf.addCopy(g, dst, src.chunk)
+		if reduce {
+			src.buf.it.PerGPU[g].ComputeOps = s.ComputeOpsPerByte * float64(src.chunk)
+		}
+	}
+}
+
+// fillTree emits one binomial-tree step. Reduce step k: ranks with
+// g mod 2^(k+1) = 2^k push the whole payload to g-2^k, which reduces it.
+// Broadcast step (descending k): ranks with g mod 2^(k+1) = 0 push the
+// result to g+2^k.
+func (src *Source) fillTree(step int) {
+	s := &src.s
+	n := s.GPUs
+	levels := log2(n)
+	k := step
+	broadcast := step >= levels
+	if broadcast {
+		k = 2*levels - 1 - step
+	}
+	bit := 1 << k
+	mask := 1<<(k+1) - 1
+	for g := 0; g < n; g++ {
+		switch {
+		case !broadcast && g&mask == bit:
+			src.buf.emitContiguous(g, g-bit, replicaBase, src.chunk, s.ElemSize)
+			src.buf.addCopy(g, g-bit, src.chunk)
+		case !broadcast && g&mask == 0:
+			src.buf.it.PerGPU[g].ComputeOps = s.ComputeOpsPerByte * float64(src.chunk)
+		case broadcast && g&mask == 0:
+			src.buf.emitContiguous(g, g+bit, replicaBase, src.chunk, s.ElemSize)
+			src.buf.addCopy(g, g+bit, src.chunk)
+		}
+	}
+}
+
+// fillFusedGEMM emits one step of the overlapped fusions: every rank
+// pushes one shard to its ring successor in TileBytes-granular tiles
+// while GEMMing the shard that arrived last step (AllGather-GEMM), or
+// pushes the partial tiles its GEMM just produced (GEMM-ReduceScatter).
+// Traffic shape is identical; only the shard indexing differs.
+func (src *Source) fillFusedGEMM(step int) {
+	s := &src.s
+	n := s.GPUs
+	for g := 0; g < n; g++ {
+		dst := (g + 1) % n
+		var idx int
+		if s.Kind == AllGatherGEMM {
+			idx = ((g-step)%n + n) % n
+		} else {
+			idx = ((g-step-1)%n + 2*n) % n
+		}
+		base := replicaBase + uint64(idx)*uint64(src.chunk)
+		for off := 0; off < src.chunk; off += s.TileBytes {
+			tile := s.TileBytes
+			if rem := src.chunk - off; tile > rem {
+				tile = rem
+			}
+			src.buf.emitContiguous(g, dst, base+uint64(off), tile, s.ElemSize)
+		}
+		src.buf.addCopy(g, dst, src.chunk)
+		src.buf.it.PerGPU[g].ComputeOps = s.ComputeOpsPerByte * float64(src.chunk)
+	}
+}

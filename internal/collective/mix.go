@@ -1,0 +1,124 @@
+package collective
+
+import (
+	"fmt"
+	"io"
+
+	"finepack/internal/trace"
+)
+
+// Mix overlays several iteration sources into one stream: the
+// concurrent-tenancy model for experiments where, say, a ring AllReduce
+// shares the fabric with a fine-grained application's store stream.
+// Per window, member stores and copies concatenate (both streams' traffic
+// contends for the same links within one bulk-synchronous step) and
+// compute takes the per-GPU maximum (kernels overlap on the SMs; the
+// communication they emit does not wait on each other).
+//
+// The mix runs for the longest member's iteration count; shorter members
+// cycle — Reset and replay from their first window — so a short
+// collective sustains contention for the life of a long application
+// trace. Cycling is deterministic: every member is a deterministic
+// source, so window i of the mix is a pure function of i.
+type Mix struct {
+	name   string
+	srcs   []trace.IterationSource
+	ng     int
+	iters  int
+	single float64
+	i      int
+	buf    iterBuf
+}
+
+// NewMix overlays the given sources, which must agree on NumGPUs.
+func NewMix(name string, srcs ...trace.IterationSource) (*Mix, error) {
+	if name == "" {
+		return nil, fmt.Errorf("collective: mix needs a name")
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("collective: mix needs at least one source")
+	}
+	m := &Mix{name: name, srcs: srcs, ng: srcs[0].Meta().NumGPUs}
+	for _, s := range srcs {
+		meta := s.Meta()
+		if meta.NumGPUs != m.ng {
+			return nil, fmt.Errorf("collective: mix members disagree on GPU count: %q has %d, %q has %d",
+				srcs[0].Meta().Name, m.ng, meta.Name, meta.NumGPUs)
+		}
+		if meta.Iterations < 1 {
+			return nil, fmt.Errorf("collective: mix member %q has no iterations", meta.Name)
+		}
+		if meta.Iterations > m.iters {
+			m.iters = meta.Iterations
+		}
+		m.single += meta.SingleGPUOpsPerIter
+	}
+	return m, nil
+}
+
+// Meta implements trace.IterationSource. The single-GPU baseline sums
+// the members': one GPU would run both problems back to back.
+func (m *Mix) Meta() trace.Meta {
+	return trace.Meta{
+		Name:                m.name,
+		NumGPUs:             m.ng,
+		SingleGPUOpsPerIter: m.single,
+		Iterations:          m.iters,
+	}
+}
+
+// Reset implements trace.IterationSource.
+func (m *Mix) Reset() error {
+	for _, s := range m.srcs {
+		if err := s.Reset(); err != nil {
+			return err
+		}
+	}
+	m.i = 0
+	return nil
+}
+
+// Next implements trace.IterationSource. Member windows are deep-copied
+// into the mix's own reused buffers immediately — members recycle their
+// buffers on their next call, so the merge cannot hold references.
+func (m *Mix) Next() (*trace.Iteration, error) {
+	if m.i >= m.iters {
+		return nil, io.EOF
+	}
+	m.buf.reset(m.ng)
+	for _, s := range m.srcs {
+		it, err := s.Next()
+		if err == io.EOF {
+			if err := s.Reset(); err != nil {
+				return nil, err
+			}
+			it, err = s.Next()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("collective: mix member %q: %w", s.Meta().Name, err)
+		}
+		m.merge(it)
+	}
+	m.buf.fixup()
+	m.i++
+	return &m.buf.it, nil
+}
+
+// merge folds one member window into the mix buffer.
+func (m *Mix) merge(it *trace.Iteration) {
+	for g := range it.PerGPU {
+		w := &it.PerGPU[g]
+		gw := &m.buf.it.PerGPU[g]
+		if w.ComputeOps > gw.ComputeOps {
+			gw.ComputeOps = w.ComputeOps
+		}
+		for _, ws := range w.Stores {
+			start := len(m.buf.arena)
+			m.buf.arena = append(m.buf.arena, ws.Addrs...)
+			cp := ws
+			cp.Addrs = m.buf.arena[start:len(m.buf.arena):len(m.buf.arena)]
+			gw.Stores = append(gw.Stores, cp)
+		}
+		gw.Copies = append(gw.Copies, w.Copies...)
+	}
+}

@@ -81,6 +81,10 @@ type resultKey struct {
 	// different error rates, seeds or scripted events never collide in
 	// the cache (the zero config prints identically everywhere).
 	faults string
+	// topology fingerprints Config.Topology by its canonical JSON (empty
+	// on the flat fabric), so a suite retargeted at a multi-hop system
+	// never reuses flat-fabric results or vice versa.
+	topology string
 }
 
 // Default returns the paper's evaluation setup: 4 GPUs, PCIe 4.0,
@@ -180,6 +184,9 @@ func (s *Suite) runWith(name string, gpus int, par sim.Paradigm, cfg sim.Config)
 	}
 	if cfg.Bandwidth == 0 {
 		k.bandwidth = cfg.Gen.Bandwidth()
+	}
+	if cfg.Topology != nil {
+		k.topology = string(cfg.Topology.CanonicalJSON())
 	}
 	s.mu.Lock()
 	c, ok := s.results[k]

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"finepack/internal/stats"
+	"finepack/internal/topo"
 )
 
 // WriteReport runs every experiment and writes one self-contained markdown
@@ -156,6 +157,20 @@ func (s *Suite) WriteReportContext(ctx context.Context, w io.Writer) error {
 				return nil, err
 			}
 			return ScalingTable(rows), nil
+		}},
+		{"Topology crossover — multi-hop goodput", func() (*stats.Table, error) {
+			// dgx2x8 keeps the report tractable; the full 32-GPU pod4x8
+			// sweep runs via `finepack-sim topo-crossover` or a
+			// finepackd topo-crossover job.
+			spec, err := topo.Preset(topo.PresetDGX2x8)
+			if err != nil {
+				return nil, err
+			}
+			rows, err := s.TopoCrossover(spec, []int{1, 4, 15})
+			if err != nil {
+				return nil, err
+			}
+			return TopoCrossoverTable(rows), nil
 		}},
 	}
 

@@ -16,7 +16,7 @@ func TestWriteReportComplete(t *testing.T) {
 		"Fig 2", "Fig 4", "Fig 9", "Fig 10", "Fig 11", "Fig 12", "Fig 13",
 		"Table II", "config-packet", "write combining", "GPS", "16 GPUs",
 		"UM / remote-read", "Overlap", "queue entries", "open windows",
-		"flush timeout", "flit-based", "Strong scaling",
+		"flush timeout", "flit-based", "Strong scaling", "Topology crossover",
 	} {
 		if !strings.Contains(out, section) {
 			t.Errorf("report missing section %q", section)

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"finepack/internal/sim"
+	"finepack/internal/topo"
+	"finepack/internal/workloads"
+)
+
+// crossoverSpec is a small hierarchy (2 nodes × 4 GPUs) so the sweep's
+// mixes stay short under the test scale.
+func crossoverSpec(t *testing.T) *topo.Spec {
+	t.Helper()
+	s, err := topo.Preset(topo.PresetDGX2x8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.GPUsPerNode = 4
+	s.Name = "dgx2x4"
+	return s
+}
+
+func TestTopoCrossover(t *testing.T) {
+	s := New(sim.DefaultConfig(), workloads.Params{Scale: 0.1, Iterations: 2, Seed: 7}, 4)
+	rows, err := s.TopoCrossover(crossoverSpec(t), []int{1, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Topology != "dgx2x4" {
+			t.Fatalf("row names topology %q, want dgx2x4", r.Topology)
+		}
+		for _, par := range TopoCrossoverParadigms() {
+			if r.Goodput[par] <= 0 {
+				t.Fatalf("fanout %d %s: goodput %v, want positive", r.Fanout, par, r.Goodput[par])
+			}
+			// The ring AllReduce always crosses nodes, so inter-node
+			// traffic (and its goodput) is nonzero at every fanout.
+			if r.InterNodeWireBytes[par] == 0 {
+				t.Fatalf("fanout %d %s: no inter-node traffic despite concurrent allreduce", r.Fanout, par)
+			}
+			if r.InterGoodput[par] <= 0 {
+				t.Fatalf("fanout %d %s: inter-node goodput %v, want positive", r.Fanout, par, r.InterGoodput[par])
+			}
+			if r.InterNodeHopBytes[par] <= r.InterNodeWireBytes[par] {
+				t.Fatalf("fanout %d %s: hop bytes %d not above wire bytes %d",
+					r.Fanout, par, r.InterNodeHopBytes[par], r.InterNodeWireBytes[par])
+			}
+		}
+	}
+	// Widening the fanout pushes store traffic onto the inter-node tier.
+	if rows[1].InterNodeWireBytes[sim.P2P] <= rows[0].InterNodeWireBytes[sim.P2P] {
+		t.Fatalf("inter-node traffic did not grow with fanout: %d -> %d",
+			rows[0].InterNodeWireBytes[sim.P2P], rows[1].InterNodeWireBytes[sim.P2P])
+	}
+
+	var table, svg strings.Builder
+	TopoCrossoverTable(rows).Render(&table)
+	if !strings.Contains(table.String(), "dgx2x4") {
+		t.Fatal("table missing topology name")
+	}
+	if err := TopoCrossoverSVG(rows, &svg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "finepack-inter") {
+		t.Fatal("svg missing inter-node series")
+	}
+}
+
+// TestTopoCrossoverDeterministicParallel pins byte-identical sweep output
+// across serial and parallel execution.
+func TestTopoCrossoverDeterministicParallel(t *testing.T) {
+	run := func(parallelism int) string {
+		s := New(sim.DefaultConfig(), workloads.Params{Scale: 0.1, Iterations: 2, Seed: 7}, 4)
+		s.Parallelism = parallelism
+		rows, err := s.TopoCrossover(crossoverSpec(t), []int{1, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		TopoCrossoverTable(rows).Render(&sb)
+		return sb.String()
+	}
+	if serial, par := run(1), run(4); serial != par {
+		t.Fatalf("parallel sweep diverges from serial:\n%s\nvs\n%s", serial, par)
+	}
+}
+
+// TestFlatTopologyMatchesSeed pins the compatibility contract from the
+// other side of the goldens: runs without Config.Topology — the only
+// configuration the seed knew — still reproduce the recorded golden
+// metrics bit-for-bit with the topology model compiled in.
+func TestFlatTopologyMatchesSeed(t *testing.T) {
+	raw, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	var want []goldenMetrics
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sim.DefaultConfig(),
+		workloads.Params{Scale: 0.2, Iterations: 2, Seed: 12345}, 4)
+	for _, g := range want {
+		par, err := sim.ParadigmFromString(g.Paradigm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(g.Workload, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := goldenMetrics{
+			Workload:        g.Workload,
+			Paradigm:        g.Paradigm,
+			TimePs:          uint64(res.Time),
+			WireBytes:       uint64(res.WireBytes),
+			UsefulBytes:     uint64(res.UsefulBytes),
+			Packets:         res.Packets,
+			StoresPerPacket: res.AvgStoresPerPacket,
+		}
+		if got != g {
+			t.Errorf("flat run drifted from seed golden at %s/%s:\n got %+v\nwant %+v",
+				g.Workload, g.Paradigm, got, g)
+		}
+		if res.Topology != "" || res.InterNodeHopBytes != 0 {
+			t.Errorf("%s/%s: flat run populated topology fields", g.Workload, g.Paradigm)
+		}
+	}
+}

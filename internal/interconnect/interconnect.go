@@ -12,6 +12,7 @@ import (
 	"finepack/internal/core"
 	"finepack/internal/des"
 	"finepack/internal/faults"
+	"finepack/internal/topo"
 )
 
 // Config describes the fabric.
@@ -37,6 +38,15 @@ type Config struct {
 	// replay protocol. The zero value models ideal, error-free links and
 	// keeps the fault path entirely out of the event stream.
 	Faults faults.Config
+	// Topology, when non-nil, replaces the single-switch fabric with a
+	// hierarchical multi-hop graph: messages follow its static route
+	// tables, store-and-forwarding through per-edge servers with each
+	// edge's own bandwidth, latency and credit loop (see topo.go). Nil
+	// keeps the legacy flat path bit-identical to builds without the
+	// topology model. Bandwidth/GPUsPerSwitch/SwitchLatency/
+	// PropagationLatency then only affect the fault protocol's timers;
+	// the graph's per-edge parameters govern all transfer costs.
+	Topology *topo.Graph
 }
 
 // DefaultCreditBytes is the receiver buffer size used when CreditBytes is
@@ -72,6 +82,10 @@ func (c Config) Validate() error {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
+	}
+	if c.Topology != nil && c.Topology.NumGPUs() != c.NumGPUs {
+		return fmt.Errorf("interconnect: topology %s has %d GPUs, config has %d",
+			c.Topology.Name(), c.Topology.NumGPUs(), c.NumGPUs)
 	}
 	return nil
 }
@@ -124,6 +138,17 @@ type Network struct {
 	// the fabric's hottest entry point, and building its five-stage
 	// closure chain per packet dominated allocation profiles.
 	xfree []*xfer
+
+	// Multi-hop state, populated only when cfg.Topology is set (see
+	// topo.go): one server and one credit pool per directed edge, flat
+	// per-edge byte/packet counters, the recycled hop pipelines, and the
+	// optional per-hop observer.
+	edgeSrv     []*des.Server
+	edgeCred    []*des.TokenPool
+	edgeBytes   []core.Bytes
+	edgePackets []uint64
+	tfree       []*topoXfer
+	hopObs      HopObserver
 }
 
 // xfer carries one ideal-path message through its pipeline stages —
@@ -221,6 +246,17 @@ func New(sched *des.Scheduler, cfg Config) (*Network, error) {
 		n.ingress = append(n.ingress, des.NewServer(sched))
 		n.credits = append(n.credits, des.NewTokenPool(sched, cfg.CreditBytes/creditUnit))
 	}
+	if cfg.Topology != nil {
+		ne := cfg.Topology.NumEdges()
+		n.edgeSrv = make([]*des.Server, ne)
+		n.edgeCred = make([]*des.TokenPool, ne)
+		n.edgeBytes = make([]core.Bytes, ne)
+		n.edgePackets = make([]uint64, ne)
+		for e := 0; e < ne; e++ {
+			n.edgeSrv[e] = des.NewServer(sched)
+			n.edgeCred[e] = des.NewTokenPool(sched, cfg.Topology.Edge(e).CreditBytes/creditUnit)
+		}
+	}
 	return n, nil
 }
 
@@ -285,6 +321,15 @@ func (n *Network) Send(src, dst int, wireBytes int, done func()) {
 	// chunk by chunk; it can never hold more credits than exist.
 	if maxCredits := core.Credits(n.cfg.CreditBytes / creditUnit); credits > maxCredits {
 		credits = maxCredits
+	}
+
+	if n.cfg.Topology != nil {
+		if n.fi != nil {
+			n.sendReliableTopo(src, dst, wireBytes, credits, done)
+			return
+		}
+		n.sendTopo(src, dst, wireBytes, credits, done)
+		return
 	}
 
 	if n.fi != nil {

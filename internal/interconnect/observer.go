@@ -22,10 +22,29 @@ type Observer interface {
 	LinkReset(at des.Time, links int)
 }
 
+// HopObserver is an optional extension of Observer for multi-hop
+// topologies: observers that also implement it receive one callback per
+// edge traversal, so timelines can show which fabric tier a message
+// crossed and where contention lives. Implementations follow the same
+// rules as Observer callbacks.
+type HopObserver interface {
+	// HopForwarded fires when a message's last byte arrives at the far
+	// end of directed edge e; start covers the hop's edge-credit stall,
+	// serialization, and latency.
+	HopForwarded(edge, src, dst, wireBytes int, start, end des.Time)
+}
+
 // SetObserver attaches (or with nil, detaches) a fabric observer. Callers
 // holding a possibly-nil concrete pointer must guard the call — assigning
-// a typed nil would defeat the n.obs != nil fast path.
-func (n *Network) SetObserver(o Observer) { n.obs = o }
+// a typed nil would defeat the n.obs != nil fast path. Observers that also
+// implement HopObserver receive per-hop callbacks on multi-hop fabrics.
+func (n *Network) SetObserver(o Observer) {
+	n.obs = o
+	n.hopObs = nil
+	if h, ok := o.(HopObserver); ok {
+		n.hopObs = h
+	}
+}
 
 // EgressBusy returns the cumulative busy time of a GPU's egress port.
 // Deltas between samples give windowed link utilization.

@@ -1,0 +1,243 @@
+package interconnect
+
+// Multi-hop topology path: when Config.Topology is set, messages follow
+// the graph's static shortest-path route tables, store-and-forwarding
+// through one des.Server per directed edge (serialization at that edge's
+// bandwidth) with the edge's own latency and credit loop. The legacy
+// single-switch pipeline is untouched when Topology is nil, so flat
+// configs stay bit-identical to builds without the topology model.
+//
+// Flow control composes two loops: the destination's receiver-buffer
+// credits (identical to the flat path, so credit-stall sampling and the
+// fault watchdog see the same signal) are acquired once end-to-end, and
+// each edge additionally bounds its own bytes in flight — acquired before
+// the hop serializes, released when the hop's last byte arrives at the
+// far end. Both releases are unconditional, and edges are traversed in
+// strict route order after the destination credits are already held, so
+// the loops cannot deadlock against each other.
+
+import (
+	"finepack/internal/core"
+	"finepack/internal/des"
+)
+
+// topoXfer carries one ideal-path message across its route hop by hop,
+// with the stage callbacks pre-bound once at construction and the object
+// recycled through Network.tfree — a steady multi-hop packet stream
+// allocates nothing per message, matching the flat path's xfer contract.
+type topoXfer struct {
+	n           *Network
+	route       []int32
+	hop         int
+	src, dst    int
+	wireBytes   int
+	dstCredits  core.Credits
+	edgeCredits core.Credits
+	hopStart    des.Time
+	start       des.Time
+	done        func()
+
+	acquireEdge func()
+	serialize   func()
+	forward     func()
+	arrived     func()
+}
+
+//finepack:allow hotalloc -- the hop-pipeline closures bind once per pooled topoXfer on the freelist miss path and are reused for the object's lifetime
+func (n *Network) getTopoXfer() *topoXfer {
+	if len(n.tfree) > 0 {
+		x := n.tfree[len(n.tfree)-1]
+		n.tfree[len(n.tfree)-1] = nil
+		n.tfree = n.tfree[:len(n.tfree)-1]
+		return x
+	}
+	x := &topoXfer{n: n}
+	x.acquireEdge = func() {
+		nw := x.n
+		e := x.route[x.hop]
+		ec := x.wireBytes / creditUnit
+		if x.wireBytes%creditUnit != 0 {
+			ec++
+		}
+		// A message larger than the edge's whole buffer streams through it
+		// chunk by chunk; it can never hold more credits than exist.
+		if max := nw.cfg.Topology.Edge(int(e)).CreditBytes / creditUnit; ec > max {
+			ec = max
+		}
+		x.edgeCredits = core.Credits(ec)
+		x.hopStart = nw.sched.Now()
+		nw.edgeCred[e].Acquire(ec, x.serialize)
+	}
+	x.serialize = func() {
+		nw := x.n
+		e := x.route[x.hop]
+		ser := des.DurationForBytes(uint64(x.wireBytes), nw.cfg.Topology.Edge(int(e)).Bandwidth)
+		nw.edgeSrv[e].Request(ser, x.forward)
+	}
+	x.forward = func() {
+		nw := x.n
+		e := x.route[x.hop]
+		nw.sched.After(des.Time(nw.cfg.Topology.Edge(int(e)).Latency), x.arrived)
+	}
+	x.arrived = func() {
+		nw := x.n
+		e := x.route[x.hop]
+		nw.edgeCred[e].Release(int(x.edgeCredits))
+		nw.edgeBytes[e] += core.Bytes(x.wireBytes)
+		nw.edgePackets[e]++
+		if nw.hopObs != nil {
+			nw.hopObs.HopForwarded(int(e), x.src, x.dst, x.wireBytes, x.hopStart, nw.sched.Now())
+		}
+		x.hop++
+		if x.hop < len(x.route) {
+			x.acquireEdge()
+			return
+		}
+		nw.credits[x.dst].Release(int(x.dstCredits))
+		if nw.obs != nil {
+			nw.obs.MessageDelivered(x.src, x.dst, x.wireBytes, x.start, nw.sched.Now())
+		}
+		done := x.done
+		x.done = nil
+		x.route = nil
+		nw.tfree = append(nw.tfree, x)
+		if done != nil {
+			done()
+		}
+	}
+	return x
+}
+
+// sendTopo is Send's multi-hop body: destination credits end-to-end, then
+// the route's edges in order, each with its own credit loop, serialization
+// rate and hop latency.
+//
+//finepack:hotpath per-packet multi-hop transfer pipeline entry
+func (n *Network) sendTopo(src, dst, wireBytes int, credits core.Credits, done func()) {
+	x := n.getTopoXfer()
+	x.route = n.cfg.Topology.Route(src, dst)
+	x.hop = 0
+	x.src, x.dst = src, dst
+	x.wireBytes = wireBytes
+	x.dstCredits = credits
+	x.start = n.sched.Now()
+	x.done = done
+	n.credits[dst].Acquire(int(credits), x.acquireEdge)
+}
+
+// sendReliableTopo is the multi-hop fault path: the same replay-buffer /
+// Ack-Nak protocol as sendReliable, with each attempt re-traversing the
+// whole route (the CRC check happens at the destination, so a corrupted
+// attempt re-serializes every hop). Fault state stays keyed by the
+// end-to-end (src,dst) GPU pair — injected error rates and degradations
+// apply to the path as a unit.
+//
+//finepack:allow hotalloc -- the reliable path runs only under fault injection, off the headline benchmarks; its per-message closures are accepted
+func (n *Network) sendReliableTopo(src, dst, wireBytes int, credits core.Credits, done func()) {
+	n.inFlight++
+	n.armWatchdog()
+	start := n.sched.Now()
+	n.credits[dst].Acquire(int(credits), func() {
+		n.replaySlots[src].Acquire(1, func() {
+			n.attemptTopo(src, dst, wireBytes, 0, func() {
+				n.replaySlots[src].Release(1)
+				n.credits[dst].Release(int(credits))
+				n.deliveries++
+				n.inFlight--
+				if n.obs != nil {
+					n.obs.MessageDelivered(src, dst, wireBytes, start, n.sched.Now())
+				}
+				if done != nil {
+					done()
+				}
+			})
+		})
+	})
+}
+
+// attemptTopo runs one multi-hop transmission attempt; acked fires when
+// the destination accepts the packet (CRC pass → Ack).
+//
+//finepack:allow hotalloc -- fault-injection path; per-attempt closures are accepted off the headline benchmarks
+func (n *Network) attemptTopo(src, dst, wireBytes, try int, acked func()) {
+	now := n.sched.Now()
+	nak := func() {
+		n.Replays++
+		n.ReplayedBytes += core.Bytes(wireBytes)
+		n.linkErrors[linkName(src, dst)]++
+		if n.obs != nil {
+			n.obs.ReplayScheduled(src, dst, wireBytes, try, n.sched.Now())
+		}
+		n.sched.After(n.backoff(try), func() {
+			n.attemptTopo(src, dst, wireBytes, try+1, acked)
+		})
+	}
+	if n.fi.IsDown(src, dst, now) {
+		nak()
+		return
+	}
+	frac := n.fi.BandwidthFraction(src, dst, now)
+	route := n.cfg.Topology.Route(src, dst)
+	var step func(hop int)
+	step = func(hop int) {
+		if hop >= len(route) {
+			if n.fi.Corrupted(src, dst, wireBytes, n.sched.Now()) {
+				nak()
+				return
+			}
+			acked()
+			return
+		}
+		e := route[hop]
+		edge := n.cfg.Topology.Edge(int(e))
+		bw := edge.Bandwidth
+		if bw > 0 {
+			bw *= frac
+		}
+		ser := des.DurationForBytes(uint64(wireBytes), bw)
+		hopStart := n.sched.Now()
+		n.edgeSrv[e].Request(ser, func() {
+			n.sched.After(des.Time(edge.Latency), func() {
+				n.edgeBytes[e] += core.Bytes(wireBytes)
+				n.edgePackets[e]++
+				if n.hopObs != nil {
+					n.hopObs.HopForwarded(int(e), src, dst, wireBytes, hopStart, n.sched.Now())
+				}
+				step(hop + 1)
+			})
+		})
+	}
+	step(0)
+}
+
+// NumEdges returns the topology's directed edge count (0 on a flat
+// fabric).
+func (n *Network) NumEdges() int {
+	if n.cfg.Topology == nil {
+		return 0
+	}
+	return n.cfg.Topology.NumEdges()
+}
+
+// EdgeBytes returns the wire bytes forwarded over directed edge e.
+func (n *Network) EdgeBytes(e int) core.Bytes { return n.edgeBytes[e] }
+
+// EdgePackets returns the packets forwarded over directed edge e.
+func (n *Network) EdgePackets(e int) uint64 { return n.edgePackets[e] }
+
+// EdgeBusy returns the cumulative busy (serializing) time of directed
+// edge e; deltas between samples give windowed edge utilization.
+func (n *Network) EdgeBusy(e int) des.Time { return n.edgeSrv[e].Busy }
+
+// InterNodeEdgeBytes sums the wire bytes forwarded over inter-node edges
+// — the traffic that actually crossed the slow fabric tier, counted per
+// hop.
+func (n *Network) InterNodeEdgeBytes() core.Bytes {
+	var sum core.Bytes
+	for e, b := range n.edgeBytes {
+		if n.cfg.Topology.Edge(e).Inter {
+			sum += b
+		}
+	}
+	return sum
+}

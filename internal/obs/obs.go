@@ -68,6 +68,7 @@ const (
 	trackQueue                    // a=gpu
 	trackFaults                   // fabric-wide fault lane
 	trackCounter                  // a=series index
+	trackEdge                     // a=directed topology edge index
 )
 
 // trackKey is a comparable composite key so track lookup never builds a
@@ -129,6 +130,7 @@ const (
 	seriesQueue
 	seriesCredit
 	seriesSched
+	seriesEdge
 )
 
 type seriesKey struct {
@@ -148,6 +150,10 @@ type Recorder struct {
 
 	trackIdx   map[trackKey]int32
 	trackNames []string
+
+	// edgeLabels names topology edges for their lanes and series; set by
+	// the run when a multi-hop topology is active, empty otherwise.
+	edgeLabels []string
 
 	seriesIdx map[seriesKey]int32
 	series    []*Series
@@ -234,6 +240,8 @@ func (r *Recorder) track(kind trackKind, a, b int32) int32 {
 		name = "fabric faults"
 	case trackCounter:
 		name = r.series[a].Name
+	case trackEdge:
+		name = r.edgeName(int(a))
 	}
 	id := int32(len(r.trackNames))
 	r.trackIdx[k] = id
@@ -289,6 +297,47 @@ func (r *Recorder) ReplayScheduled(src, dst, wireBytes, try int, at des.Time) {
 	r.reg.Counter("finepack_replays_total",
 		"Replay attempts scheduled after a Nak or watchdog timeout, per link.",
 		Label{"src", itoa(src)}, Label{"dst", itoa(dst)}).Inc()
+}
+
+// SetEdgeLabels attaches topology edge names (index-aligned with the
+// graph's directed edges) so edge lanes and series read "edge gpu0->sw0"
+// rather than a bare index. Call before the first hop is recorded.
+func (r *Recorder) SetEdgeLabels(labels []string) {
+	if r == nil {
+		return
+	}
+	r.edgeLabels = labels
+}
+
+// edgeName resolves an edge's display name.
+//
+//finepack:allow hotalloc -- edge names format once per edge at first use and are cached via trackIdx/seriesIdx
+func (r *Recorder) edgeName(e int) string {
+	if e >= 0 && e < len(r.edgeLabels) {
+		return "edge " + r.edgeLabels[e]
+	}
+	return fmt.Sprintf("edge %d", e)
+}
+
+// HopForwarded records one multi-hop edge traversal as an occupancy span
+// on the edge's lane; it implements interconnect.HopObserver, so a
+// Recorder attached via SetObserver receives per-hop detail on multi-hop
+// fabrics automatically.
+func (r *Recorder) HopForwarded(edge, src, dst, wireBytes int, start, end des.Time) {
+	if r == nil {
+		return
+	}
+	e := event{name: "hop", ph: phSpan, track: r.track(trackEdge, int32(edge), 0), ts: start, dur: end - start}
+	e.args[0] = arg{key: "src", kind: argInt, i: int64(src)}
+	e.args[1] = arg{key: "dst", kind: argInt, i: int64(dst)}
+	e.args[2] = arg{key: "wire_bytes", kind: argInt, i: int64(wireBytes)}
+	r.addEvent(e)
+	r.reg.Counter("finepack_edge_hops_total",
+		"Messages forwarded over each directed topology edge.",
+		Label{"edge", itoa(edge)}).Inc()
+	r.reg.Counter("finepack_edge_bytes_total",
+		"Wire bytes forwarded over each directed topology edge.",
+		Label{"edge", itoa(edge)}).Add(uint64(wireBytes))
 }
 
 // LinkReset records a fabric-level link reset episode.
@@ -381,6 +430,15 @@ func (r *Recorder) SampleCreditStalls(dst int, at des.Time, waiters int) {
 	r.sample(seriesCredit, int32(dst), at, float64(waiters))
 }
 
+// SampleEdgeUtilization records one topology-edge utilization sample
+// (windowed busy fraction of the edge's serializer).
+func (r *Recorder) SampleEdgeUtilization(edge int, at des.Time, util float64) {
+	if r == nil {
+		return
+	}
+	r.sample(seriesEdge, int32(edge), at, util)
+}
+
 // SampleSchedulerEvents records the cumulative DES events fired. As the
 // last sample of each tick it also drives the Progress callback, giving
 // external observers a sim-time heartbeat exactly once per tick.
@@ -421,6 +479,8 @@ func (r *Recorder) getSeries(kind seriesKind, idx int32) (*Series, int32) {
 		name = fmt.Sprintf("credit waiters dst %d", idx)
 	case seriesSched:
 		name = "sched events fired"
+	case seriesEdge:
+		name = r.edgeName(int(idx)) + " util"
 	}
 	s := &Series{Name: name, kind: kind}
 	i := int32(len(r.series))
@@ -447,6 +507,10 @@ func (r *Recorder) gauge(kind seriesKind, idx int32) *Gauge {
 		return r.reg.Gauge("finepack_credit_stall_waiters",
 			"Latest sampled count of senders stalled on credits, per destination.",
 			Label{"dst", itoa(int(idx))})
+	case seriesEdge:
+		return r.reg.Gauge("finepack_edge_utilization",
+			"Latest sampled serializer utilization, per directed topology edge.",
+			Label{"edge", itoa(int(idx))})
 	default:
 		return r.reg.Gauge("finepack_sched_events_fired",
 			"Latest sampled cumulative DES events fired.")

@@ -84,6 +84,14 @@ func ObserveTable(workload string, par sim.Paradigm, res *sim.Result, rec *obs.R
 	t.AddRow("sim time", res.Time.String())
 	t.AddRow("wire bytes", res.WireBytes)
 	t.AddRow("packets", res.Packets)
+	if res.Topology != "" {
+		t.AddRow("topology", res.Topology)
+		t.AddRow("intra-node wire bytes", res.IntraNodeWireBytes)
+		t.AddRow("inter-node wire bytes", res.InterNodeWireBytes)
+		t.AddRow("intra-node goodput", res.IntraNodeGoodput())
+		t.AddRow("inter-node goodput", res.InterNodeGoodput())
+		t.AddRow("inter-node hop bytes", res.InterNodeHopBytes)
+	}
 	t.AddRow("trace events", rec.EventCount())
 	t.AddRow("dropped events", rec.DroppedEvents())
 	t.AddRow("sampled series", len(rec.SeriesList()))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"finepack/internal/collective"
 	"finepack/internal/des"
 	"finepack/internal/experiments"
 	"finepack/internal/obs"
@@ -48,6 +49,10 @@ type suiteKey struct {
 	gen       int
 	ber       float64
 	faultSeed int64
+	// topology fingerprints the normalized topology spec by its canonical
+	// JSON (empty for the flat fabric), so multi-hop and flat jobs over
+	// otherwise identical configs never share a Suite cache.
+	topology string
 }
 
 // SuiteRunner runs jobs on experiments.Suite instances cached by
@@ -90,6 +95,9 @@ func (r *SuiteRunner) suite(spec JobSpec) *experiments.Suite {
 		ber:       spec.BER,
 		faultSeed: spec.FaultSeed,
 	}
+	if spec.Topo != nil {
+		k.topology = string(spec.Topo.CanonicalJSON())
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.suites[k]
@@ -109,8 +117,11 @@ func (r *SuiteRunner) Run(ctx context.Context, spec JobSpec, progress func(Progr
 	if progress == nil {
 		progress = func(Progress) {}
 	}
-	if spec.Kind == KindReport {
+	switch spec.Kind {
+	case KindReport:
 		return r.runReport(ctx, spec, progress)
+	case KindTopoCrossover:
+		return r.runTopoCrossover(ctx, spec, progress)
 	}
 	return r.runObserve(ctx, spec, progress)
 }
@@ -122,7 +133,8 @@ type TraceOpener interface {
 }
 
 // runTraceObserve executes an observe job whose input is an uploaded
-// trace or a synthesis profile rather than a generated workload. The
+// trace, a synthesis profile or a collective spec rather than a generated
+// workload. The
 // source streams straight into the simulator — an uploaded v2 file or a
 // synthesized stream replays in O(window) memory, so trace jobs far
 // larger than any built-in workload fit the daemon. Suite caches are
@@ -137,10 +149,14 @@ func (r *SuiteRunner) runTraceObserve(ctx context.Context, spec JobSpec, progres
 		src    trace.IterationSource
 		closer func() error
 	)
-	if spec.Synth != nil {
+	switch {
+	case spec.Synth != nil:
 		src, err = tracestream.NewSynthSource(*spec.Synth)
 		closer = func() error { return nil }
-	} else {
+	case spec.Collective != nil:
+		src, err = collective.NewSource(*spec.Collective)
+		closer = func() error { return nil }
+	default:
 		if r.Traces == nil {
 			return nil, fmt.Errorf("serve: no trace store configured; cannot run trace_id jobs")
 		}
@@ -171,7 +187,7 @@ func (r *SuiteRunner) runTraceObserve(ctx context.Context, spec JobSpec, progres
 }
 
 func (r *SuiteRunner) runObserve(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error) {
-	if spec.TraceID != "" || spec.Synth != nil {
+	if spec.TraceID != "" || spec.Synth != nil || spec.Collective != nil {
 		return r.runTraceObserve(ctx, spec, progress)
 	}
 	s := r.suite(spec)
@@ -218,6 +234,31 @@ func renderObserve(workload string, par sim.Paradigm, res *sim.Result, rec *obs.
 		return nil, err
 	}
 	a.Put(ArtifactTimeline, append([]byte(nil), buf.Bytes()...))
+	return a, nil
+}
+
+// runTopoCrossover executes a topology-crossover sweep job: the report
+// artifact is the crossover table (goodput split intra/inter-node for
+// FinePack and P2P as store fanout widens against a concurrent ring
+// AllReduce).
+func (r *SuiteRunner) runTopoCrossover(ctx context.Context, spec JobSpec, progress func(Progress)) (*Artifacts, error) {
+	s := r.suite(spec)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if r.onRun != nil {
+		r.onRun()
+	}
+	progress(Progress{Stage: "running", Detail: "topology crossover sweep"})
+	rows, err := s.TopoCrossover(spec.Topo, nil)
+	if err != nil {
+		return nil, err
+	}
+	progress(Progress{Stage: "rendering"})
+	var buf bytes.Buffer
+	experiments.TopoCrossoverTable(rows).Render(&buf)
+	a := &Artifacts{}
+	a.Put(ArtifactReport, append([]byte(nil), buf.Bytes()...))
 	return a, nil
 }
 

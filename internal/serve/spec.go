@@ -22,11 +22,13 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"finepack/internal/collective"
 	"finepack/internal/des"
 	"finepack/internal/obs"
 	"finepack/internal/pcie"
 	"finepack/internal/sim"
 	"finepack/internal/store"
+	"finepack/internal/topo"
 	"finepack/internal/tracestream"
 	"finepack/internal/workloads"
 )
@@ -41,6 +43,12 @@ const (
 	// KindReport generates the full markdown experiment report
 	// (`finepack-sim report`); its only artifact is the report.
 	KindReport = "report"
+	// KindTopoCrossover runs the multi-hop topology crossover sweep
+	// (`finepack-sim topo-crossover`): store fanout widens across a
+	// hierarchical fabric while a ring AllReduce shares it, under both
+	// FinePack and the P2P baseline. Defaults to the 32-GPU pod4x8
+	// preset; its only artifact is the report table.
+	KindTopoCrossover = "topo-crossover"
 )
 
 // JobSpec describes one simulation job as submitted over the API. The
@@ -49,7 +57,8 @@ const (
 // hashing: submissions that differ only in spelled-out defaults dedupe to
 // the same job.
 type JobSpec struct {
-	// Kind is the job kind: "observe" (default) or "report".
+	// Kind is the job kind: "observe" (default), "report" or
+	// "topo-crossover".
 	Kind string `json:"kind"`
 	// Workload names the instrumented workload (observe only).
 	// Default "sssp", matching the CLI.
@@ -94,6 +103,24 @@ type JobSpec struct {
 	// identity folds into the job ID. Mutually exclusive with TraceID,
 	// under the same field restrictions.
 	Synth *tracestream.Profile `json:"synth,omitempty"`
+	// Collective synthesizes a collective-communication workload (ring or
+	// tree AllReduce, fused GEMM collectives) instead of a generated
+	// workload (observe only). Like the other trace inputs it fixes the
+	// system size itself, so Workload/GPUs/Scale/Iters/Seed must be unset;
+	// mutually exclusive with TraceID and Synth. The normalized spec folds
+	// into the job ID.
+	Collective *collective.Spec `json:"collective,omitempty"`
+	// Topology names a topology preset (flat8, dgx2x8, pod4x8) to run the
+	// simulation on a hierarchical multi-hop fabric. Unknown names are
+	// rejected. Normalization expands the preset into Topo and clears this
+	// field, so the canonical spec — and therefore the job ID — always
+	// hashes the full normalized topology JSON: a preset submission and
+	// its spelled-out equivalent dedupe to the same job.
+	Topology string `json:"topology,omitempty"`
+	// Topo is an explicit topology spec (mutually exclusive with
+	// Topology); normalized in the canonical form. Omitting both keeps the
+	// flat single-switch fabric, and legacy specs hash to unchanged IDs.
+	Topo *topo.Spec `json:"topo,omitempty"`
 }
 
 // Normalize validates the spec and fills defaults, returning the
@@ -102,17 +129,46 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	switch s.Kind {
 	case "":
 		s.Kind = KindObserve
-	case KindObserve, KindReport:
+	case KindObserve, KindReport, KindTopoCrossover:
 	default:
-		return s, fmt.Errorf("serve: unknown job kind %q (want %q or %q)", s.Kind, KindObserve, KindReport)
+		return s, fmt.Errorf("serve: unknown job kind %q (want %q, %q or %q)",
+			s.Kind, KindObserve, KindReport, KindTopoCrossover)
 	}
-	traceInput := s.TraceID != "" || s.Synth != nil
+	// Resolve the topology first: preset names expand to their full spec
+	// so only the normalized JSON participates in the content hash, and an
+	// unknown preset fails before any other validation.
+	if s.Topology != "" && s.Topo != nil {
+		return s, fmt.Errorf("serve: topology and topo are mutually exclusive")
+	}
+	if s.Topology != "" {
+		t, err := topo.Preset(s.Topology)
+		if err != nil {
+			return s, fmt.Errorf("serve: %v", err)
+		}
+		s.Topo = t
+		s.Topology = ""
+	} else if s.Topo != nil {
+		// Normalize a private copy: validation fills defaults, and the
+		// fully explicit spec is what hashes into the job ID.
+		t := *s.Topo
+		if err := t.Validate(); err != nil {
+			return s, fmt.Errorf("serve: %v", err)
+		}
+		s.Topo = &t
+	}
+	inputs := 0
+	for _, set := range []bool{s.TraceID != "", s.Synth != nil, s.Collective != nil} {
+		if set {
+			inputs++
+		}
+	}
+	if inputs > 1 {
+		return s, fmt.Errorf("serve: trace_id, synth and collective are mutually exclusive")
+	}
+	traceInput := inputs > 0
 	if traceInput {
 		if s.Kind != KindObserve {
-			return s, fmt.Errorf("serve: trace/synth input requires an observe job")
-		}
-		if s.TraceID != "" && s.Synth != nil {
-			return s, fmt.Errorf("serve: trace_id and synth are mutually exclusive")
+			return s, fmt.Errorf("serve: trace/synth/collective input requires an observe job")
 		}
 		if s.Workload != "" {
 			return s, fmt.Errorf("serve: trace-input jobs take no workload (the trace is the workload)")
@@ -133,6 +189,13 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 			}
 			s.Synth = &p
 		}
+		if s.Collective != nil {
+			c := *s.Collective
+			if err := c.Validate(); err != nil {
+				return s, fmt.Errorf("serve: %v", err)
+			}
+			s.Collective = &c
+		}
 		if s.Paradigm == "" {
 			s.Paradigm = "finepack"
 		}
@@ -146,14 +209,27 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 			return s, fmt.Errorf("serve: max_events must be >= 0")
 		}
 	}
-	if s.Kind == KindReport {
-		// Report jobs sweep every workload and paradigm; per-run knobs
-		// must be unset so equivalent submissions hash identically.
+	if s.Kind == KindReport || s.Kind == KindTopoCrossover {
+		// Sweep jobs pick their own workloads and paradigms; per-run
+		// knobs must be unset so equivalent submissions hash identically.
 		if s.Workload != "" || s.Paradigm != "" {
-			return s, fmt.Errorf("serve: report jobs take no workload/paradigm")
+			return s, fmt.Errorf("serve: %s jobs take no workload/paradigm", s.Kind)
 		}
 		if s.SampleUs != 0 || s.MaxEvents != 0 {
-			return s, fmt.Errorf("serve: report jobs take no observability knobs")
+			return s, fmt.Errorf("serve: %s jobs take no observability knobs", s.Kind)
+		}
+		if s.Kind == KindReport && s.Topo != nil {
+			// The report's own topology-crossover section picks its
+			// preset, so a job-level topology is rejected rather than
+			// half-applied.
+			return s, fmt.Errorf("serve: report jobs take no topology (the report's crossover section picks its own)")
+		}
+		if s.Kind == KindTopoCrossover && s.Topo == nil {
+			t, err := topo.Preset(topo.PresetPod4x8)
+			if err != nil {
+				return s, fmt.Errorf("serve: %v", err)
+			}
+			s.Topo = t
 		}
 	} else if !traceInput {
 		if s.Workload == "" {
@@ -177,7 +253,13 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	}
 	if !traceInput {
 		if s.GPUs == 0 {
-			s.GPUs = 4
+			// A topology fixes the system size; without one the paper's
+			// 4-GPU system is the default.
+			if s.Topo != nil {
+				s.GPUs = s.Topo.NumGPUs()
+			} else {
+				s.GPUs = 4
+			}
 		}
 		if s.GPUs < 2 || s.GPUs > 64 {
 			return s, fmt.Errorf("serve: gpus %d outside [2,64]", s.GPUs)
@@ -196,6 +278,20 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		}
 		if s.Seed == 0 {
 			s.Seed = 1
+		}
+	}
+	if s.Topo != nil {
+		// The fabric and the workload must agree on the system size now,
+		// not as a failed job later. TraceID inputs are checked at run
+		// time — the blob's GPU count is unknown until it is opened.
+		want := s.Topo.NumGPUs()
+		switch {
+		case s.Collective != nil && s.Collective.GPUs != want:
+			return s, fmt.Errorf("serve: topology %q has %d GPUs, collective has %d", s.Topo.Name, want, s.Collective.GPUs)
+		case s.Synth != nil && s.Synth.NumGPUs != want:
+			return s, fmt.Errorf("serve: topology %q has %d GPUs, synth profile has %d", s.Topo.Name, want, s.Synth.NumGPUs)
+		case !traceInput && s.GPUs != want:
+			return s, fmt.Errorf("serve: topology %q has %d GPUs, spec asks for %d", s.Topo.Name, want, s.GPUs)
 		}
 	}
 	if s.PCIeGen == 0 {
@@ -258,6 +354,7 @@ func (s JobSpec) simConfig() (sim.Config, workloads.Params) {
 	cfg.Gen = pcie.Generation(s.PCIeGen)
 	cfg.Faults.BER = s.BER
 	cfg.Faults.Seed = s.FaultSeed
+	cfg.Topology = s.Topo
 	params := workloads.Params{Scale: s.Scale, Iterations: s.Iters, Seed: s.Seed}
 	return cfg, params
 }

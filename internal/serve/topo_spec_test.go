@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"finepack/internal/collective"
+	"finepack/internal/core"
+	"finepack/internal/topo"
+)
+
+func ringSpec(gpus int) *collective.Spec {
+	return &collective.Spec{Kind: collective.RingAllReduce, GPUs: gpus, PayloadBytes: 1 << 16}
+}
+
+// TestTopologyPresetNormalizes: a preset name expands into the full
+// normalized spec, fixes the GPU count, and dedupes against the
+// spelled-out equivalent submission.
+func TestTopologyPresetNormalizes(t *testing.T) {
+	got, err := JobSpec{Topology: topo.PresetDGX2x8}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topology != "" {
+		t.Fatalf("preset name survived normalization: %q", got.Topology)
+	}
+	if got.Topo == nil || got.Topo.Name != topo.PresetDGX2x8 {
+		t.Fatalf("preset did not expand: %+v", got.Topo)
+	}
+	if got.GPUs != 16 {
+		t.Fatalf("GPUs = %d, want 16 from the preset", got.GPUs)
+	}
+
+	spelled, err := JobSpec{Topo: mustPreset(t, topo.PresetDGX2x8)}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != spelled.ID() {
+		t.Fatalf("preset and spelled-out topology hash differently: %s vs %s", got.ID(), spelled.ID())
+	}
+
+	flat, _ := JobSpec{}.Normalize()
+	if got.ID() == flat.ID() {
+		t.Fatal("topology did not change the job ID")
+	}
+}
+
+func mustPreset(t *testing.T, name string) *topo.Spec {
+	t.Helper()
+	s, err := topo.Preset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestLegacySpecBytesUnchanged: specs that never mention topology or
+// collectives canonicalize without the new keys, so every pre-existing
+// job ID is preserved.
+func TestLegacySpecBytesUnchanged(t *testing.T) {
+	got, err := JobSpec{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := got.CanonicalJSON()
+	for _, key := range []string{"topo", "topology", "collective"} {
+		if bytes.Contains(raw, []byte(`"`+key+`"`)) {
+			t.Fatalf("legacy canonical spec grew a %q key: %s", key, raw)
+		}
+	}
+}
+
+// TestCollectiveJobNormalizes: a collective spec is a trace-style input —
+// it fixes the system size, fills its own defaults, and folds into the
+// job ID.
+func TestCollectiveJobNormalizes(t *testing.T) {
+	got, err := JobSpec{Collective: ringSpec(8)}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Collective.ElemSize == 0 || got.Collective.Name == "" {
+		t.Fatalf("collective defaults not filled: %+v", got.Collective)
+	}
+	if got.Workload != "" || got.GPUs != 0 {
+		t.Fatalf("collective job kept workload fields: %+v", got)
+	}
+	other, _ := JobSpec{Collective: ringSpec(16)}.Normalize()
+	if got.ID() == other.ID() {
+		t.Fatal("different collectives share a job ID")
+	}
+}
+
+// TestTopologyRejects sweeps the new validation surface.
+func TestTopologyRejects(t *testing.T) {
+	customTopo := topo.Hierarchical("x", 2, 2,
+		topo.LinkClass{Bandwidth: 1e9, Latency: core.PicoSeconds(1000)},
+		topo.LinkClass{Bandwidth: 1e9, Latency: core.PicoSeconds(1000)})
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"unknown preset", JobSpec{Topology: "bogus"}},
+		{"preset and custom", JobSpec{Topology: topo.PresetFlat8, Topo: customTopo}},
+		{"invalid custom", JobSpec{Topo: &topo.Spec{Name: "bad", Nodes: -1}}},
+		{"report topology", JobSpec{Kind: KindReport, Topology: topo.PresetFlat8}},
+		{"gpus mismatch", JobSpec{Topology: topo.PresetDGX2x8, GPUs: 8}},
+		{"collective mismatch", JobSpec{Topology: topo.PresetDGX2x8, Collective: ringSpec(8)}},
+		{"collective and synth", JobSpec{Collective: ringSpec(4), TraceID: "t" + "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"}},
+		{"collective workload", JobSpec{Workload: "sssp", Collective: ringSpec(4)}},
+		{"collective gpus", JobSpec{GPUs: 4, Collective: ringSpec(4)}},
+		{"collective report", JobSpec{Kind: KindReport, Collective: ringSpec(4)}},
+		{"bad collective", JobSpec{Collective: &collective.Spec{Kind: "nope", GPUs: 4, PayloadBytes: 1 << 16}}},
+		{"crossover workload", JobSpec{Kind: KindTopoCrossover, Workload: "sssp"}},
+		{"crossover obs", JobSpec{Kind: KindTopoCrossover, SampleUs: 2}},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Normalize(); err == nil {
+			t.Errorf("%s: Normalize(%+v) accepted", c.name, c.spec)
+		}
+	}
+}
+
+// TestTopoCrossoverKindDefaults: the sweep job defaults to the 32-GPU
+// pod4x8 preset.
+func TestTopoCrossoverKindDefaults(t *testing.T) {
+	got, err := JobSpec{Kind: KindTopoCrossover}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topo == nil || got.Topo.Name != topo.PresetPod4x8 {
+		t.Fatalf("crossover topology = %+v, want pod4x8", got.Topo)
+	}
+	if got.GPUs != 32 {
+		t.Fatalf("crossover GPUs = %d, want 32", got.GPUs)
+	}
+}
+
+// TestServerRejectsUnknownPreset pins the HTTP contract: an unknown
+// topology preset fails submission with a 400, not a failed job.
+func TestServerRejectsUnknownPreset(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 4)
+	if resp, _ := postJob(t, ts.URL, JobSpec{Topology: "bogus"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown preset: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, ts.URL, JobSpec{Topology: topo.PresetFlat8}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("known preset: %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestTopoCrossoverJobE2E runs a small crossover sweep job end to end and
+// checks the artifact carries the intra/inter-node goodput split.
+func TestTopoCrossoverJobE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed e2e skipped in -short mode")
+	}
+	ts, _, e := newTestServer(t, 1, 4)
+	small := topo.Hierarchical("twin2x2", 2, 2,
+		topo.LinkClass{Bandwidth: 64e9, Latency: core.PicoSeconds(200_000)},
+		topo.LinkClass{Bandwidth: 16e9, Latency: core.PicoSeconds(1_000_000)})
+	spec := JobSpec{Kind: KindTopoCrossover, Topo: small, Scale: 0.05, Iters: 1}
+	resp, st := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	j, _ := e.Get(st.ID)
+	waitDone(t, j)
+	if state, _, jerr := j.Snapshot(); state != StateDone {
+		t.Fatalf("crossover job ended (%s, %v)", state, jerr)
+	}
+	code, got := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/report")
+	if code != http.StatusOK {
+		t.Fatalf("artifact code %d", code)
+	}
+	for _, want := range []string{"topology crossover", "twin2x2", "fp-inter", "p2p-inter"} {
+		if !bytes.Contains(got, []byte(want)) {
+			t.Fatalf("crossover artifact missing %q:\n%s", want, got)
+		}
+	}
+}

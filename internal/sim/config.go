@@ -9,6 +9,7 @@ import (
 	"finepack/internal/gpusim"
 	"finepack/internal/memsystem"
 	"finepack/internal/pcie"
+	"finepack/internal/topo"
 )
 
 // Config describes the simulated system (Table III defaults).
@@ -73,6 +74,13 @@ type Config struct {
 	// retry-loop bug surfaces as an "event budget exceeded" error rather
 	// than an infinite loop. Zero selects a generous default.
 	EventBudget uint64
+	// Topology, when set, replaces the flat single-switch fabric with a
+	// hierarchical multi-hop one: messages store-and-forward along static
+	// shortest-path routes whose per-edge bandwidth/latency/credit
+	// parameters come from the spec. Nil keeps the legacy flat fabric
+	// bit-identical to builds without the topology model. The Infinite
+	// paradigm elides transfer costs and therefore drops the topology.
+	Topology *topo.Spec
 }
 
 // DefaultConfig returns the paper's evaluated system: 4 Volta-class GPUs
@@ -123,6 +131,11 @@ func (c Config) Validate() error {
 	}
 	if c.GPSConsumedFraction < 0 || c.GPSConsumedFraction > 1 {
 		return fmt.Errorf("sim: GPS consumed fraction %v outside [0,1]", c.GPSConsumedFraction)
+	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -36,6 +36,13 @@ func (r *runner) attachObservability(rec *obs.Recorder) {
 	r.obsRec = rec
 	r.warpObs = rec
 	r.sched.SetProbe(rec)
+	if r.graph != nil {
+		labels := make([]string, r.graph.NumEdges())
+		for e := range labels {
+			labels[e] = r.graph.EdgeLabel(e)
+		}
+		rec.SetEdgeLabels(labels)
+	}
 	r.net.SetObserver(rec)
 }
 
@@ -53,6 +60,9 @@ func (r *runner) startSampler() {
 		prevEgress:  make([]des.Time, r.meta.NumGPUs),
 		prevIngress: make([]des.Time, r.meta.NumGPUs),
 	}
+	if n := r.net.NumEdges(); n > 0 {
+		s.prevEdge = make([]des.Time, n)
+	}
 	r.sched.After(s.every, s.tick)
 }
 
@@ -63,6 +73,9 @@ type sampler struct {
 	every       des.Time
 	prevEgress  []des.Time
 	prevIngress []des.Time
+	// prevEdge tracks per-edge serializer busy time on multi-hop
+	// fabrics; nil on the flat fabric.
+	prevEdge []des.Time
 }
 
 func (s *sampler) tick() {
@@ -82,6 +95,11 @@ func (s *sampler) tick() {
 		}
 		r.obsRec.SampleQueueDepth(g, now, depth)
 		r.obsRec.SampleCreditStalls(g, now, r.net.CreditWaiters(g))
+	}
+	for e := range s.prevEdge {
+		eb := r.net.EdgeBusy(e)
+		r.obsRec.SampleEdgeUtilization(e, now, float64(eb-s.prevEdge[e])/interval)
+		s.prevEdge[e] = eb
 	}
 	r.obsRec.SampleSchedulerEvents(now, r.sched.Fired())
 	if r.sched.Pending() > 0 {

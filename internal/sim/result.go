@@ -55,6 +55,20 @@ type Result struct {
 	// nil when no error occurred.
 	LinkErrors map[string]uint64
 
+	// Multi-hop topology detail, populated only when Config.Topology is
+	// set (all zero on the flat fabric). Wire and useful bytes are split
+	// by endpoint-pair placement: intra-node pairs share a node's switch,
+	// inter-node pairs cross the fabric tier. Topology names the spec.
+	Topology             string
+	IntraNodeWireBytes   core.Bytes
+	InterNodeWireBytes   core.Bytes
+	IntraNodeUsefulBytes core.Bytes
+	InterNodeUsefulBytes core.Bytes
+	// InterNodeHopBytes counts bytes per traversal of inter-node edges —
+	// the traffic the slow tier actually carried, which exceeds
+	// InterNodeWireBytes when routes cross it more than once.
+	InterNodeHopBytes core.Bytes
+
 	// FinePack-specific detail (zero for other paradigms).
 	AvgStoresPerPacket float64
 	SubheaderBytes     core.Bytes
@@ -134,6 +148,25 @@ func (r *Result) Goodput() float64 {
 		return 0
 	}
 	return float64(r.UsefulBytes) / float64(r.WireBytes)
+}
+
+// IntraNodeGoodput returns the goodput of traffic between GPUs sharing a
+// node (0 when no topology was configured or no such traffic flowed).
+func (r *Result) IntraNodeGoodput() float64 {
+	if r.IntraNodeWireBytes == 0 {
+		return 0
+	}
+	return float64(r.IntraNodeUsefulBytes) / float64(r.IntraNodeWireBytes)
+}
+
+// InterNodeGoodput returns the goodput of traffic between GPUs in
+// different nodes, measured at message granularity (hop amplification on
+// the fabric tier is reported separately via InterNodeHopBytes).
+func (r *Result) InterNodeGoodput() float64 {
+	if r.InterNodeWireBytes == 0 {
+		return 0
+	}
+	return float64(r.InterNodeUsefulBytes) / float64(r.InterNodeWireBytes)
 }
 
 func (r *Result) String() string {

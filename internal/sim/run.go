@@ -10,6 +10,7 @@ import (
 	"finepack/internal/interconnect"
 	"finepack/internal/memsystem"
 	"finepack/internal/obs"
+	"finepack/internal/topo"
 	"finepack/internal/trace"
 )
 
@@ -88,6 +89,19 @@ func runSource(src trace.IterationSource, par Paradigm, cfg Config, rec *obs.Rec
 		netCfg.SwitchLatency = 0
 		netCfg.PropagationLatency = 0
 	}
+	var graph *topo.Graph
+	if cfg.Topology != nil && par != Infinite {
+		g, err := topo.Build(cfg.Topology)
+		if err != nil {
+			return nil, err
+		}
+		if g.NumGPUs() != meta.NumGPUs {
+			return nil, fmt.Errorf("sim: topology %q has %d GPUs, trace %q has %d",
+				cfg.Topology.Name, g.NumGPUs(), meta.Name, meta.NumGPUs)
+		}
+		graph = g
+		netCfg.Topology = g
+	}
 	net, err := interconnect.New(sched, netCfg)
 	if err != nil {
 		return nil, err
@@ -100,6 +114,10 @@ func runSource(src trace.IterationSource, par Paradigm, cfg Config, rec *obs.Rec
 		SingleGPUTime: singleGPUTimeMeta(meta, cfg),
 	}
 
+	if graph != nil {
+		res.Topology = graph.Name()
+	}
+
 	r := &runner{
 		sched: sched,
 		net:   net,
@@ -108,6 +126,7 @@ func runSource(src trace.IterationSource, par Paradigm, cfg Config, rec *obs.Rec
 		src:   src,
 		meta:  meta,
 		res:   res,
+		graph: graph,
 	}
 	if cfg.CheckData && (par == P2P || par == FinePack) {
 		r.refMem = make(map[int]*memsystem.Memory)
@@ -145,6 +164,23 @@ func runSource(src trace.IterationSource, par Paradigm, cfg Config, rec *obs.Rec
 	res.ReplayedWireBytes = net.ReplayedBytes
 	res.RecoveredStalls = net.RecoveredStalls
 	res.LinkErrors = net.LinkErrors()
+	if graph != nil {
+		// Split wire bytes by endpoint-pair placement; per-hop fabric
+		// amplification comes from the edge counters.
+		for s := 0; s < meta.NumGPUs; s++ {
+			for d := 0; d < meta.NumGPUs; d++ {
+				if s == d {
+					continue
+				}
+				if graph.SameNode(s, d) {
+					res.IntraNodeWireBytes += net.LinkBytes(s, d)
+				} else {
+					res.InterNodeWireBytes += net.LinkBytes(s, d)
+				}
+			}
+		}
+		res.InterNodeHopBytes = net.InterNodeEdgeBytes()
+	}
 	if !r.storeParadigm() {
 		// Bulk copies travel as one network message but occupy multiple
 		// max-payload TLPs on the wire.
@@ -174,6 +210,9 @@ type runner struct {
 	cur     *trace.Iteration
 	res     *Result
 	engines []egress // store paradigms; nil entries for DMA/Infinite
+	// graph is the multi-hop topology (nil on the flat fabric), used to
+	// classify endpoint pairs for the intra/inter-node result splits.
+	graph *topo.Graph
 
 	// coal reuses coalescing scratch across every warp store in the run:
 	// the store-paradigm hot loop would otherwise allocate two slices per
@@ -336,6 +375,20 @@ func (r *runner) ingest(p *core.Packet, done func()) {
 	}
 }
 
+// addUseful credits useful bytes to the run total and, under a topology,
+// to the endpoint pair's placement class.
+func (r *runner) addUseful(src, dst int, b core.Bytes) {
+	r.res.UsefulBytes += b
+	if r.graph == nil {
+		return
+	}
+	if r.graph.SameNode(src, dst) {
+		r.res.IntraNodeUsefulBytes += b
+	} else {
+		r.res.InterNodeUsefulBytes += b
+	}
+}
+
 // startIteration launches iteration i at the current simulated time; when
 // every GPU reaches the closing barrier with its traffic delivered, the
 // next iteration starts after BarrierLatency.
@@ -343,9 +396,9 @@ func (r *runner) startIteration(i int) {
 	// Fold the finished epoch's unique bytes into the useful-byte total
 	// (barriers delimit epochs: a byte rewritten in a later iteration is
 	// separately useful there).
-	for _, t := range r.trackers {
+	for k, t := range r.trackers {
 		if t != nil {
-			r.res.UsefulBytes += t.Unique()
+			r.addUseful(k/r.meta.NumGPUs, k%r.meta.NumGPUs, t.Unique())
 			t.Reset()
 		}
 	}
@@ -553,7 +606,7 @@ func (r *runner) readLines(iter, g int) []int {
 		}
 		for key, tk := range trackers {
 			perGPU[key[1]][key[0]] = tk.Lines()
-			r.res.UsefulBytes += tk.Unique()
+			r.addUseful(key[0], key[1], tk.Unique())
 		}
 		r.readCache = perGPU
 		r.readIter = iter
@@ -593,7 +646,7 @@ func (r *runner) scheduleCopies(g int, w trace.GPUWork, t0 des.Time, done func()
 			tlps, wire := r.cfg.FinePack.TLP.TLPsForTransfer(int(c.Bytes), r.cfg.FinePack.MaxPayload)
 			r.dmaTLPs += uint64(tlps)
 			r.res.DataBytes += c.Bytes
-			r.res.UsefulBytes += c.UsefulBytes
+			r.addUseful(g, c.Dst, c.UsefulBytes)
 			for off := uint64(0); off < wire; off += chunkBytes {
 				n := wire - off
 				if n > chunkBytes {
